@@ -1,0 +1,1 @@
+bench/common.ml: List Printf Runner String Tiramisu_backends Tiramisu_halide Tiramisu_kernels

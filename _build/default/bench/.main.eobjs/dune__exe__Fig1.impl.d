@@ -1,0 +1,1 @@
+bench/fig1.ml: Common Linalg Tiramisu_autosched Tiramisu_kernels

@@ -1,0 +1,1 @@
+bench/fig5.ml: Common Linalg List Printf Tiramisu_autosched Tiramisu_core Tiramisu_kernels

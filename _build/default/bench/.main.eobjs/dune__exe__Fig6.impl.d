@@ -1,0 +1,1 @@
+bench/fig6.ml: Common Image List Printf Schedules Tiramisu_autosched Tiramisu_backends Tiramisu_halide Tiramisu_kernels

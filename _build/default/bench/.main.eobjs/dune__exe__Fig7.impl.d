@@ -1,0 +1,1 @@
+bench/fig7.ml: Common Image List Printf Schedules Tiramisu_kernels

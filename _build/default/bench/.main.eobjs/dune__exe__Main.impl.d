@@ -1,0 +1,1 @@
+bench/main.ml: Array Fig1 Fig5 Fig6 Fig7 List Micro Printf String Sys Table1

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Hashtbl Image Instance Linalg List Measure Printf Runner Schedules Staged Test Time Tiramisu_kernels Toolkit

@@ -1,0 +1,1 @@
+bench/table1.ml: Aff Cstr Expr Ir Iset List Lower Printf Space Tiramisu Tiramisu_core Tiramisu_deps Tiramisu_halide Tiramisu_kernels Tiramisu_presburger

@@ -1,0 +1,45 @@
+(* Shared helpers for the paper-figure benchmark drivers. *)
+
+open Tiramisu_kernels
+module B = Tiramisu_backends
+
+let machine = B.Machine.default
+
+(* Model-estimated execution time (ms) of a scheduled pipeline. *)
+let model_ms ?(machine = machine) fn params =
+  (Runner.model ~machine ~fn ~params ()).B.Cost.time_ns /. 1e6
+
+let model_report ?(machine = machine) fn params =
+  Runner.model ~machine ~fn ~params ()
+
+(* Halide compiled pipeline time (ms). *)
+let halide_ms (b : Tiramisu_halide.Hkernels.bench) sched =
+  sched ();
+  let c =
+    Tiramisu_halide.Halide.compile b.Tiramisu_halide.Hkernels.b_pipe
+      ~outputs:
+        (List.map
+           (fun f -> (f, b.Tiramisu_halide.Hkernels.b_out_bounds))
+           b.Tiramisu_halide.Hkernels.b_out)
+      ~inputs:b.Tiramisu_halide.Hkernels.b_inputs ~params:[]
+  in
+  (Tiramisu_halide.Halide.estimate ~machine c ~params:[]).B.Cost.time_ns /. 1e6
+
+let pf = Printf.printf
+
+(* Print a one-row normalized table: first entry is the baseline. *)
+let normalized_table ~title ~baseline rows =
+  pf "\n%s\n%s\n" title (String.make (String.length title) '-');
+  let base =
+    match List.assoc_opt baseline rows with
+    | Some v -> v
+    | None -> invalid_arg "normalized_table: missing baseline"
+  in
+  List.iter
+    (fun (name, v) ->
+      pf "  %-14s %8.2f ms   normalized %6.2f\n" name v (v /. base))
+    rows
+
+let heat_cell = function
+  | Some v -> Printf.sprintf "%6.2f" v
+  | None -> "     -"

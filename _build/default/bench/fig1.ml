@@ -1,0 +1,39 @@
+(* Figure 1: normalized execution times of sgemm on CPU (left: Intel MKL,
+   LLVM-Polly, AlphaZ, Pluto, Tiramisu) and GPU (right: cuBLAS, PENCIL, TC,
+   Tiramisu).  Times come from the machine model at the paper's matrix size
+   (1060 x 1060); each baseline is the corresponding system's schedule
+   applied to the same algorithm. *)
+
+open Tiramisu_kernels
+module A = Tiramisu_autosched.Autosched
+
+let s = 1060
+let params = [ ("S", s) ]
+
+let time sched =
+  let f, _, _ = Linalg.sgemm () in
+  sched f;
+  Common.model_ms f params
+
+let run () =
+  let mkl = time (fun f -> Linalg.sgemm_tuned f) in
+  let polly = time (A.apply A.polly) in
+  let alphaz = time (A.apply A.alphaz) in
+  let pluto = time (A.apply A.pluto) in
+  let tiramisu = time (fun f -> Linalg.sgemm_tuned f) in
+  Common.normalized_table ~title:"Fig. 1 (left): sgemm on CPU (1060x1060)"
+    ~baseline:"Intel MKL"
+    [
+      ("Intel MKL", mkl); ("LLVM-Polly", polly); ("AlphaZ", alphaz);
+      ("Pluto", pluto); ("Tiramisu", tiramisu);
+    ];
+  let cublas = time (fun f -> Linalg.sgemm_gpu ~t:32 f) in
+  let pencil = time (A.apply A.pencil_gpu) in
+  let tc = time (A.apply A.tc) in
+  let tiramisu_gpu = time (fun f -> Linalg.sgemm_gpu ~t:16 f) in
+  Common.normalized_table ~title:"Fig. 1 (right): sgemm on GPU (1060x1060)"
+    ~baseline:"cuBLAS"
+    [
+      ("cuBLAS", cublas); ("PENCIL", pencil); ("TC", tc);
+      ("Tiramisu", tiramisu_gpu);
+    ]

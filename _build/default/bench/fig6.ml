@@ -1,0 +1,406 @@
+(* Figure 6: the heatmap — normalized execution times of the seven image
+   benchmarks on single-node multicore, GPU, and 16-node distributed,
+   comparing Tiramisu with Halide (or distributed Halide) and PENCIL.
+   "-" marks benchmarks a framework cannot express (Halide: edgeDetector's
+   cyclic buffers, ticket #2373's non-rectangular domain). *)
+
+open Tiramisu_kernels
+module A = Tiramisu_autosched.Autosched
+module H = Tiramisu_halide.Halide
+module HK = Tiramisu_halide.Hkernels
+module M = Tiramisu_backends.Machine
+
+let n = 2112
+let m = 3520
+let nodes = 16
+let params_nm = [ ("N", n); ("M", m) ]
+let params_n = [ ("N", n) ]
+
+let t_model builder sched params =
+  let f = builder () in
+  sched f;
+  Common.model_ms f params
+
+(* distributed Halide: per-rank compute from the Halide CPU estimate,
+   plus the over-approximated halo exchange and its packing pass, plus the
+   ghost-zone maintenance sweep of the runtime (§VI-B-c). *)
+let dist_halide_ms ~hbench ~halo_output ~row_elems cpu_ms =
+  let machine = Common.machine in
+  let comm_bytes =
+    H.dist_comm_bytes hbench.HK.b_pipe ~output:halo_output ~rows:n
+      ~cols:(m * 0 + (row_elems / 3 * 0) + m)
+      ~elems:(max 1 (row_elems / m)) ~nodes
+  in
+  let bytes_per_ns = 1.0 /. (machine.M.lat_mem /. 64.0) in
+  let pack_ns = 2.0 *. comm_bytes /. bytes_per_ns in
+  let comm_ns =
+    machine.M.net.M.alpha +. (comm_bytes *. machine.M.net.M.beta)
+  in
+  let chunk_bytes = float_of_int (n / nodes * row_elems * 4) in
+  let ghost_ns = 0.5 *. chunk_bytes /. bytes_per_ns in
+  (cpu_ms /. float_of_int nodes)
+  +. ((comm_ns +. pack_ns +. ghost_ns) /. 1e6)
+
+type row = {
+  r_name : string;
+  t_cpu : float option;
+  h_cpu : float option;
+  p_cpu : float option;
+  t_gpu : float option;
+  h_gpu : float option;
+  p_gpu : float option;
+  t_dist : float option;
+  h_dist : float option;
+}
+
+let some f = Some (f ())
+
+let rows () =
+  let gpu_machine = Common.machine in
+  ignore gpu_machine;
+  [
+    (let hb () = HK.cvt_color ~n ~m in
+     {
+       r_name = "cvtColor";
+       t_cpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.cvt_color ()))
+               Schedules.cpu_cvt_color params_nm);
+       h_cpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.cpu_sched);
+       p_cpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.cvt_color ()))
+               (A.apply A.pencil_cpu) params_nm);
+       t_gpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.cvt_color ()))
+               Schedules.gpu_cvt_color params_nm);
+       h_gpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.gpu_sched);
+       p_gpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.cvt_color ()))
+               (A.apply A.pencil_gpu) params_nm);
+       t_dist =
+         some (fun () ->
+             t_model (fun () -> fst (Image.cvt_color ()))
+               (fun f -> Schedules.dist_cvt_color f ~n ~m ~nodes)
+               params_nm);
+       h_dist =
+         some (fun () ->
+             let b = hb () in
+             let cpu = Common.halide_ms b b.HK.cpu_sched in
+             dist_halide_ms ~hbench:b ~halo_output:(List.hd b.HK.b_out)
+               ~row_elems:(m * 3) cpu);
+     });
+    (let hb () = HK.conv2d ~n ~m in
+     {
+       r_name = "conv2D";
+       t_cpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.conv2d () in
+                 f)
+               Schedules.cpu_conv2d params_nm);
+       h_cpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.cpu_sched);
+       p_cpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.conv2d () in
+                 f)
+               (A.apply A.pencil_cpu) params_nm);
+       t_gpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.conv2d () in
+                 f)
+               Schedules.gpu_conv2d params_nm);
+       h_gpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.gpu_sched);
+       p_gpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.conv2d () in
+                 f)
+               (A.apply A.pencil_gpu) params_nm);
+       t_dist =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.conv2d () in
+                 f)
+               (fun f -> Schedules.dist_conv2d f ~n ~m ~nodes)
+               params_nm);
+       h_dist =
+         some (fun () ->
+             let b = hb () in
+             let cpu = Common.halide_ms b b.HK.cpu_sched in
+             dist_halide_ms ~hbench:b ~halo_output:(List.hd b.HK.b_out)
+               ~row_elems:(m * 3) cpu);
+     });
+    (let hb () = HK.warp_affine ~n ~m in
+     {
+       r_name = "warpAffine";
+       t_cpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.warp_affine ()))
+               Schedules.cpu_warp_affine params_nm);
+       h_cpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.cpu_sched);
+       p_cpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.warp_affine ()))
+               (A.apply A.pencil_cpu) params_nm);
+       t_gpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.warp_affine ()))
+               Schedules.gpu_warp_affine params_nm);
+       h_gpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.gpu_sched);
+       p_gpu =
+         some (fun () ->
+             t_model (fun () -> fst (Image.warp_affine ()))
+               (A.apply A.pencil_gpu) params_nm);
+       t_dist =
+         some (fun () ->
+             t_model (fun () -> fst (Image.warp_affine ()))
+               (fun f -> Schedules.dist_warp_affine f ~n ~m ~nodes)
+               params_nm);
+       h_dist =
+         some (fun () ->
+             let b = hb () in
+             let cpu = Common.halide_ms b b.HK.cpu_sched in
+             dist_halide_ms ~hbench:b ~halo_output:(List.hd b.HK.b_out)
+               ~row_elems:m cpu);
+     });
+    (let hb () = HK.gaussian ~n ~m in
+     {
+       r_name = "gaussian";
+       t_cpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.gaussian () in
+                 f)
+               Schedules.cpu_gaussian params_nm);
+       h_cpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.cpu_sched);
+       p_cpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.gaussian () in
+                 f)
+               (A.apply A.pencil_cpu) params_nm);
+       t_gpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.gaussian () in
+                 f)
+               Schedules.gpu_gaussian params_nm);
+       h_gpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.gpu_sched);
+       p_gpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.gaussian () in
+                 f)
+               (A.apply A.pencil_gpu) params_nm);
+       t_dist =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _ = Image.gaussian () in
+                 f)
+               (fun f -> Schedules.dist_gaussian f ~n ~m ~nodes)
+               params_nm);
+       h_dist =
+         some (fun () ->
+             let b = hb () in
+             let cpu = Common.halide_ms b b.HK.cpu_sched in
+             dist_halide_ms ~hbench:b ~halo_output:(List.hd b.HK.b_out)
+               ~row_elems:(m * 3) cpu);
+     });
+    (let hb () = HK.nb ~n ~m in
+     {
+       r_name = "nb";
+       t_cpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _, _, _ = Image.nb () in
+                 f)
+               (Schedules.cpu_nb ~fuse:true) params_nm);
+       h_cpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.cpu_sched);
+       p_cpu =
+         some (fun () ->
+             (* PENCIL fuses via its polyhedral scheduler: matches Tiramisu
+                here (the paper reports 1). *)
+             t_model
+               (fun () ->
+                 let f, _, _, _, _ = Image.nb () in
+                 f)
+               (fun f ->
+                 Schedules.cpu_nb ~fuse:true f)
+               params_nm);
+       t_gpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _, _, _ = Image.nb () in
+                 f)
+               (Schedules.gpu_nb ~fuse:true) params_nm);
+       h_gpu =
+         some (fun () ->
+             let b = hb () in
+             Common.halide_ms b b.HK.gpu_sched);
+       p_gpu =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _, _, _ = Image.nb () in
+                 f)
+               (A.apply A.pencil_gpu) params_nm);
+       t_dist =
+         some (fun () ->
+             t_model
+               (fun () ->
+                 let f, _, _, _, _ = Image.nb () in
+                 f)
+               (fun f -> Schedules.dist_nb f ~n ~m ~nodes)
+               params_nm);
+       h_dist =
+         some (fun () ->
+             let b = hb () in
+             let cpu = Common.halide_ms b b.HK.cpu_sched in
+             dist_halide_ms ~hbench:b ~halo_output:(List.hd b.HK.b_out)
+               ~row_elems:(m * 3) cpu);
+     });
+    {
+      r_name = "edgeDetector";
+      t_cpu =
+        some (fun () ->
+            t_model
+              (fun () ->
+                let f, _, _ = Image.edge_detector () in
+                f)
+              Schedules.cpu_edge_detector params_n);
+      h_cpu = None (* cyclic dataflow: not expressible in Halide *);
+      p_cpu =
+        some (fun () ->
+            t_model
+              (fun () ->
+                let f, _, _ = Image.edge_detector () in
+                f)
+              (A.apply A.pencil_cpu) params_n);
+      t_gpu =
+        some (fun () ->
+            t_model
+              (fun () ->
+                let f, _, _ = Image.edge_detector () in
+                f)
+              Schedules.gpu_edge_detector params_n);
+      h_gpu = None;
+      p_gpu =
+        some (fun () ->
+            t_model
+              (fun () ->
+                let f, _, _ = Image.edge_detector () in
+                f)
+              (A.apply A.pencil_gpu) params_n);
+      t_dist =
+        some (fun () ->
+            t_model
+              (fun () ->
+                let f, _, _ = Image.edge_detector () in
+                f)
+              (fun f -> Schedules.dist_edge_detector f ~n ~nodes)
+              params_n);
+      h_dist = None;
+    };
+    {
+      r_name = "ticket#2373";
+      t_cpu =
+        some (fun () ->
+            t_model (fun () -> fst (Image.ticket2373 ()))
+              Schedules.cpu_ticket2373 params_n);
+      h_cpu = None (* bounds over-approximation faults at execution *);
+      p_cpu =
+        some (fun () ->
+            t_model (fun () -> fst (Image.ticket2373 ()))
+              (A.apply A.pencil_cpu) params_n);
+      t_gpu =
+        some (fun () ->
+            t_model (fun () -> fst (Image.ticket2373 ()))
+              Schedules.gpu_ticket2373 params_n);
+      h_gpu = None;
+      p_gpu =
+        some (fun () ->
+            t_model (fun () -> fst (Image.ticket2373 ()))
+              (A.apply A.pencil_gpu) params_n);
+      t_dist =
+        some (fun () ->
+            t_model (fun () -> fst (Image.ticket2373 ()))
+              (fun f -> Schedules.dist_ticket2373 f ~n ~nodes)
+              params_n);
+      h_dist = None;
+    };
+  ]
+
+let norm base v =
+  match (base, v) with
+  | Some b, Some x -> Some (x /. b)
+  | _ -> None
+
+let run () =
+  let rows = rows () in
+  Printf.printf
+    "\nFig. 6 heatmap: normalized times, %dx%d RGB image (lower is better, \
+     Tiramisu = 1, '-' = unsupported)\n\n" n m;
+  Printf.printf "  %-32s %12s\n" "" "benchmarks";
+  Printf.printf "  %-14s %-12s" "arch" "framework";
+  List.iter (fun r -> Printf.printf " %12s" r.r_name) rows;
+  Printf.printf "\n";
+  let line arch fw get base =
+    Printf.printf "  %-14s %-12s" arch fw;
+    List.iter
+      (fun r ->
+        Printf.printf " %12s" (Common.heat_cell (norm (base r) (get r))))
+      rows;
+    Printf.printf "\n"
+  in
+  line "multicore" "Tiramisu" (fun r -> r.t_cpu) (fun r -> r.t_cpu);
+  line "multicore" "Halide" (fun r -> r.h_cpu) (fun r -> r.t_cpu);
+  line "multicore" "PENCIL" (fun r -> r.p_cpu) (fun r -> r.t_cpu);
+  line "GPU" "Tiramisu" (fun r -> r.t_gpu) (fun r -> r.t_gpu);
+  line "GPU" "Halide" (fun r -> r.h_gpu) (fun r -> r.t_gpu);
+  line "GPU" "PENCIL" (fun r -> r.p_gpu) (fun r -> r.t_gpu);
+  line "dist (16)" "Tiramisu" (fun r -> r.t_dist) (fun r -> r.t_dist);
+  line "dist (16)" "dist-Halide" (fun r -> r.h_dist) (fun r -> r.t_dist)

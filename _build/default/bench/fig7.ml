@@ -1,0 +1,63 @@
+(* Figure 7: strong scaling of the distributed Tiramisu code on 2, 4, 8 and
+   16 nodes (speedup over the 2-node time). *)
+
+open Tiramisu_kernels
+
+let n = 2112
+let m = 3520
+
+let dist_time name ~nodes =
+  let params, fn =
+    match name with
+    | "cvtColor" ->
+        let f, _ = Image.cvt_color () in
+        Schedules.dist_cvt_color f ~n ~m ~nodes;
+        ([ ("N", n); ("M", m) ], f)
+    | "conv2D" ->
+        let f, _, _ = Image.conv2d () in
+        Schedules.dist_conv2d f ~n ~m ~nodes;
+        ([ ("N", n); ("M", m) ], f)
+    | "warpAffine" ->
+        let f, _ = Image.warp_affine () in
+        Schedules.dist_warp_affine f ~n ~m ~nodes;
+        ([ ("N", n); ("M", m) ], f)
+    | "gaussian" ->
+        let f, _, _ = Image.gaussian () in
+        Schedules.dist_gaussian f ~n ~m ~nodes;
+        ([ ("N", n); ("M", m) ], f)
+    | "nb" ->
+        let f, _, _, _, _ = Image.nb () in
+        Schedules.dist_nb f ~n ~m ~nodes;
+        ([ ("N", n); ("M", m) ], f)
+    | "edgeDetect" ->
+        let f, _, _ = Image.edge_detector () in
+        Schedules.dist_edge_detector f ~n ~nodes;
+        ([ ("N", n) ], f)
+    | "ticket#2373" ->
+        let f, _ = Image.ticket2373 () in
+        Schedules.dist_ticket2373 f ~n ~nodes;
+        ([ ("N", n) ], f)
+    | _ -> invalid_arg "fig7"
+  in
+  Common.model_ms fn params
+
+let benches =
+  [ "edgeDetect"; "conv2D"; "cvtColor"; "gaussian"; "nb"; "warpAffine";
+    "ticket#2373" ]
+
+let node_counts = [ 2; 4; 8; 16 ]
+
+let run () =
+  Printf.printf
+    "\nFig. 7: distributed strong scaling (speedup over 2 nodes)\n\n";
+  Printf.printf "  %-12s" "bench";
+  List.iter (fun k -> Printf.printf " %8d" k) node_counts;
+  Printf.printf "\n";
+  List.iter
+    (fun b ->
+      let times = List.map (fun k -> dist_time b ~nodes:k) node_counts in
+      let base = List.hd times in
+      Printf.printf "  %-12s" b;
+      List.iter (fun t -> Printf.printf " %8.2f" (base /. t)) times;
+      Printf.printf "\n")
+    benches

@@ -1,0 +1,24 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (CGO'19).  Run with no argument for everything, or with a
+   subset of: fig1 table1 fig5 fig6 fig7 micro. *)
+
+let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro" ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with [] | [ _ ] -> all | _ :: rest -> rest
+  in
+  List.iter
+    (fun name ->
+      match name with
+      | "fig1" -> Fig1.run ()
+      | "table1" -> Table1.run ()
+      | "fig5" -> Fig5.run ()
+      | "fig6" -> Fig6.run ()
+      | "fig7" -> Fig7.run ()
+      | "micro" -> Micro.run ()
+      | other ->
+          Printf.eprintf "unknown benchmark %s (available: %s)\n" other
+            (String.concat " " all);
+          exit 1)
+    requested

@@ -1,0 +1,86 @@
+(* Bechamel wall-clock micro-benchmarks of the *generated code itself*
+   (executed by the reference interpreter) at reduced sizes — one Test.make
+   per paper artifact, demonstrating that the compiled pipelines actually
+   run end-to-end.  Absolute times are interpreter times, not native times;
+   the paper-shape numbers come from the machine model (fig1/fig5/fig6/
+   fig7). *)
+
+open Bechamel
+open Toolkit
+open Tiramisu_kernels
+
+let img3 (idx : int array) =
+  float_of_int (((idx.(0) * 13) + (idx.(1) * 7) + (idx.(2) * 3)) mod 31) /. 7.0
+
+let am (idx : int array) =
+  float_of_int (((idx.(0) * 7) + (idx.(1) * 3)) mod 11) /. 4.0
+
+let run_fn fn params inputs =
+  let thunk = Runner.prepare ~fn ~params ~inputs in
+  fun () -> ignore (thunk ())
+
+let test_of name build =
+  Test.make ~name (Staged.stage (build ()))
+
+let tests () =
+  let blur_naive =
+    let f, _, _ = Image.blur () in
+    run_fn f [ ("N", 64); ("M", 48) ] [ ("img", img3) ]
+  in
+  let blur_sched =
+    let f, _, _ = Image.blur () in
+    Schedules.cpu_blur ~t:8 f;
+    run_fn f [ ("N", 64); ("M", 48) ] [ ("img", img3) ]
+  in
+  let nb_unfused =
+    let f, _, _, _, _ = Image.nb () in
+    Schedules.cpu_nb ~fuse:false f;
+    run_fn f [ ("N", 64); ("M", 48) ] [ ("img", img3) ]
+  in
+  let nb_fused =
+    let f, _, _, _, _ = Image.nb () in
+    Schedules.cpu_nb ~fuse:true f;
+    run_fn f [ ("N", 64); ("M", 48) ] [ ("img", img3) ]
+  in
+  let gemm_naive =
+    let f, _, _ = Linalg.sgemm () in
+    run_fn f [ ("S", 32) ] [ ("A", am); ("B", am); ("C0", am) ]
+  in
+  let gemm_tuned =
+    let f, _, _ = Linalg.sgemm () in
+    Linalg.sgemm_tuned ~bi:8 ~bj:8 ~bk:8 ~vec:4 ~unr:4 f;
+    run_fn f [ ("S", 32) ] [ ("A", am); ("B", am); ("C0", am) ]
+  in
+  Test.make_grouped ~name:"generated-code"
+    [
+      Test.make ~name:"fig3/blur-unscheduled" (Staged.stage blur_naive);
+      Test.make ~name:"fig3/blur-tiled+compute_at" (Staged.stage blur_sched);
+      Test.make ~name:"fig6/nb-unfused" (Staged.stage nb_unfused);
+      Test.make ~name:"fig6/nb-fused" (Staged.stage nb_fused);
+      Test.make ~name:"fig1/sgemm-naive" (Staged.stage gemm_naive);
+      Test.make ~name:"fig1/sgemm-tuned" (Staged.stage gemm_tuned);
+    ]
+
+let run () =
+  Printf.printf
+    "\nBechamel micro-benchmarks (interpreted generated code, reduced \
+     sizes)\n\n";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results =
+    List.map (fun i -> Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) i raw) instances
+  in
+  let results = Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]) instances results in
+  Hashtbl.iter
+    (fun _instance tbl ->
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+              Printf.printf "  %-32s %12.3f us/run\n" name (est /. 1e3)
+          | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+        tbl)
+    results
+
+let _ = test_of

@@ -1,0 +1,1 @@
+examples/distributed_blur.ml: Array Float Image List Printf Runner Schedules Tiramisu_backends Tiramisu_core Tiramisu_kernels

@@ -1,0 +1,1 @@
+examples/edge_detector.ml: Array Expr Ir Printf Tiramisu Tiramisu_backends Tiramisu_core Tiramisu_deps Tiramisu_halide Tiramisu_kernels

@@ -1,0 +1,1 @@
+examples/gemm_tuning.ml: Array Linalg List Printf Runner Tiramisu_backends Tiramisu_kernels

@@ -1,0 +1,1 @@
+examples/gpu_blur.ml: Array Format Image List Printf Runner Schedules String Tiramisu_backends Tiramisu_codegen Tiramisu_core Tiramisu_kernels

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Aff Array Expr Float Format Lower Printf Tiramisu Tiramisu_backends Tiramisu_core Tiramisu_deps Tiramisu_kernels Tiramisu_presburger

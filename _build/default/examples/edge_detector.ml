@@ -1,0 +1,57 @@
+(* edgeDetector (§VI-B): a ring blur followed by Roberts edge detection,
+   writing the result back into the image buffer — a cyclic memory dataflow
+   that the interval-based Halide baseline rejects, while the polyhedral
+   representation handles it naturally.  Also demonstrates exact dependence
+   analysis certifying a skewed schedule Halide cannot express at all.
+
+   Run with: dune exec examples/edge_detector.exe *)
+
+open Tiramisu_core
+module B = Tiramisu_backends
+module D = Tiramisu_deps.Deps
+module H = Tiramisu_halide.Halide
+
+let () =
+  (* Tiramisu side: builds, schedules and runs. *)
+  let f, r, _ = Tiramisu_kernels.Image.edge_detector () in
+  Tiramisu_kernels.Schedules.cpu_edge_detector f;
+  Printf.printf "tiramisu: cyclic in-place pipeline lowered fine; legality: %s\n"
+    (if D.check_legality f = [] then "all dependences preserved" else "BUG");
+  let n = 16 in
+  let interp =
+    Tiramisu_kernels.Runner.run ~fn:f ~params:[ ("N", n) ]
+      ~inputs:
+        [ ("img", fun idx -> float_of_int (((idx.(0) * 3) + idx.(1)) mod 7)) ]
+  in
+  Printf.printf "tiramisu: executed; edges[2][2] = %g\n"
+    (B.Buffers.get (B.Interp.buffer interp "img") [| 2; 2 |]);
+
+  (* Halide side: the same in-place pattern is rejected. *)
+  let p = H.pipeline "hedge" in
+  let img = H.input p "img" 2 in
+  let hr =
+    H.func p "r" [ "i"; "j" ]
+      Expr.(Ir.Access_e ("img", [ iter "i"; iter "j" ]) /: float 8.0)
+  in
+  (match H.store_in_input hr img with
+  | () -> print_endline "halide: accepted (unexpected!)"
+  | exception H.Unsupported msg -> Printf.printf "halide: rejected — %s\n" msg);
+
+  (* Skewing: legal on the blur stage thanks to dependence analysis; not
+     expressible in an interval-based scheduler at all. *)
+  let f2, r2, _ = Tiramisu_kernels.Image.edge_detector () in
+  ignore r;
+  Tiramisu.skew r2 "i" "j" 1;
+  Printf.printf "skewed schedule legality: %s\n"
+    (if D.check_legality f2 = [] then "legal (certified by dependence \
+                                       analysis)"
+     else "illegal");
+  let interp2 =
+    Tiramisu_kernels.Runner.run ~fn:f2 ~params:[ ("N", n) ]
+      ~inputs:
+        [ ("img", fun idx -> float_of_int (((idx.(0) * 3) + idx.(1)) mod 7)) ]
+  in
+  Printf.printf "skewed execution matches: %b\n"
+    (B.Buffers.equal
+       (B.Interp.buffer interp "img")
+       (B.Interp.buffer interp2 "img"))

@@ -1,0 +1,1 @@
+lib/autosched/autosched.ml: Array Expr Ir List Lower Schedule Tiramisu Tiramisu_core Tiramisu_deps Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/autosched/autosched.mli: Tiramisu_core

@@ -1,0 +1,158 @@
+open Tiramisu_core
+open Ir
+module D = Tiramisu_deps.Deps
+module T = Tiramisu
+
+type profile = {
+  ps_name : string;
+  tiles : bool;
+  tile_size : int;
+  vectorizes : bool;
+  moves_deps_inner : bool;
+  gpu : bool;
+  gpu_tile : int;
+  gpu_constant_mem : bool;
+  good_thread_map : bool;
+}
+
+let pluto =
+  { ps_name = "Pluto"; tiles = true; tile_size = 32; vectorizes = false;
+    moves_deps_inner = true; gpu = false; gpu_tile = 0;
+    gpu_constant_mem = false; good_thread_map = false }
+
+let polly = { pluto with ps_name = "Polly"; tile_size = 64 }
+let pencil_cpu = { pluto with ps_name = "PENCIL" }
+
+let pencil_gpu =
+  { pluto with ps_name = "PENCIL-GPU"; tiles = false; gpu = true;
+    gpu_tile = 24 (* non-divisor: divergent guards in the kernel *) }
+
+let alphaz =
+  (* Scheduling language, used here with a tiling-only recipe. *)
+  { pluto with ps_name = "AlphaZ"; moves_deps_inner = false; tile_size = 16 }
+
+let tc =
+  (* Tensor Comprehensions: autotuned mapper finds the coalescing-friendly
+     thread order but favours small blocks; no constant-memory placement. *)
+  { ps_name = "TC"; tiles = false; tile_size = 0; vectorizes = false;
+    moves_deps_inner = false; gpu = true; gpu_tile = 8;
+    gpu_constant_mem = false; good_thread_map = true }
+
+(* Dependence "distance" carried by each iterator of a computation: the
+   largest |constant offset| over its stencil accesses along that dim. *)
+let dep_distances fn (c : computation) =
+  let offsets = Array.make (List.length c.iters) 0 in
+  List.iter
+    (fun (pname, idx) ->
+      match
+        List.find_opt
+          (fun (p : computation) -> p.comp_name = pname && p.kind = Regular)
+          fn.comps
+      with
+      | None -> ()
+      | Some _ ->
+          List.iteri
+            (fun k (e : Ir.expr) ->
+              if k < Array.length offsets then
+                match Expr.to_aff ~iters:c.iters ~params:fn.params e with
+                | Some a ->
+                    let const = abs (Tiramisu_presburger.Aff.constant_part a) in
+                    offsets.(k) <- max offsets.(k) const
+                | None ->
+                    (* clamped stencil: treat as distance 2 *)
+                    offsets.(k) <- max offsets.(k) 2)
+            idx)
+    (Expr.accesses (Lower.expand fn c.expr));
+  offsets
+
+(* Move the dimension with the largest dependence distance innermost, one
+   legality-checked interchange at a time (revert if a dependence is
+   violated). *)
+let sink_dep_dims fn (c : computation) =
+  let dist = dep_distances fn c in
+  let dyn () = List.map (fun d -> d.d_name) (dyn_dims c.sched) in
+  let names = dyn () in
+  let n = List.length names in
+  if n >= 2 then begin
+    (* index of max-distance dim *)
+    let best = ref 0 in
+    Array.iteri (fun k v -> if v > dist.(!best) then best := k) dist;
+    if dist.(!best) > 0 && !best < n - 1 then begin
+      let name = List.nth names !best in
+      (* bubble it to the innermost position *)
+      let rec bubble () =
+        let names = dyn () in
+        match List.find_index (( = ) name) names with
+        | Some k when k < List.length names - 1 ->
+            let next = List.nth names (k + 1) in
+            T.interchange c name next;
+            if D.check_legality fn <> [] then
+              (* illegal: revert and stop *)
+              T.interchange c name next
+            else bubble ()
+        | _ -> ()
+      in
+      bubble ()
+    end
+  end
+
+let schedule_comp profile fn (c : computation) =
+  if profile.moves_deps_inner then sink_dep_dims fn c;
+  let dyn () = List.map (fun d -> d.d_name) (dyn_dims c.sched) in
+  let names = dyn () in
+  match names with
+  | [] -> ()
+  | first :: rest ->
+      if profile.gpu then begin
+        match rest with
+        | second :: _ ->
+            T.tile c first second profile.gpu_tile profile.gpu_tile
+              (first ^ "0") (second ^ "0") (first ^ "1") (second ^ "1");
+            if profile.good_thread_map then
+              (* autotuned mapping: thread-x on the contiguous dim *)
+              T.gpu c
+                [ second ^ "0"; first ^ "0" ]
+                [ second ^ "1"; first ^ "1" ]
+            else
+              (* naive mapping: thread-x on the outer (row) dim — the
+                 uncoalesced accesses behind PENCIL's GPU gap *)
+              T.gpu c
+                [ first ^ "0"; second ^ "0" ]
+                [ first ^ "1"; second ^ "1" ]
+        | [] -> T.parallelize c first
+      end
+      else begin
+        (match rest with
+        | second :: _ when profile.tiles ->
+            T.tile c first second profile.tile_size profile.tile_size
+              (first ^ "0") (second ^ "0") (first ^ "1") (second ^ "1");
+            T.parallelize c (first ^ "0")
+        | _ -> T.parallelize c first);
+        if profile.vectorizes then
+          match List.rev (dyn ()) with
+          | inner :: _ -> T.vectorize c inner 8
+          | [] -> ()
+      end
+
+let apply profile fn =
+  let regs =
+    List.filter
+      (fun (c : computation) -> c.kind = Regular && not c.inlined)
+      fn.comps
+  in
+  List.iter (schedule_comp profile fn) regs;
+  if profile.gpu then begin
+    (* bracket with host/device copies like the hand-written GPU schedules *)
+    List.iteri
+      (fun k (c : computation) ->
+        if c.kind = Input then begin
+          let cp = T.host_to_device fn c in
+          Schedule.set_static cp.sched 0 (-20 + k)
+        end)
+      fn.comps;
+    match List.rev regs with
+    | last :: _ ->
+        let cp = T.device_to_host fn last in
+        Schedule.set_static cp.sched 0 2000
+    | [] -> ()
+  end

@@ -1,0 +1,43 @@
+(** Fully automatic polyhedral scheduling — the Pluto-algorithm baseline
+    (§II-a) used by Pluto, PENCIL and Polly, with per-system capability
+    profiles for the Fig. 1 / Fig. 6 comparisons.
+
+    The (simplified) objective is the one the paper critiques: minimize the
+    distance between producer and consumer statements and maximize outermost
+    parallelism — without considering data layout, spatial locality, or the
+    control overhead of the generated code.  Concretely:
+
+    + dimensions carrying dependences are moved innermost (legality-checked
+      with the shared dependence analysis, reverting illegal moves);
+    + the two outermost dimensions are tiled when the profile supports it;
+    + the outermost loop is parallelized;
+    + vectorization, unrolling, array packing and register blocking are
+      {e never} applied — the key optimizations these compilers lack
+      (§II-a) — unless the profile says otherwise. *)
+
+type profile = {
+  ps_name : string;
+  tiles : bool;
+  tile_size : int;
+  vectorizes : bool;         (** TC's autotuner does vectorize-ish mapping *)
+  moves_deps_inner : bool;   (** the fusion-distance objective *)
+  gpu : bool;
+  gpu_tile : int;            (** thread-block edge; a non-divisor of typical
+                                 sizes yields divergent guards (PENCIL's
+                                 "unnecessarily complicated control flow") *)
+  gpu_constant_mem : bool;
+  good_thread_map : bool;
+      (** thread-x on the contiguous dimension (coalescing) *)
+}
+
+val pluto : profile
+val polly : profile
+val pencil_cpu : profile
+val pencil_gpu : profile
+val alphaz : profile
+val tc : profile
+
+val apply : profile -> Tiramisu_core.Ir.fn -> unit
+(** Schedule every regular computation of the pipeline according to the
+    profile.  CPU profiles produce CPU code; GPU profiles map the two
+    outermost dimensions to the GPU grid. *)

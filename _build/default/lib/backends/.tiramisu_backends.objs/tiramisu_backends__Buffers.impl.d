@@ -1,0 +1,1 @@
+lib/backends/buffers.ml: Array Float Printf Tiramisu_codegen

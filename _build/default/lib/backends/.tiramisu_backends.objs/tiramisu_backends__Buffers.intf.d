@@ -1,0 +1,1 @@
+lib/backends/buffers.mli: Tiramisu_codegen

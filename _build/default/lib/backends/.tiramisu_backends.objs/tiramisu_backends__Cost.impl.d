@@ -1,0 +1,1 @@
+lib/backends/cost.ml: Array Float Format Hashtbl List Machine Option Tiramisu_codegen Tiramisu_support

@@ -1,0 +1,1 @@
+lib/backends/cost.mli: Format Machine Tiramisu_codegen

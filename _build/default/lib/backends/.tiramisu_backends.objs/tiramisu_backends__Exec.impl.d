@@ -1,0 +1,1 @@
+lib/backends/exec.ml: Array Buffers Domain Float Hashtbl List Loop_ir Mutex Printf Queue Tiramisu_codegen Tiramisu_support Unix

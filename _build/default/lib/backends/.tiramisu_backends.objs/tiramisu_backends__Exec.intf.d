@@ -1,0 +1,1 @@
+lib/backends/exec.mli: Buffers Tiramisu_codegen

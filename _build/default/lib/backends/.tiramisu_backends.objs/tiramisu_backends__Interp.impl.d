@@ -1,0 +1,1 @@
+lib/backends/interp.ml: Array Buffers Float Hashtbl List Loop_ir Option Printf Queue String Tiramisu_codegen Tiramisu_support

@@ -1,0 +1,1 @@
+lib/backends/interp.mli: Buffers Tiramisu_codegen

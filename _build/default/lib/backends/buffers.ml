@@ -1,0 +1,60 @@
+type t = {
+  name : string;
+  dims : int array;
+  data : float array;
+  mem : Tiramisu_codegen.Loop_ir.mem_space;
+}
+
+let size_of dims = Array.fold_left ( * ) 1 dims
+
+let create ?(mem = Tiramisu_codegen.Loop_ir.Host) name dims =
+  { name; dims; data = Array.make (size_of dims) 0.0; mem }
+
+let of_array ?(mem = Tiramisu_codegen.Loop_ir.Host) name dims data =
+  if Array.length data <> size_of dims then
+    invalid_arg "Buffers.of_array: size mismatch";
+  { name; dims; data; mem }
+
+let size b = Array.length b.data
+
+let flat_index b idx =
+  if Array.length idx <> Array.length b.dims then
+    invalid_arg
+      (Printf.sprintf "buffer %s: rank %d access on rank %d buffer" b.name
+         (Array.length idx) (Array.length b.dims));
+  let acc = ref 0 in
+  Array.iteri
+    (fun k i ->
+      if i < 0 || i >= b.dims.(k) then
+        invalid_arg
+          (Printf.sprintf "buffer %s: index %d out of bounds [0,%d) at dim %d"
+             b.name i b.dims.(k) k);
+      acc := (!acc * b.dims.(k)) + i)
+    idx;
+  !acc
+
+let get b idx = b.data.(flat_index b idx)
+let set b idx v = b.data.(flat_index b idx) <- v
+
+let fill b f =
+  let rank = Array.length b.dims in
+  let idx = Array.make rank 0 in
+  let n = size b in
+  for flat = 0 to n - 1 do
+    let r = ref flat in
+    for k = rank - 1 downto 0 do
+      idx.(k) <- !r mod b.dims.(k);
+      r := !r / b.dims.(k)
+    done;
+    b.data.(flat) <- f idx
+  done
+
+let copy b = { b with data = Array.copy b.data }
+
+let max_abs_diff a b =
+  if size a <> size b then invalid_arg "Buffers.max_abs_diff: size mismatch";
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.data.(i)))) a.data;
+  !m
+
+let equal ?(eps = 1e-4) a b = size a = size b && max_abs_diff a b <= eps

@@ -1,0 +1,31 @@
+(** Runtime buffers for the executing backends.
+
+    All numeric data is stored as [float array] in row-major order (the
+    paper's buffers are dense rectangular arrays); integer-typed buffers
+    store integral floats. *)
+
+type t = {
+  name : string;
+  dims : int array;
+  data : float array;
+  mem : Tiramisu_codegen.Loop_ir.mem_space;
+}
+
+val create :
+  ?mem:Tiramisu_codegen.Loop_ir.mem_space -> string -> int array -> t
+
+val of_array :
+  ?mem:Tiramisu_codegen.Loop_ir.mem_space -> string -> int array ->
+  float array -> t
+
+val size : t -> int
+val flat_index : t -> int array -> int
+(** @raise Invalid_argument on out-of-bounds access, mirroring the assertion
+    failures Halide's ticket #2373 reproduction relies on. *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+val fill : t -> (int array -> float) -> unit
+val copy : t -> t
+val equal : ?eps:float -> t -> t -> bool
+val max_abs_diff : t -> t -> float

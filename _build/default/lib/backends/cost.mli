@@ -1,0 +1,35 @@
+(** Analytical performance model over the loop IR.
+
+    Walks generated code once, binding every loop variable to a
+    representative iteration, and scores compute (vector width, GPU
+    throughput), memory (stride + working-set cache placement), control
+    overhead (guards, loop control, unrolling) and communication (α–β
+    network model, PCIe copies).  This replaces wall-clock measurement on the
+    paper's testbed: schedule differences — tiling, packing, fusion,
+    vectorization, coalescing, communication volume — change exactly the
+    quantities the model scores, so relative results track the paper's.
+
+    It is a model, not a cycle-accurate simulator; see EXPERIMENTS.md for
+    the calibration notes and per-figure comparisons. *)
+
+type report = {
+  time_ns : float;      (** total estimated wall-clock *)
+  compute_ns : float;
+  memory_ns : float;
+  overhead_ns : float;  (** loop control + branches + parallel regions *)
+  comm_ns : float;      (** network + PCIe *)
+  flops : float;
+  bytes : float;        (** bytes moved past the L1 *)
+  messages : int;
+}
+
+val estimate :
+  ?machine:Machine.t ->
+  params:(string * int) list ->
+  buffers:(string * int array * Tiramisu_codegen.Loop_ir.mem_space) list ->
+  Tiramisu_codegen.Loop_ir.stmt ->
+  report
+(** [buffers] gives each buffer's dimensions and memory space (for stride,
+    footprint and GPU memory-hierarchy computation). *)
+
+val pp_report : Format.formatter -> report -> unit

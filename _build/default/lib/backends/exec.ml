@@ -1,0 +1,344 @@
+open Tiramisu_codegen
+module L = Loop_ir
+
+(* Compiled code operates on a register file of integers (loop variables and
+   parameters), one slot per name; closures capture slot indices. *)
+
+type compiled = {
+  body : int array -> unit;
+  regs0 : int array;             (* initial register file (params bound) *)
+  bufs : (string, Buffers.t) Hashtbl.t;
+}
+
+type ctx = {
+  slots : (string, int) Hashtbl.t;
+  mutable nslots : int;
+  cbufs : (string, Buffers.t) Hashtbl.t;
+  channels : (int * int, float array Queue.t) Hashtbl.t;
+  chan_mutex : Mutex.t;
+  rank_slot : int;
+}
+
+let slot ctx name =
+  match Hashtbl.find_opt ctx.slots name with
+  | Some s -> s
+  | None ->
+      let s = ctx.nslots in
+      ctx.nslots <- ctx.nslots + 1;
+      Hashtbl.replace ctx.slots name s;
+      s
+
+let buf ctx name =
+  match Hashtbl.find_opt ctx.cbufs name with
+  | Some b -> b
+  | None -> failwith (Printf.sprintf "Exec: unknown buffer %s" name)
+
+(* Flat index closure with a single bounds check against the buffer size;
+   per-dimension checks are the interpreter's job. *)
+let index_fn (b : Buffers.t) (idx : (int array -> int) array) =
+  let dims = b.Buffers.dims in
+  let rank = Array.length dims in
+  if Array.length idx <> rank then
+    failwith (Printf.sprintf "Exec: rank mismatch on %s" b.Buffers.name);
+  let strides = Array.make rank 1 in
+  for k = rank - 2 downto 0 do
+    strides.(k) <- strides.(k + 1) * dims.(k + 1)
+  done;
+  let total = Array.length b.Buffers.data in
+  fun env ->
+    let acc = ref 0 in
+    for k = 0 to rank - 1 do
+      let i = idx.(k) env in
+      if i < 0 || i >= dims.(k) then
+        invalid_arg
+          (Printf.sprintf "buffer %s: index %d out of bounds [0,%d) at dim %d"
+             b.Buffers.name i dims.(k) k);
+      acc := !acc + (i * strides.(k))
+    done;
+    if !acc >= total then invalid_arg "Exec: flat index out of range";
+    !acc
+
+let rec compile_int ctx (e : L.expr) : int array -> int =
+  match e with
+  | L.Int n -> fun _ -> n
+  | L.Float _ -> failwith "Exec: float in integer context"
+  | L.Var v ->
+      let s = slot ctx v in
+      fun env -> env.(s)
+  | L.Neg a ->
+      let f = compile_int ctx a in
+      fun env -> -f env
+  | L.Cast (L.I32, a) ->
+      let f = compile_f ctx a in
+      fun env -> int_of_float (f env)
+  | L.Cast (_, a) -> compile_int ctx a
+  | L.Load (b, idx) ->
+      let bb = buf ctx b in
+      let fidx = index_fn bb (Array.of_list (List.map (compile_int ctx) idx)) in
+      fun env -> int_of_float bb.Buffers.data.(fidx env)
+  | L.Select (c, a, b) ->
+      let fc = compile_cond ctx c
+      and fa = compile_int ctx a
+      and fb = compile_int ctx b in
+      fun env -> if fc env then fa env else fb env
+  | L.Call ("abs", [ a ]) ->
+      let f = compile_int ctx a in
+      fun env -> abs (f env)
+  | L.Call (f, _) -> failwith ("Exec: unknown int intrinsic " ^ f)
+  | L.Bin (op, a, b) -> (
+      let fa = compile_int ctx a and fb = compile_int ctx b in
+      match op with
+      | L.Add -> fun env -> fa env + fb env
+      | L.Sub -> fun env -> fa env - fb env
+      | L.Mul -> fun env -> fa env * fb env
+      | L.Div -> fun env -> fa env / fb env
+      | L.FloorDiv -> fun env -> Tiramisu_support.Ints.fdiv (fa env) (fb env)
+      | L.Mod -> fun env -> Tiramisu_support.Ints.emod (fa env) (fb env)
+      | L.MinOp -> fun env -> min (fa env) (fb env)
+      | L.MaxOp -> fun env -> max (fa env) (fb env))
+
+and compile_cond ctx (c : L.cond) : int array -> bool =
+  match c with
+  | L.True -> fun _ -> true
+  | L.And (a, b) ->
+      let fa = compile_cond ctx a and fb = compile_cond ctx b in
+      fun env -> fa env && fb env
+  | L.Or (a, b) ->
+      let fa = compile_cond ctx a and fb = compile_cond ctx b in
+      fun env -> fa env || fb env
+  | L.Not a ->
+      let f = compile_cond ctx a in
+      fun env -> not (f env)
+  | L.Cmp (op, a, b) -> (
+      let fa = compile_int ctx a and fb = compile_int ctx b in
+      match op with
+      | L.EqOp -> fun env -> fa env = fb env
+      | L.NeOp -> fun env -> fa env <> fb env
+      | L.LtOp -> fun env -> fa env < fb env
+      | L.LeOp -> fun env -> fa env <= fb env
+      | L.GtOp -> fun env -> fa env > fb env
+      | L.GeOp -> fun env -> fa env >= fb env)
+
+and compile_f ctx (e : L.expr) : int array -> float =
+  match e with
+  | L.Int n ->
+      let x = float_of_int n in
+      fun _ -> x
+  | L.Float f -> fun _ -> f
+  | L.Var v ->
+      let s = slot ctx v in
+      fun env -> float_of_int env.(s)
+  | L.Neg a ->
+      let f = compile_f ctx a in
+      fun env -> -.f env
+  | L.Cast (L.I32, a) ->
+      let f = compile_f ctx a in
+      fun env -> Float.of_int (int_of_float (f env))
+  | L.Cast (_, a) -> compile_f ctx a
+  | L.Load (b, idx) ->
+      let bb = buf ctx b in
+      let fidx = index_fn bb (Array.of_list (List.map (compile_int ctx) idx)) in
+      fun env -> bb.Buffers.data.(fidx env)
+  | L.Select (c, a, b) ->
+      let fc = compile_cond ctx c
+      and fa = compile_f ctx a
+      and fb = compile_f ctx b in
+      fun env -> if fc env then fa env else fb env
+  | L.Call (name, args) -> (
+      let fargs = List.map (compile_f ctx) args in
+      match (name, fargs) with
+      | "abs", [ a ] -> fun env -> Float.abs (a env)
+      | "sqrt", [ a ] -> fun env -> sqrt (a env)
+      | "exp", [ a ] -> fun env -> exp (a env)
+      | "log", [ a ] -> fun env -> log (a env)
+      | "sin", [ a ] -> fun env -> sin (a env)
+      | "cos", [ a ] -> fun env -> cos (a env)
+      | "floor", [ a ] -> fun env -> Float.round (a env -. 0.5)
+      | "pow", [ a; b ] -> fun env -> Float.pow (a env) (b env)
+      | "fmin", [ a; b ] -> fun env -> Float.min (a env) (b env)
+      | "fmax", [ a; b ] -> fun env -> Float.max (a env) (b env)
+      | "clamp", [ x; lo; hi ] ->
+          fun env -> Float.min (Float.max (x env) (lo env)) (hi env)
+      | _ -> failwith ("Exec: unknown intrinsic " ^ name))
+  | L.Bin (op, a, b) -> (
+      let fa = compile_f ctx a and fb = compile_f ctx b in
+      match op with
+      | L.Add -> fun env -> fa env +. fb env
+      | L.Sub -> fun env -> fa env -. fb env
+      | L.Mul -> fun env -> fa env *. fb env
+      | L.Div -> fun env -> fa env /. fb env
+      | L.FloorDiv ->
+          fun env ->
+            Float.of_int
+              (Tiramisu_support.Ints.fdiv (int_of_float (fa env))
+                 (int_of_float (fb env)))
+      | L.Mod ->
+          fun env ->
+            Float.of_int
+              (Tiramisu_support.Ints.emod (int_of_float (fa env))
+                 (int_of_float (fb env)))
+      | L.MinOp -> fun env -> Float.min (fa env) (fb env)
+      | L.MaxOp -> fun env -> Float.max (fa env) (fb env))
+
+let flat_offset (b : Buffers.t) (idx : (int array -> int) list) env =
+  let dims = b.Buffers.dims in
+  let n = Array.length dims in
+  let acc = ref 0 in
+  List.iteri
+    (fun k f ->
+      let stride = ref 1 in
+      for d = k + 1 to n - 1 do
+        stride := !stride * dims.(d)
+      done;
+      acc := !acc + (f env * !stride))
+    idx;
+  !acc
+
+let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
+  match s with
+  | L.Block l ->
+      let fs = Array.of_list (List.map (compile_stmt ctx) l) in
+      fun env -> Array.iter (fun f -> f env) fs
+  | L.Comment _ | L.Barrier -> fun _ -> ()
+  | L.If (c, t, e) -> (
+      let fc = compile_cond ctx c and ft = compile_stmt ctx t in
+      match e with
+      | None -> fun env -> if fc env then ft env
+      | Some e ->
+          let fe = compile_stmt ctx e in
+          fun env -> if fc env then ft env else fe env)
+  | L.Store (b, idx, v) ->
+      let bb = buf ctx b in
+      let fidx = index_fn bb (Array.of_list (List.map (compile_int ctx) idx)) in
+      let fv = compile_f ctx v in
+      fun env -> bb.Buffers.data.(fidx env) <- fv env
+  | L.Alloc _ ->
+      (* Scoped allocations capture buffers by reference at compile time;
+         re-sizing per entry would need re-compilation. The reference
+         interpreter handles these pipelines. *)
+      failwith "Exec: scoped Alloc not supported; use the interpreter" 
+  | L.For { var; lo; hi; tag = L.Parallel; body } ->
+      let s = slot ctx var in
+      let flo = compile_int ctx lo and fhi = compile_int ctx hi in
+      let fbody = compile_stmt ctx body in
+      fun env ->
+        let lo = flo env and hi = fhi env in
+        let extent = hi - lo + 1 in
+        if extent <= 0 then ()
+        else begin
+          let nd = min (Domain.recommended_domain_count ()) extent in
+          if nd <= 1 then
+            for x = lo to hi do
+              env.(s) <- x;
+              fbody env
+            done
+          else begin
+            let chunk = (extent + nd - 1) / nd in
+            let workers =
+              List.init nd (fun d ->
+                  Domain.spawn (fun () ->
+                      let env' = Array.copy env in
+                      let from = lo + (d * chunk) in
+                      let upto = min hi (from + chunk - 1) in
+                      for x = from to upto do
+                        env'.(s) <- x;
+                        fbody env'
+                      done))
+            in
+            List.iter Domain.join workers
+          end
+        end
+  | L.For { var; lo; hi; tag; body } ->
+      let s = slot ctx var in
+      let is_dist = tag = L.Distributed in
+      let flo = compile_int ctx lo and fhi = compile_int ctx hi in
+      let fbody = compile_stmt ctx body in
+      let rs = ctx.rank_slot in
+      fun env ->
+        let lo = flo env and hi = fhi env in
+        for x = lo to hi do
+          env.(s) <- x;
+          if is_dist then env.(rs) <- x;
+          fbody env
+        done
+  | L.Send { dst; buf = b; offset; count; _ } ->
+      let bb = buf ctx b in
+      let fdst = compile_int ctx dst in
+      let foffs = List.map (compile_int ctx) offset in
+      let fcount = compile_int ctx count in
+      let rs = ctx.rank_slot in
+      fun env ->
+        let payload =
+          Array.sub bb.Buffers.data (flat_offset bb foffs env) (fcount env)
+        in
+        Mutex.lock ctx.chan_mutex;
+        let key = (env.(rs), fdst env) in
+        let q =
+          match Hashtbl.find_opt ctx.channels key with
+          | Some q -> q
+          | None ->
+              let q = Queue.create () in
+              Hashtbl.replace ctx.channels key q;
+              q
+        in
+        Queue.push payload q;
+        Mutex.unlock ctx.chan_mutex
+  | L.Recv { src; buf = b; offset; count; _ } ->
+      let bb = buf ctx b in
+      let fsrc = compile_int ctx src in
+      let foffs = List.map (compile_int ctx) offset in
+      let fcount = compile_int ctx count in
+      let rs = ctx.rank_slot in
+      fun env ->
+        Mutex.lock ctx.chan_mutex;
+        let key = (fsrc env, env.(rs)) in
+        (match Hashtbl.find_opt ctx.channels key with
+        | Some q when not (Queue.is_empty q) ->
+            let payload = Queue.pop q in
+            Mutex.unlock ctx.chan_mutex;
+            if Array.length payload <> fcount env then
+              failwith "Exec: message size mismatch";
+            Array.blit payload 0 bb.Buffers.data (flat_offset bb foffs env)
+              (Array.length payload)
+        | _ ->
+            Mutex.unlock ctx.chan_mutex;
+            failwith "Exec: synchronous recv with no message (deadlock)")
+  | L.Memcpy { dst; src; _ } ->
+      let s = buf ctx src and d = buf ctx dst in
+      fun _ ->
+        if Buffers.size s <> Buffers.size d then
+          failwith "Exec: memcpy size mismatch";
+        Array.blit s.Buffers.data 0 d.Buffers.data 0 (Buffers.size s)
+
+let compile ~params ~buffers stmt =
+  let ctx =
+    {
+      slots = Hashtbl.create 32;
+      nslots = 0;
+      cbufs = Hashtbl.create 16;
+      channels = Hashtbl.create 16;
+      chan_mutex = Mutex.create ();
+      rank_slot = 0;
+    }
+  in
+  let rank_slot = slot ctx "__rank" in
+  assert (rank_slot = 0);
+  List.iter (fun b -> Hashtbl.replace ctx.cbufs b.Buffers.name b) buffers;
+  List.iter (fun (p, _) -> ignore (slot ctx p)) params;
+  let body = compile_stmt ctx stmt in
+  (* size the register file after compilation discovered all names *)
+  let regs0 = Array.make (max 1 ctx.nslots) 0 in
+  List.iter (fun (p, v) -> regs0.(Hashtbl.find ctx.slots p) <- v) params;
+  { body; regs0; bufs = ctx.cbufs }
+
+let run c = c.body (Array.copy c.regs0)
+
+let buffer c name =
+  match Hashtbl.find_opt c.bufs name with
+  | Some b -> b
+  | None -> failwith (Printf.sprintf "Exec: unknown buffer %s" name)
+
+let time_run c =
+  let t0 = Unix.gettimeofday () in
+  run c;
+  Unix.gettimeofday () -. t0

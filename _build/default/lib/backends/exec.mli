@@ -1,0 +1,31 @@
+(** Closure-compiling native executor.
+
+    Where the paper lowers its AST to LLVM IR (§V-A), this backend compiles
+    the loop IR once into nested OCaml closures — eliminating the
+    interpreter's dispatch overhead — and executes [Parallel]-tagged loops
+    on real cores with OCaml 5 domains.  It is the wall-clock backend: the
+    reference {!Interp} stays the semantics oracle, and the two are checked
+    against each other in the test-suite.
+
+    GPU-tagged loops run as ordinary loops (a functional grid simulation);
+    distributed loops run rank-by-rank with in-memory channels, exactly as
+    in {!Interp}. *)
+
+type compiled
+
+val compile :
+  params:(string * int) list ->
+  buffers:Buffers.t list ->
+  Tiramisu_codegen.Loop_ir.stmt ->
+  compiled
+(** Compile once; buffers are captured by reference (re-fill between runs
+    to reuse). @raise Failure on constructs the executor does not support. *)
+
+val run : compiled -> unit
+(** Execute. Parallel loops use [Domain.spawn] when more than one core is
+    available. *)
+
+val buffer : compiled -> string -> Buffers.t
+
+val time_run : compiled -> float
+(** Wall-clock seconds of one execution. *)

@@ -1,0 +1,44 @@
+(** Reference interpreter for the loop IR.
+
+    Executes generated code sequentially with exact reference semantics
+    (parallel, vectorized and GPU-tagged loops run as ordinary loops; the
+    mapping only affects the performance models).  This is the oracle the
+    test-suite uses to check that every schedule-transformed program still
+    computes what its Layer-I algorithm specifies.
+
+    Distributed programs: [Distributed]-tagged loops iterate over ranks in
+    increasing order within a single process, with sends and receives moving
+    data through in-memory channels; a synchronous receive with no matching
+    message raises (the real-MPI deadlock analogue).  Per-rank timing is the
+    job of {!Dist_sim}. *)
+
+type counters = {
+  mutable flops : int;         (** arithmetic on loaded values *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable iterations : int;    (** loop-body executions *)
+  mutable messages : int;
+  mutable bytes_sent : int;
+}
+
+type t
+
+val create :
+  ?params:(string * int) list ->
+  ?buffers:Buffers.t list ->
+  unit -> t
+
+val add_buffer : t -> Buffers.t -> unit
+val buffer : t -> string -> Buffers.t
+val counters : t -> counters
+
+val on_store : t -> (string -> int array -> float -> unit) -> unit
+(** Register a hook called at every store, in execution order — the
+    visit-trace oracle for AST-generation tests. *)
+
+val run : t -> Tiramisu_codegen.Loop_ir.stmt -> unit
+(** @raise Failure on a synchronous receive with no matching message or on
+    reads of undeclared buffers. *)
+
+val eval_expr : t -> Tiramisu_codegen.Loop_ir.expr -> float
+(** Evaluate a closed expression (no loop variables) — exposed for tests. *)

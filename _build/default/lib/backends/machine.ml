@@ -1,0 +1,80 @@
+type gpu = {
+  sms : int;
+  warp : int;
+  max_threads_per_sm : int;
+  gflop_ns : float;
+  lat_global : float;
+  lat_coalesced : float;
+  lat_shared : float;
+  lat_constant : float;
+  divergence_penalty : float;
+  kernel_launch : float;
+  copy_bandwidth : float;
+}
+
+type net = {
+  alpha : float;
+  beta : float;
+}
+
+type t = {
+  name : string;
+  cores : int;
+  vec_width : int;
+  flop : float;
+  loop_overhead : float;
+  branch : float;
+  parallel_overhead : float;
+  cache_line : int;
+  l1 : int;
+  l2 : int;
+  l3 : int;
+  lat_l1 : float;
+  lat_l2 : float;
+  lat_l3 : float;
+  lat_mem : float;
+  mem_bw : float;   (* ns per byte of aggregate DRAM bandwidth *)
+  gpu : gpu;
+  net : net;
+}
+
+let tesla_k40 =
+  {
+    sms = 15;
+    warp = 32;
+    max_threads_per_sm = 2048;
+    gflop_ns = 0.0007;        (* ~1.4 Tflop/s single SM-aggregated scalar *)
+    lat_global = 2.0;
+    lat_coalesced = 0.08;
+    lat_shared = 0.04;
+    lat_constant = 0.02;
+    divergence_penalty = 1.8;
+    kernel_launch = 8_000.0;
+    copy_bandwidth = 10.0;    (* GB/s PCIe gen3 *)
+  }
+
+let infiniband = { alpha = 1_500.0; beta = 0.18 (* ~5.5 GB/s FDR *) }
+
+let xeon_e5_2680v3 =
+  {
+    name = "2x Xeon E5-2680v3";
+    cores = 24;
+    vec_width = 8;
+    flop = 0.4;               (* ~2.5 GHz, ~1 fp op issue per cycle *)
+    loop_overhead = 0.8;
+    branch = 0.6;
+    parallel_overhead = 4_000.0;
+    cache_line = 16;          (* 64B / 4B *)
+    l1 = 32 * 1024;
+    l2 = 256 * 1024;
+    l3 = 30 * 1024 * 1024;
+    lat_l1 = 0.4;
+    lat_l2 = 1.6;
+    lat_l3 = 8.0;
+    lat_mem = 30.0;
+    mem_bw = 1.0 /. 60.0;     (* ~60 GB/s aggregate *)
+    gpu = tesla_k40;
+    net = infiniband;
+  }
+
+let default = xeon_e5_2680v3

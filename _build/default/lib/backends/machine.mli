@@ -1,0 +1,56 @@
+(** Machine descriptions for the performance models.
+
+    The paper evaluates on dual-socket 24-core Xeon E5-2680v3 nodes (16 of
+    them, Infiniband) and an NVIDIA Tesla K40.  Since no such hardware exists
+    in this environment, the backends estimate execution time against these
+    analytical descriptions; all constants are in nanoseconds unless noted.
+    The *shape* of the paper's results (who wins, by what factor) is driven
+    by which optimizations a schedule expresses — vectorization, locality,
+    packing, fusion, communication volume — which is what the model scores. *)
+
+type gpu = {
+  sms : int;                  (** streaming multiprocessors *)
+  warp : int;                 (** threads per warp *)
+  max_threads_per_sm : int;
+  gflop_ns : float;           (** ns per scalar fp op at full throughput *)
+  lat_global : float;         (** ns per uncoalesced global access *)
+  lat_coalesced : float;      (** ns per element of a coalesced access *)
+  lat_shared : float;
+  lat_constant : float;       (** broadcast constant-cache hit *)
+  divergence_penalty : float; (** multiplier for guarded bodies *)
+  kernel_launch : float;      (** ns per launch *)
+  copy_bandwidth : float;     (** GB/s over PCIe *)
+}
+
+type net = {
+  alpha : float;              (** message latency, ns *)
+  beta : float;               (** ns per byte *)
+}
+
+type t = {
+  name : string;
+  cores : int;
+  vec_width : int;            (** f32 lanes (AVX2 = 8) *)
+  flop : float;               (** ns per scalar fp op *)
+  loop_overhead : float;      (** ns per loop iteration of control *)
+  branch : float;             (** ns per evaluated guard *)
+  parallel_overhead : float;  (** ns per parallel region entry *)
+  cache_line : int;           (** elements (f32) per line *)
+  l1 : int;                   (** bytes *)
+  l2 : int;
+  l3 : int;
+  lat_l1 : float;             (** ns per access *)
+  lat_l2 : float;
+  lat_l3 : float;
+  lat_mem : float;
+  mem_bw : float;             (** ns per byte of aggregate DRAM bandwidth *)
+  gpu : gpu;
+  net : net;
+}
+
+val xeon_e5_2680v3 : t
+(** The paper's CPU node (one of the 16-node cluster). *)
+
+val tesla_k40 : gpu
+val infiniband : net
+val default : t

@@ -1,0 +1,1 @@
+lib/codegen/ast_gen.ml: Array Hashtbl Iset List Loop_ir Option Poly Printf Space Tiramisu_presburger Tiramisu_support

@@ -1,0 +1,1 @@
+lib/codegen/ast_gen.mli: Loop_ir Tiramisu_presburger

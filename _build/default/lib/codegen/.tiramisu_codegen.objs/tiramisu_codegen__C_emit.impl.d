@@ -1,0 +1,1 @@
+lib/codegen/c_emit.ml: Array Buffer List Loop_ir Printf String

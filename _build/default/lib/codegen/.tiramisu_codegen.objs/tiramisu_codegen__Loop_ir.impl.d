@@ -1,0 +1,1 @@
+lib/codegen/loop_ir.ml: Format List Option Printf String Tiramisu_support

@@ -1,0 +1,1 @@
+lib/codegen/passes.ml: List Loop_ir Option

@@ -1,0 +1,1 @@
+lib/codegen/passes.mli: Loop_ir

@@ -1,0 +1,37 @@
+(** Polyhedral AST generation — the CLooG/isl-codegen replacement (§V-A).
+
+    Given a list of statements, each with a scheduled iteration set over a
+    common time-dimension space (Layer II/IV of the paper's IR), generates a
+    loop nest that visits every point of every set exactly once, following
+    the lexicographic order of the time tuples.
+
+    Static dimensions (those fixed to a constant in every statement) become
+    sequencing, dynamic dimensions become loops whose bounds are extracted by
+    (possibly over-approximating) Fourier–Motzkin projection; per-statement
+    guards — simplified against the accumulated context with exact emptiness
+    tests — restore exactness. *)
+
+type source = {
+  name : string;  (** statement name, used in diagnostics *)
+  sched : Tiramisu_presburger.Iset.t;
+      (** scheduled domain: tuple variables are the time dimensions *)
+  dim_names : string array;
+      (** suggested loop-variable name per time dimension *)
+  tags : Loop_ir.loop_tag array;  (** hardware tag per time dimension *)
+  emit : (int -> Loop_ir.expr) -> Loop_ir.stmt;
+      (** statement body builder; the callback maps a time-dimension index to
+          the loop variable (or constant) that holds its value *)
+}
+
+exception Unbounded of string
+(** Raised when a dynamic dimension of the named statement has no lower or
+    no upper bound — generated loops must be finite. *)
+
+val generate :
+  ?context:Tiramisu_presburger.Cstr.t list ->
+  params:string list ->
+  source list ->
+  Loop_ir.stmt
+(** [generate ~params sources] produces the full loop nest.  [context] may
+    carry assumptions on the parameters (e.g. [N >= 4]) used to simplify
+    guards.  All sources must share the parameter list and time arity. *)

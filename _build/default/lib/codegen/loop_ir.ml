@@ -1,0 +1,284 @@
+(* The imperative loop IR that polyhedral AST generation targets.
+
+   This plays the role LLVM IR (via Halide) plays in the paper's §V-A: the
+   common lowering target of the CPU, GPU and distributed backends.  Unlike
+   a textual IR it is directly executable by the backends (interpreter,
+   closure compiler, simulators) and printable as C-like source. *)
+
+type dtype = F32 | F64 | I32 | U8
+
+let dtype_name = function F32 -> "float" | F64 -> "double" | I32 -> "int32_t" | U8 -> "uint8_t"
+
+(* Where a buffer lives; mirrors Table II's tag_gpu_* commands and the
+   distributed local buffers. *)
+type mem_space =
+  | Host
+  | Gpu_global
+  | Gpu_shared
+  | Gpu_local
+  | Gpu_constant
+
+let mem_space_name = function
+  | Host -> "host"
+  | Gpu_global -> "global"
+  | Gpu_shared -> "shared"
+  | Gpu_local -> "local"
+  | Gpu_constant -> "constant"
+
+type binop = Add | Sub | Mul | Div | FloorDiv | Mod | MinOp | MaxOp
+
+type cmpop = EqOp | NeOp | LtOp | LeOp | GtOp | GeOp
+
+type expr =
+  | Int of int
+  | Float of float
+  | Var of string                     (* loop iterator or parameter *)
+  | Load of string * expr list        (* buffer, indices *)
+  | Bin of binop * expr * expr
+  | Neg of expr
+  | Cast of dtype * expr
+  | Select of cond * expr * expr
+  | Call of string * expr list        (* pure math intrinsics: abs, sqrt, ... *)
+
+and cond =
+  | True
+  | Cmp of cmpop * expr * expr
+  | And of cond * cond
+  | Or of cond * cond
+  | Not of cond
+
+(* How a loop dimension is mapped to hardware (Layer II space tags). *)
+type loop_tag =
+  | Seq
+  | Parallel                          (* cpu tag: shared-memory parallel *)
+  | Vectorized of int                 (* vec(s) *)
+  | Unrolled                          (* unroll *)
+  | Gpu_block of int                  (* gpuB, grid axis 0/1/2 *)
+  | Gpu_thread of int                 (* gpuT, thread axis 0/1/2 *)
+  | Distributed                       (* node tag: MPI rank dimension *)
+
+let tag_name = function
+  | Seq -> "for"
+  | Parallel -> "parallel for"
+  | Vectorized s -> Printf.sprintf "vectorized(%d) for" s
+  | Unrolled -> "unrolled for"
+  | Gpu_block a -> Printf.sprintf "GPUBlock.%c for" "xyz".[a]
+  | Gpu_thread a -> Printf.sprintf "GPUThread.%c for" "xyz".[a]
+  | Distributed -> "distributed for"
+
+type comm_props = { async : bool }
+
+type stmt =
+  | Block of stmt list
+  | For of { var : string; lo : expr; hi : expr; tag : loop_tag; body : stmt }
+    (* iterates var = lo .. hi inclusive *)
+  | If of cond * stmt * stmt option
+  | Store of string * expr list * expr
+  | Alloc of { buf : string; dtype : dtype; dims : expr list; mem : mem_space; body : stmt }
+    (* scoped allocation: freed when body exits — paper's allocate_at *)
+  | Barrier                            (* barrier_at: GPU block / node barrier *)
+  | Send of { dst : expr; buf : string; offset : expr list; count : expr; props : comm_props }
+  | Recv of { src : expr; buf : string; offset : expr list; count : expr; props : comm_props }
+  | Memcpy of { dst : string; src : string; direction : string }
+    (* whole-buffer host_to_device / device_to_host copies *)
+  | Comment of string
+
+(* ---------- constructors / helpers ---------- *)
+
+let block = function [ s ] -> s | l -> Block l
+let ( +! ) a b = Bin (Add, a, b)
+let ( -! ) a b = Bin (Sub, a, b)
+let ( *! ) a b = Bin (Mul, a, b)
+let int n = Int n
+
+let rec fold_min = function
+  | [] -> invalid_arg "fold_min: empty"
+  | [ e ] -> e
+  | e :: rest -> Bin (MinOp, e, fold_min rest)
+
+let rec fold_max = function
+  | [] -> invalid_arg "fold_max: empty"
+  | [ e ] -> e
+  | e :: rest -> Bin (MaxOp, e, fold_max rest)
+
+let conj = function
+  | [] -> True
+  | c :: rest -> List.fold_left (fun a b -> And (a, b)) c rest
+
+(* Constant folding & algebraic simplification, so emitted code (and golden
+   pseudocode tests) stay readable. *)
+let rec simplify_expr e =
+  match e with
+  | Int _ | Float _ | Var _ -> e
+  | Load (b, idx) -> Load (b, List.map simplify_expr idx)
+  | Neg a -> (
+      match simplify_expr a with
+      | Int n -> Int (-n)
+      | a' -> Neg a')
+  | Cast (t, a) -> Cast (t, simplify_expr a)
+  | Call (f, args) -> Call (f, List.map simplify_expr args)
+  | Select (c, a, b) -> (
+      match simplify_cond c with
+      | True -> simplify_expr a
+      | c' -> Select (c', simplify_expr a, simplify_expr b))
+  | Bin (op, a, b) -> (
+      let a = simplify_expr a and b = simplify_expr b in
+      match (op, a, b) with
+      | Add, Int x, Int y -> Int (x + y)
+      | Sub, Int x, Int y -> Int (x - y)
+      | Mul, Int x, Int y -> Int (x * y)
+      | FloorDiv, Int x, Int y when y <> 0 -> Int (Tiramisu_support.Ints.fdiv x y)
+      | Mod, Int x, Int y when y <> 0 -> Int (Tiramisu_support.Ints.emod x y)
+      | MinOp, Int x, Int y -> Int (min x y)
+      | MaxOp, Int x, Int y -> Int (max x y)
+      | Add, Int 0, e | Add, e, Int 0 -> e
+      | Sub, e, Int 0 -> e
+      | Mul, Int 1, e | Mul, e, Int 1 -> e
+      | Mul, Int 0, _ | Mul, _, Int 0 -> Int 0
+      | FloorDiv, e, Int 1 -> e
+      | MinOp, x, y when x = y -> x
+      | MaxOp, x, y when x = y -> x
+      | _ -> Bin (op, a, b))
+
+and simplify_cond c =
+  match c with
+  | True -> True
+  | Cmp (op, a, b) -> (
+      let a = simplify_expr a and b = simplify_expr b in
+      match (a, b) with
+      | Int x, Int y ->
+          let r =
+            match op with
+            | EqOp -> x = y | NeOp -> x <> y | LtOp -> x < y
+            | LeOp -> x <= y | GtOp -> x > y | GeOp -> x >= y
+          in
+          if r then True else Cmp (op, a, b)
+      | _ -> Cmp (op, a, b))
+  | And (_, _) ->
+      (* flatten, simplify and deduplicate the conjuncts *)
+      let rec conjuncts c =
+        match c with And (a, b) -> conjuncts a @ conjuncts b | c -> [ c ]
+      in
+      let parts =
+        List.filter (fun c -> c <> True)
+          (List.map simplify_cond (conjuncts c))
+      in
+      let parts =
+        List.fold_left
+          (fun acc c -> if List.mem c acc then acc else acc @ [ c ])
+          [] parts
+      in
+      (match parts with
+      | [] -> True
+      | c :: rest -> List.fold_left (fun a b -> And (a, b)) c rest)
+  | Or (a, b) -> (
+      match (simplify_cond a, simplify_cond b) with
+      | True, _ | _, True -> True
+      | a, b -> Or (a, b))
+  | Not a -> ( match simplify_cond a with Not b -> b | a -> Not a)
+
+let rec simplify_stmt s =
+  match s with
+  | Block l -> (
+      match List.filter (fun s -> s <> Block []) (List.map simplify_stmt l) with
+      | [ s ] -> s
+      | l -> Block l)
+  | For f ->
+      For { f with lo = simplify_expr f.lo; hi = simplify_expr f.hi;
+            body = simplify_stmt f.body }
+  | If (c, t, e) -> (
+      let t = simplify_stmt t and e = Option.map simplify_stmt e in
+      match simplify_cond c with
+      | True -> t
+      | c -> If (c, t, e))
+  | Store (b, idx, v) -> Store (b, List.map simplify_expr idx, simplify_expr v)
+  | Alloc a ->
+      Alloc { a with dims = List.map simplify_expr a.dims;
+              body = simplify_stmt a.body }
+  | Barrier | Comment _ | Memcpy _ -> s
+  | Send s' -> Send { s' with dst = simplify_expr s'.dst;
+                      offset = List.map simplify_expr s'.offset;
+                      count = simplify_expr s'.count }
+  | Recv r -> Recv { r with src = simplify_expr r.src;
+                     offset = List.map simplify_expr r.offset;
+                     count = simplify_expr r.count }
+
+(* ---------- pretty printing (paper-style pseudocode) ---------- *)
+
+let binop_str = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/"
+  | FloorDiv -> "/" | Mod -> "%" | MinOp -> "min" | MaxOp -> "max"
+
+let cmpop_str = function
+  | EqOp -> "==" | NeOp -> "!=" | LtOp -> "<" | LeOp -> "<="
+  | GtOp -> ">" | GeOp -> ">="
+
+let rec pp_expr ppf e =
+  match e with
+  | Int n -> Format.fprintf ppf "%d" n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Var v -> Format.fprintf ppf "%s" v
+  | Load (b, idx) ->
+      Format.fprintf ppf "%s%a" b pp_indices idx
+  | Bin ((MinOp | MaxOp) as op, a, b) ->
+      Format.fprintf ppf "%s(%a, %a)" (binop_str op) pp_expr a pp_expr b
+  | Bin (FloorDiv, a, b) ->
+      Format.fprintf ppf "floord(%a, %a)" pp_expr a pp_expr b
+  | Bin (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_str op) pp_expr b
+  | Neg a -> Format.fprintf ppf "(-%a)" pp_expr a
+  | Cast (t, a) -> Format.fprintf ppf "(%s)%a" (dtype_name t) pp_expr a
+  | Select (c, a, b) ->
+      Format.fprintf ppf "(%a ? %a : %a)" pp_cond c pp_expr a pp_expr b
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        args
+
+and pp_indices ppf idx =
+  List.iter (fun e -> Format.fprintf ppf "[%a]" pp_expr e) idx
+
+and pp_cond ppf c =
+  match c with
+  | True -> Format.fprintf ppf "true"
+  | Cmp (op, a, b) ->
+      Format.fprintf ppf "%a %s %a" pp_expr a (cmpop_str op) pp_expr b
+  | And (a, b) -> Format.fprintf ppf "%a && %a" pp_cond a pp_cond b
+  | Or (a, b) -> Format.fprintf ppf "(%a || %a)" pp_cond a pp_cond b
+  | Not a -> Format.fprintf ppf "!(%a)" pp_cond a
+
+let rec pp_stmt ppf s =
+  match s with
+  | Block l ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf l
+  | For { var; lo; hi; tag; body } ->
+      Format.fprintf ppf "@[<v 2>%s (%s in %a..%a)@,%a@]" (tag_name tag) var
+        pp_expr lo pp_expr hi pp_stmt body
+  | If (c, t, None) ->
+      Format.fprintf ppf "@[<v 2>if (%a)@,%a@]" pp_cond c pp_stmt t
+  | If (c, t, Some e) ->
+      Format.fprintf ppf "@[<v 2>if (%a)@,%a@]@,@[<v 2>else@,%a@]" pp_cond c
+        pp_stmt t pp_stmt e
+  | Store (b, idx, v) ->
+      Format.fprintf ppf "%s%a = %a" b pp_indices idx pp_expr v
+  | Alloc { buf; dtype; dims; mem; body } ->
+      Format.fprintf ppf "@[<v 2>%s %s %s%a {@,%a@]@,}"
+        (mem_space_name mem) (dtype_name dtype) buf
+        (fun ppf -> List.iter (fun d -> Format.fprintf ppf "[%a]" pp_expr d))
+        dims pp_stmt body
+  | Barrier -> Format.fprintf ppf "barrier()"
+  | Send { dst; buf; offset; count; props } ->
+      Format.fprintf ppf "send(%s%a, %a, %a, {%s})" buf pp_indices offset
+        pp_expr count pp_expr dst
+        (if props.async then "ASYNC" else "SYNC")
+  | Recv { src; buf; offset; count; props } ->
+      Format.fprintf ppf "recv(%s%a, %a, %a, {%s})" buf pp_indices offset
+        pp_expr count pp_expr src
+        (if props.async then "ASYNC" else "SYNC")
+  | Memcpy { dst; src; direction } ->
+      Format.fprintf ppf "%s_copy(%s, %s)" direction src dst
+  | Comment c -> Format.fprintf ppf "// %s" c
+
+let to_string s = Format.asprintf "@[<v>%a@]" pp_stmt s

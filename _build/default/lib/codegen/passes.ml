@@ -1,0 +1,133 @@
+module L = Loop_ir
+
+let rec subst_expr v rep (e : L.expr) : L.expr =
+  match e with
+  | L.Var x when x = v -> rep
+  | L.Int _ | L.Float _ | L.Var _ -> e
+  | L.Load (b, idx) -> L.Load (b, List.map (subst_expr v rep) idx)
+  | L.Bin (op, a, b) -> L.Bin (op, subst_expr v rep a, subst_expr v rep b)
+  | L.Neg a -> L.Neg (subst_expr v rep a)
+  | L.Cast (d, a) -> L.Cast (d, subst_expr v rep a)
+  | L.Select (c, a, b) ->
+      L.Select (subst_cond v rep c, subst_expr v rep a, subst_expr v rep b)
+  | L.Call (f, args) -> L.Call (f, List.map (subst_expr v rep) args)
+
+and subst_cond v rep (c : L.cond) : L.cond =
+  match c with
+  | L.True -> L.True
+  | L.Cmp (op, a, b) -> L.Cmp (op, subst_expr v rep a, subst_expr v rep b)
+  | L.And (a, b) -> L.And (subst_cond v rep a, subst_cond v rep b)
+  | L.Or (a, b) -> L.Or (subst_cond v rep a, subst_cond v rep b)
+  | L.Not a -> L.Not (subst_cond v rep a)
+
+let rec subst_var v rep (s : L.stmt) : L.stmt =
+  match s with
+  | L.Block l -> L.Block (List.map (subst_var v rep) l)
+  | L.For f ->
+      if f.var = v then s  (* shadowed *)
+      else
+        L.For
+          { f with lo = subst_expr v rep f.lo; hi = subst_expr v rep f.hi;
+            body = subst_var v rep f.body }
+  | L.If (c, t, e) ->
+      L.If (subst_cond v rep c, subst_var v rep t, Option.map (subst_var v rep) e)
+  | L.Store (b, idx, e) ->
+      L.Store (b, List.map (subst_expr v rep) idx, subst_expr v rep e)
+  | L.Alloc a ->
+      L.Alloc { a with dims = List.map (subst_expr v rep) a.dims;
+                body = subst_var v rep a.body }
+  | L.Barrier | L.Comment _ | L.Memcpy _ -> s
+  | L.Send sd ->
+      L.Send { sd with dst = subst_expr v rep sd.dst;
+               offset = List.map (subst_expr v rep) sd.offset;
+               count = subst_expr v rep sd.count }
+  | L.Recv r ->
+      L.Recv { r with src = subst_expr v rep r.src;
+               offset = List.map (subst_expr v rep) r.offset;
+               count = subst_expr v rep r.count }
+
+(* A loop [for v in lo..hi vectorized(w)] becomes
+     full  = (hi - lo + 1) / w         (number of full vectors)
+     for vb in 0..full-1: for lane in 0..w-1 (vector): body[v := lo + w*vb + lane]
+     for v in lo + w*full .. hi: body  (scalar epilogue)
+   When the extent is statically w the wrapper loop folds away. *)
+let rec vector_legalize (s : L.stmt) : L.stmt =
+  match s with
+  | L.For ({ tag = L.Vectorized w; _ } as f) ->
+      let body = vector_legalize f.body in
+      let extent = L.(f.hi -! f.lo +! int 1) in
+      let extent = L.simplify_expr extent in
+      (match extent with
+      | L.Int n when n = w ->
+          (* Statically full: keep as a pure vector loop. *)
+          L.For { f with body }
+      | L.Int n when n < w ->
+          (* Statically partial: scalar loop. *)
+          L.For { f with tag = L.Seq; body }
+      | _ ->
+          let full = L.Bin (L.FloorDiv, extent, L.Int w) in
+          let vb = f.var ^ "_vb" in
+          let lane = f.var ^ "_ln" in
+          (* The lane loop runs 0..w-1 with the original iterator
+             reconstructed in the body, so downstream analyses see the full
+             index expression. *)
+          let vec_body =
+            L.For
+              {
+                var = lane;
+                lo = L.Int 0;
+                hi = L.Int (w - 1);
+                tag = L.Vectorized w;
+                body =
+                  subst_var f.var
+                    L.(f.lo +! (int w *! Var vb) +! Var lane)
+                    body;
+              }
+          in
+          let main =
+            L.For
+              { var = vb; lo = L.Int 0; hi = L.(simplify_expr (full -! int 1));
+                tag = L.Seq; body = vec_body }
+          in
+          let epilogue =
+            L.For
+              { var = f.var; lo = L.(f.lo +! (int w *! full)); hi = f.hi;
+                tag = L.Seq; body }
+          in
+          L.Block [ main; epilogue ])
+  | L.Block l -> L.Block (List.map vector_legalize l)
+  | L.For f -> L.For { f with body = vector_legalize f.body }
+  | L.If (c, t, e) ->
+      L.If (c, vector_legalize t, Option.map vector_legalize e)
+  | L.Alloc a -> L.Alloc { a with body = vector_legalize a.body }
+  | _ -> s
+
+let rec stmt_size (s : L.stmt) : int =
+  match s with
+  | L.Block l -> List.fold_left (fun a s -> a + stmt_size s) 0 l
+  | L.For f -> 1 + stmt_size f.body
+  | L.If (_, t, e) ->
+      1 + stmt_size t + Option.fold ~none:0 ~some:stmt_size e
+  | L.Alloc a -> 1 + stmt_size a.body
+  | _ -> 1
+
+let rec unroll_expand ?(max_body = 64) (s : L.stmt) : L.stmt =
+  match s with
+  | L.For ({ tag = L.Unrolled; _ } as f) -> (
+      let body = unroll_expand ~max_body f.body in
+      match (L.simplify_expr f.lo, L.simplify_expr f.hi) with
+      | L.Int lo, L.Int hi
+        when hi >= lo && (hi - lo + 1) * stmt_size body <= max_body ->
+          L.Block
+            (List.init (hi - lo + 1) (fun k ->
+                 subst_var f.var (L.Int (lo + k)) body))
+      | _ -> L.For { f with body })
+  | L.Block l -> L.Block (List.map (unroll_expand ~max_body) l)
+  | L.For f -> L.For { f with body = unroll_expand ~max_body f.body }
+  | L.If (c, t, e) ->
+      L.If (c, unroll_expand ~max_body t,
+            Option.map (unroll_expand ~max_body) e)
+  | L.Alloc a -> L.Alloc { a with body = unroll_expand ~max_body a.body }
+  | _ -> s
+
+let legalize s = L.simplify_stmt (unroll_expand (vector_legalize s))

@@ -1,0 +1,16 @@
+(** Loop-IR legalization passes.
+
+    - {b Vector legalization} implements the paper's "separation of full and
+      partial tiles" (§V-A, §VI-A): a loop tagged [Vectorized w] whose extent
+      may be smaller than [w] at domain edges is split into a full part
+      executed as a genuine width-[w] vector loop and a scalar epilogue.
+    - {b Unroll expansion} replicates the body of constant-extent
+      [Unrolled] loops. *)
+
+val vector_legalize : Loop_ir.stmt -> Loop_ir.stmt
+val unroll_expand : ?max_body:int -> Loop_ir.stmt -> Loop_ir.stmt
+val legalize : Loop_ir.stmt -> Loop_ir.stmt
+(** [vector_legalize] followed by [unroll_expand]. *)
+
+val subst_var : string -> Loop_ir.expr -> Loop_ir.stmt -> Loop_ir.stmt
+(** Substitute a loop variable in a statement (exposed for tests). *)

@@ -1,0 +1,1 @@
+lib/core/expr.ml: Aff Format Ir List Option Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/core/expr.mli: Aff Format Ir Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/core/ir.ml: Aff Cstr Iset List Printf Tiramisu_codegen Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/core/lower.ml: Aff Array Cstr Expr Hashtbl Ir Iset List Option Poly Printf Schedule Space String Tiramisu Tiramisu_codegen Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/core/lower.mli: Expr Ir Tiramisu_codegen

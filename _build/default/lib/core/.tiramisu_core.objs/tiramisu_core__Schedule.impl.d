@@ -1,0 +1,1 @@
+lib/core/schedule.ml: Aff Array Cstr Format Imap Ir Iset List Poly Printf Space Tiramisu_codegen Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/core/schedule.mli: Aff Cstr Format Ir Iset Tiramisu_codegen Tiramisu_presburger

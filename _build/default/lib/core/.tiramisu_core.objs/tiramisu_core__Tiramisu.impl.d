@@ -1,0 +1,1 @@
+lib/core/tiramisu.ml: Aff Array Cstr Expr Imap Ir Iset Isl List Poly Printf Schedule Space Tiramisu_codegen Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/core/tiramisu.mli: Aff Cstr Expr Ir Tiramisu_presburger

@@ -1,0 +1,181 @@
+(* Core IR types for the Tiramisu embedded DSL (paper §III-IV).
+
+   A {!fn} ("function" in Tiramisu terms) is a pipeline: a set of
+   computations plus symbolic size parameters.  Each computation carries the
+   four layers of the paper's IR:
+
+   - Layer I   — [domain] + [expr]: the pure algorithm;
+   - Layer II  — [sched]: the time-space map (static/dynamic dims + space
+     tags);
+   - Layer III — [access]: where results are stored (buffer + affine
+     indices);
+   - Layer IV  — operation computations (send/recv/copy/alloc/barrier)
+     scheduled like any other computation.
+
+   The scheduling commands of Table II mutate this state in place, mirroring
+   the imperative C++ API of the original system. *)
+
+open Tiramisu_presburger
+
+type dtype = Tiramisu_codegen.Loop_ir.dtype
+type mem_space = Tiramisu_codegen.Loop_ir.mem_space
+
+(* ---------- Layer I expressions ---------- *)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type cmp = Eq | Ne | Lt | Le | Gt | Ge
+
+type expr =
+  | Int_e of int
+  | Float_e of float
+  | Param_e of string            (* symbolic constant (size parameter) *)
+  | Iter_e of string             (* iterator of the computation's domain *)
+  | Access_e of string * expr list
+      (* value produced by another computation at the given (quasi-affine)
+         index expressions — the producer-consumer edges of Layer I *)
+  | Bin_e of binop * expr * expr
+  | Neg_e of expr
+  | Cmp_e of cmp * expr * expr   (* evaluates to 0/1 *)
+  | Select_e of expr * expr * expr
+  | Clamp_e of expr * expr * expr
+      (* clamp(x, lo, hi) — the paper's non-affine boundary handling (§V-B) *)
+  | Call_e of string * expr list (* math intrinsics *)
+  | Cast_e of dtype * expr
+
+(* ---------- buffers and access relations (Layer III) ---------- *)
+
+type buffer = {
+  buf_name : string;
+  buf_dims : Aff.t list;         (* sizes, affine in the parameters *)
+  buf_dtype : dtype;
+  mutable buf_mem : mem_space;
+  buf_auto : bool;               (* true when synthesized from the domain *)
+}
+
+type access = {
+  acc_buf : buffer;
+  acc_idx : Aff.t list;          (* indices over the computation's iterators *)
+}
+
+(* ---------- Layer II schedule ---------- *)
+
+type dim_kind = Static of int | Dyn
+
+type dim = {
+  d_col : string;                (* unique column id within the schedule *)
+  mutable d_name : string;       (* pretty loop-variable name *)
+  mutable d_kind : dim_kind;
+  mutable d_tag : Tiramisu_codegen.Loop_ir.loop_tag;
+}
+
+(* The time-space vector alternates static and dynamic dims:
+   [s0; d0; s1; d1; ...; d_{k-1}; sk].  The relation between the
+   computation's iterators and the dynamic columns is kept as constraints
+   over iterator names, intermediate columns (retired by transformations)
+   and live columns — e.g. tiling by 32 adds [i = 32*i0 + i1; 0 <= i1 < 32]
+   and retires column [i]'s identity. *)
+type sched = {
+  mutable dims : dim list;
+  mutable inter : string list;   (* retired intermediate columns *)
+  mutable cstrs : Cstr.t list;
+}
+
+(* ---------- computations ---------- *)
+
+type comp_kind =
+  | Regular
+  | Input                        (* wraps an input buffer; never executed *)
+  | Op_send of send_info
+  | Op_recv of recv_info
+  | Op_copy of copy_info
+  | Op_barrier
+
+and send_info = {
+  s_buf : buffer;
+  s_offset : Aff.t list;
+  s_count : Aff.t;
+  s_dest : Aff.t;                (* over the send's iterators *)
+  s_async : bool;
+}
+
+and recv_info = {
+  r_buf : buffer;
+  r_offset : Aff.t list;
+  r_count : Aff.t;
+  r_src : Aff.t;
+  r_sync : bool;
+}
+
+and copy_info = {
+  c_src : buffer;
+  c_dst : buffer;
+  c_direction : string;          (* "host_to_device" | "device_to_host" |
+                                    "global_to_shared" | ... *)
+}
+
+and computation = {
+  comp_name : string;
+  mutable domain : Iset.t;       (* over params + iters *)
+  iters : string list;
+  ranges : (string * (Aff.t * Aff.t)) list;
+      (* per-iterator half-open [lo, hi) box (bounding box of the domain;
+         used to size auto buffers) *)
+  mutable expr : expr;
+  comp_dtype : dtype;
+  kind : comp_kind;
+  fn : fn;
+  mutable sched : sched;
+  mutable access : access option;   (* None: identity into an auto buffer *)
+  mutable inlined : bool;
+  mutable computed_at : (computation * int) option;
+      (* compute_at(C, level): recompute inside C's loop nest at that level
+         (overlapped tiling, possibly redundant — Fig. 3a) *)
+  mutable cached_shared : (buffer * computation * int) option;
+      (* cache_shared_at: consumers read the shared copy instead *)
+}
+
+(* ---------- function (pipeline) ---------- *)
+
+and fn = {
+  fn_name : string;
+  params : string list;
+  mutable context : Cstr.t list;     (* assumptions on parameters *)
+  mutable comps : computation list;  (* in declaration order *)
+  mutable buffers : buffer list;
+  mutable allocs : (buffer * computation * int) list;
+      (* allocate_at(b, C, level): scoped allocation inside C's loop nest *)
+  mutable next_id : int;
+}
+
+let fresh_id fn prefix =
+  fn.next_id <- fn.next_id + 1;
+  Printf.sprintf "%s%d" prefix fn.next_id
+
+let dyn_dims sched = List.filter (fun d -> d.d_kind = Dyn) sched.dims
+let dyn_count sched = List.length (dyn_dims sched)
+
+(* Position in [sched.dims] of the [k]-th dynamic dim. *)
+let dyn_pos sched k =
+  let rec go i seen = function
+    | [] -> invalid_arg (Printf.sprintf "schedule has no dynamic dim %d" k)
+    | d :: rest ->
+        if d.d_kind = Dyn then
+          if seen = k then i else go (i + 1) (seen + 1) rest
+        else go (i + 1) seen rest
+  in
+  go 0 0 sched.dims
+
+let find_dyn sched name =
+  let rec go k = function
+    | [] ->
+        invalid_arg
+          (Printf.sprintf "schedule has no dynamic dimension named %s" name)
+    | d :: rest ->
+        if d.d_kind = Dyn then
+          if d.d_name = name then k else go (k + 1) rest
+        else go k rest
+  in
+  go 0 sched.dims
+
+let nth_dyn sched k = List.nth (dyn_dims sched) k

@@ -1,0 +1,28 @@
+(** Lowering: Layer IV → polyhedral AST → loop IR (paper §V).
+
+    Builds every computation's scheduled set (including the footprint-derived
+    sets of [compute_at] producers — overlapped tiling), pads the time
+    vectors to a common arity, emits per-statement bodies with accesses
+    rewritten through the backward schedule substitution, and runs the
+    vectorization/unrolling legalization passes. *)
+
+type t = {
+  ast : Tiramisu_codegen.Loop_ir.stmt;
+  fn : Ir.fn;
+}
+
+val expand : Ir.fn -> Expr.t -> Expr.t
+(** Substitute inlined producers into an expression (beta-reduction of
+    Layer-I accesses). *)
+
+val lower : Ir.fn -> t
+(** @raise Failure on malformed schedules (e.g. iterators not recoverable
+    from the time dims). *)
+
+val buffer_extents :
+  Ir.fn -> params:(string * int) list -> (Ir.buffer * int array) list
+(** Concrete sizes of every buffer of the pipeline for the given parameter
+    values (used by backends to allocate storage). *)
+
+val pseudocode : Ir.fn -> string
+(** Generated-code pseudocode (Fig. 3 right column style). *)

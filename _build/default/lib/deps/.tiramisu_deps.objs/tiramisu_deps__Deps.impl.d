@@ -1,0 +1,1 @@
+lib/deps/deps.ml: Aff Array Cstr Expr Format Hashtbl Ir Iset List Lower Poly Printf Space Tiramisu_core Tiramisu_presburger

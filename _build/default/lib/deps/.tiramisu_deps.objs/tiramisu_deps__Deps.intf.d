@@ -1,0 +1,1 @@
+lib/deps/deps.mli: Format Tiramisu_core Tiramisu_presburger

@@ -1,0 +1,450 @@
+open Tiramisu_presburger
+open Tiramisu_core
+open Ir
+
+type kind = Flow | Anti | Output
+
+type dep = {
+  src : Ir.computation;
+  dst : Ir.computation;
+  kind : kind;
+  rel : Poly.t list;
+}
+
+let kind_str = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let sren x = "s@" ^ x
+let dren x = "d@" ^ x
+
+(* Rename everything except parameters. *)
+let rename_aff_np ~params f a =
+  Aff.subst a (fun n ->
+      if List.mem n params then None else Some (Aff.var (f n)))
+
+let rename_cstr ~params f = function
+  | Cstr.Eq (a, b) -> Cstr.Eq (rename_aff_np ~params f a, rename_aff_np ~params f b)
+  | Cstr.Le (a, b) -> Cstr.Le (rename_aff_np ~params f a, rename_aff_np ~params f b)
+  | Cstr.Lt (a, b) -> Cstr.Lt (rename_aff_np ~params f a, rename_aff_np ~params f b)
+  | Cstr.Ge (a, b) -> Cstr.Ge (rename_aff_np ~params f a, rename_aff_np ~params f b)
+  | Cstr.Gt (a, b) -> Cstr.Gt (rename_aff_np ~params f a, rename_aff_np ~params f b)
+
+(* Lift a domain poly (over [params; iters]) into [cols], assuming the
+   renamed iterators appear contiguously in cols starting at [at]. *)
+let lift_domain ~np ~at ~total p =
+  let ni = Poly.dim p - np in
+  (* insert columns between params and iters, then after iters *)
+  let p = Poly.insert_vars p ~at:np ~count:(at - np) in
+  Poly.insert_vars p ~at:(at + ni) ~count:(total - (at + ni))
+
+(* Flow dependences from Layer I producer-consumer edges. *)
+let flow_deps fn =
+  let params = fn.params in
+  let np = List.length params in
+  let regulars =
+    List.filter (fun (c : computation) -> c.kind = Regular && not c.inlined) fn.comps
+  in
+  List.concat_map
+    (fun (dst : computation) ->
+      let expr = Lower.expand fn dst.expr in
+      let accs = Expr.accesses expr in
+      List.filter_map
+        (fun (pname, idx) ->
+          match
+            List.find_opt
+              (fun (p : computation) -> p.comp_name = pname && p.kind = Regular && not p.inlined)
+              regulars
+          with
+          | None -> None
+          | Some src ->
+              let s_iters = List.map sren src.iters in
+              let d_iters = List.map dren dst.iters in
+              let cols = Array.of_list (params @ s_iters @ d_iters) in
+              let total = Array.length cols in
+              let nsi = List.length s_iters in
+              let base = Poly.universe total in
+              (* index linking constraints *)
+              let base =
+                List.fold_left
+                  (fun acc (k, (e : Ir.expr)) ->
+                    let coord = Aff.var (List.nth s_iters k) in
+                    let cs =
+                      match
+                        Expr.to_aff ~iters:dst.iters ~params e
+                      with
+                      | Some a ->
+                          [ Cstr.Eq (coord, rename_aff_np ~params dren a) ]
+                      | None -> (
+                          match
+                            Expr.index_range ~iters:dst.iters ~params e
+                          with
+                          | Some (lo, hi) ->
+                              [
+                                Cstr.Ge (coord, rename_aff_np ~params dren lo);
+                                Cstr.Le (coord, rename_aff_np ~params dren hi);
+                              ]
+                          | None ->
+                              (* Unanalyzable index: any producer instance
+                                 may be read. *)
+                              [])
+                    in
+                    List.fold_left
+                      (fun acc c ->
+                        match Cstr.to_row ~cols c with
+                        | `Eq r -> Poly.add_eq acc r
+                        | `Ineq r -> Poly.add_ineq acc r)
+                      acc cs)
+                  base
+                  (List.mapi (fun k e -> (k, e)) idx)
+              in
+              let rel =
+                List.concat_map
+                  (fun sp ->
+                    List.map
+                      (fun dp ->
+                        let sp' = lift_domain ~np ~at:np ~total sp in
+                        let dp' = lift_domain ~np ~at:(np + nsi) ~total dp in
+                        Poly.intersect base (Poly.intersect sp' dp'))
+                      dst.domain.Iset.polys)
+                  src.domain.Iset.polys
+              in
+              let rel = List.filter (fun p -> not (Poly.is_empty p)) rel in
+              if rel = [] then None
+              else Some { src; dst; kind = Flow; rel })
+        accs)
+    regulars
+
+(* Memory dependences through shared buffers (Layer III). *)
+let memory_deps fn =
+  let params = fn.params in
+  let np = List.length params in
+  let stored =
+    List.filter_map
+      (fun (c : computation) ->
+        match (c.kind, c.access, c.inlined) with
+        | Regular, Some a, false -> Some (c, a)
+        | _ -> None)
+      fn.comps
+  in
+  (* Reads of buffer b: consumer c accessing producer p stored in b, at
+     index A_p(g(c)). *)
+  let reads =
+    List.concat_map
+      (fun ((c : computation), _) ->
+        List.filter_map
+          (fun (pname, idx) ->
+            match List.find_opt (fun (p, _) -> p.comp_name = pname) stored with
+            | Some (p, pa) ->
+                (* buffer index k = acc_idx_k with p.iters bound to idx *)
+                let bind k =
+                  let a = List.nth pa.acc_idx k in
+                  (* a is affine over p.iters; each p iter j substituted by
+                     idx_j (range if non-affine). Approximate: only handle
+                     the affine case exactly. *)
+                  let subst_ok = ref true in
+                  let e =
+                    Aff.subst a (fun n ->
+                        match
+                          List.find_index (fun i -> i = n) p.iters
+                        with
+                        | Some j -> (
+                            match
+                              Expr.to_aff ~iters:c.iters ~params
+                                (List.nth idx j)
+                            with
+                            | Some g -> Some g
+                            | None ->
+                                subst_ok := false;
+                                None)
+                        | None -> None)
+                  in
+                  if !subst_ok then Some e else None
+                in
+                let idx_affs =
+                  List.mapi (fun k _ -> bind k) pa.acc_idx
+                in
+                Some (c, pa.acc_buf, idx_affs)
+            | None -> None)
+          (Expr.accesses (Lower.expand fn c.expr)))
+      stored
+  in
+  let mk_rel (src : computation) src_idx (dst : computation) dst_idx =
+    let s_iters = List.map sren src.iters in
+    let d_iters = List.map dren dst.iters in
+    let cols = Array.of_list (params @ s_iters @ d_iters) in
+    let total = Array.length cols in
+    let nsi = List.length s_iters in
+    let base = Poly.universe total in
+    let base =
+      List.fold_left2
+        (fun acc sa da ->
+          match (sa, da) with
+          | Some sa, Some da ->
+              let c =
+                Cstr.Eq
+                  ( rename_aff_np ~params sren sa,
+                    rename_aff_np ~params dren da )
+              in
+              (match Cstr.to_row ~cols c with
+              | `Eq r -> Poly.add_eq acc r
+              | `Ineq r -> Poly.add_ineq acc r)
+          | _ -> acc)
+        base src_idx dst_idx
+    in
+    let rels =
+      List.concat_map
+        (fun sp ->
+          List.map
+            (fun dp ->
+              let sp' = lift_domain ~np ~at:np ~total sp in
+              let dp' = lift_domain ~np ~at:(np + nsi) ~total dp in
+              Poly.intersect base (Poly.intersect sp' dp'))
+            dst.domain.Iset.polys)
+        src.domain.Iset.polys
+    in
+    List.filter (fun p -> not (Poly.is_empty p)) rels
+  in
+  let write_idx (c, (a : access)) =
+    List.map (fun x -> Some x) a.acc_idx |> fun l -> (c, a.acc_buf, l)
+  in
+  let writes = List.map write_idx stored in
+  let deps = ref [] in
+  (* Output deps: write/write on the same buffer. *)
+  List.iter
+    (fun (w1, b1, i1) ->
+      List.iter
+        (fun (w2, b2, i2) ->
+          if b1.buf_name = b2.buf_name then begin
+            let rel = mk_rel w1 i1 w2 i2 in
+            if rel <> [] then
+              deps := { src = w1; dst = w2; kind = Output; rel } :: !deps
+          end)
+        writes)
+    writes;
+  (* Flow (write then read) and anti (read then write). *)
+  List.iter
+    (fun (w, bw, iw) ->
+      List.iter
+        (fun (r, br, ir) ->
+          if bw.buf_name = br.buf_name then begin
+            let rel = mk_rel w iw r ir in
+            if rel <> [] then
+              deps := { src = w; dst = r; kind = Flow; rel } :: !deps;
+            let rel' = mk_rel r ir w iw in
+            if rel' <> [] then
+              deps := { src = r; dst = w; kind = Anti; rel = rel' } :: !deps
+          end)
+        reads)
+    writes;
+  List.rev !deps
+
+let is_empty_dep d = List.for_all Poly.is_empty d.rel
+
+type violation = {
+  dep : dep;
+  level : int;
+}
+
+(* Materialized time description of a computation: list of (column name or
+   constant) in order, using the same doubling of statics as lowering. *)
+let time_desc (c : computation) =
+  List.map
+    (fun d ->
+      match d.d_kind with
+      | Static v -> `Const (2 * v)
+      | Dyn -> `Col d.d_col)
+    c.sched.dims
+
+let check_dep_legality ~params (d : dep) =
+  let src = d.src and dst = d.dst in
+  let s_desc = time_desc src and d_desc = time_desc dst in
+  let t = max (List.length s_desc) (List.length d_desc) in
+  let pad desc = desc @ List.init (t - List.length desc) (fun _ -> `Const 0) in
+  let s_desc = pad s_desc and d_desc = pad d_desc in
+  let s_iters = List.map sren src.iters in
+  let d_iters = List.map dren dst.iters in
+  let s_extra = List.map sren (src.sched.inter @ List.map (fun dd -> dd.d_col) src.sched.dims) in
+  let d_extra = List.map dren (dst.sched.inter @ List.map (fun dd -> dd.d_col) dst.sched.dims) in
+  let ts = List.init t (Printf.sprintf "ts$%d") in
+  let td = List.init t (Printf.sprintf "td$%d") in
+  let cols =
+    Array.of_list (params @ s_iters @ d_iters @ s_extra @ d_extra @ ts @ td)
+  in
+  let total = Array.length cols in
+  let np = List.length params in
+  let nsi = List.length s_iters and ndi = List.length d_iters in
+  let add p c =
+    match Cstr.to_row ~cols c with
+    | `Eq r -> Poly.add_eq p r
+    | `Ineq r -> Poly.add_ineq p r
+  in
+  let base = Poly.universe total in
+  (* Schedule constraints for both sides. *)
+  let base =
+    List.fold_left add base
+      (List.map (rename_cstr ~params sren) src.sched.cstrs
+      @ List.map (rename_cstr ~params dren) dst.sched.cstrs)
+  in
+  (* Time columns equal the (renamed) schedule columns or constants. *)
+  let link base tdesc names f =
+    List.fold_left2
+      (fun acc slot name ->
+        match slot with
+        | `Const v -> add acc (Cstr.Eq (Aff.var name, Aff.const v))
+        | `Col col -> add acc (Cstr.Eq (Aff.var name, Aff.var (f col))))
+      base tdesc names
+  in
+  let base = link base s_desc ts sren in
+  let base = link base d_desc td dren in
+  (* Violation at level k: equal prefix, ts_k >= td_k at k... strictly:
+     source not strictly before = exists k with prefix equal and ts_k >
+     td_k, or all equal. *)
+  let violations = ref [] in
+  for k = 0 to t - 1 do
+    let any =
+      List.exists
+        (fun rp ->
+          let lifted =
+            Poly.insert_vars rp ~at:(np + nsi + ndi)
+              ~count:(total - np - nsi - ndi)
+          in
+          let sys =
+            Poly.intersect
+              (List.fold_left add base
+                 (List.concat
+                    (List.init k (fun m ->
+                         [
+                           Cstr.Eq
+                             ( Aff.var (List.nth ts m),
+                               Aff.var (List.nth td m) );
+                         ]))
+                 @ [ Cstr.Gt (Aff.var (List.nth ts k), Aff.var (List.nth td k)) ]))
+              lifted
+          in
+          not (Poly.is_empty sys))
+        d.rel
+    in
+    if any then violations := { dep = d; level = k } :: !violations
+  done;
+  (* Simultaneity: all time dims equal. *)
+  let any_eq =
+    List.exists
+      (fun rp ->
+        let lifted =
+          Poly.insert_vars rp ~at:(np + nsi + ndi)
+            ~count:(total - np - nsi - ndi)
+        in
+        let sys =
+          Poly.intersect
+            (List.fold_left add base
+               (List.init t (fun m ->
+                    Cstr.Eq (Aff.var (List.nth ts m), Aff.var (List.nth td m)))))
+            lifted
+        in
+        not (Poly.is_empty sys))
+      d.rel
+  in
+  if any_eq then violations := { dep = d; level = t } :: !violations;
+  List.rev !violations
+
+let check_legality fn =
+  let deps = flow_deps fn in
+  let deps =
+    List.filter
+      (fun d -> d.src.computed_at = None && d.dst.computed_at = None)
+      deps
+  in
+  List.concat_map (check_dep_legality ~params:fn.params) deps
+
+let compute_at_covered fn (p : computation) =
+  match p.computed_at with
+  | None -> true
+  | Some (consumer, _) ->
+      (* Every index the consumer reads must lie in the producer's domain
+         (the footprint construction then covers it in the same tile). *)
+      let params = fn.params in
+      let accs =
+        List.filter
+          (fun (name, _) -> name = p.comp_name)
+          (Expr.accesses (Lower.expand fn consumer.expr))
+      in
+      List.for_all
+        (fun (_, idx) ->
+          let p_coord = List.map (fun i -> "p@" ^ i) p.iters in
+          let cols =
+            Array.of_list (params @ consumer.iters @ p_coord)
+          in
+          let total = Array.length cols in
+          let np = List.length params in
+          let nci = List.length consumer.iters in
+          let add acc c =
+            match Cstr.to_row ~cols c with
+            | `Eq r -> Poly.add_eq acc r
+            | `Ineq r -> Poly.add_ineq acc r
+          in
+          let base = Poly.universe total in
+          let base =
+            List.fold_left add base
+              (List.concat
+                 (List.mapi
+                    (fun k e ->
+                      let coord = Aff.var (List.nth p_coord k) in
+                      match Expr.to_aff ~iters:consumer.iters ~params e with
+                      | Some a -> [ Cstr.Eq (coord, a) ]
+                      | None -> (
+                          match
+                            Expr.index_range ~iters:consumer.iters ~params e
+                          with
+                          | Some (lo, hi) ->
+                              [ Cstr.Ge (coord, lo); Cstr.Le (coord, hi) ]
+                          | None -> []))
+                    idx))
+          in
+          let reads =
+            List.concat_map
+              (fun cp ->
+                let lifted =
+                  Poly.insert_vars cp ~at:(np + nci)
+                    ~count:(total - np - nci)
+                in
+                let joined = Poly.intersect base lifted in
+                [ fst (Poly.project_out joined ~at:np ~count:nci) ])
+              consumer.domain.Iset.polys
+          in
+          let read_set =
+            Iset.of_polys (Space.set_space ~params p_coord) reads
+          in
+          let dom = Iset.rename_vars p.domain p_coord in
+          Iset.subset read_set dom)
+        accs
+
+let has_cycle fn =
+  let names = List.map (fun c -> c.comp_name) fn.comps in
+  let edges c =
+    List.filter_map
+      (fun (n, _) -> if List.mem n names then Some n else None)
+      (Expr.accesses c.expr)
+  in
+  let state = Hashtbl.create 16 in
+  let rec dfs n =
+    match Hashtbl.find_opt state n with
+    | Some `Active -> true
+    | Some `Done -> false
+    | None -> (
+        Hashtbl.replace state n `Active;
+        let c = List.find_opt (fun c -> c.comp_name = n) fn.comps in
+        let cyc =
+          match c with
+          | Some c -> List.exists dfs (edges c)
+          | None -> false
+        in
+        Hashtbl.replace state n `Done;
+        cyc)
+  in
+  List.exists (fun c -> dfs c.comp_name) fn.comps
+
+let pp_dep ppf d =
+  Format.fprintf ppf "%s: %s -> %s (%d pieces)" (kind_str d.kind)
+    d.src.comp_name d.dst.comp_name (List.length d.rel)
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a violated at level %d" pp_dep v.dep v.level

@@ -1,0 +1,60 @@
+(** Exact dependence analysis and schedule legality (paper §II, §V).
+
+    Tiramisu "avoids over-conservative constraints by relying on dependence
+    analysis to check for the correctness of code transformations, enabling
+    more possible schedules" — in contrast to Halide's conservative rules
+    (no fusion when the second loop reads the first's output, acyclic
+    dataflow only).  This module implements that analysis on the presburger
+    substrate:
+
+    - {e flow dependences} come from Layer I's explicit producer-consumer
+      edges (value-based, exact up to the §V-B over-approximation of
+      clamped accesses);
+    - {e memory dependences} (flow/anti/output through buffers) come from
+      Layer III access relations and catch hazards introduced by data-layout
+      decisions;
+    - {e legality} checks that a schedule executes every producer instance
+      strictly before its consumers, by per-level emptiness of the violation
+      sets (the Omega test makes this exact). *)
+
+type kind = Flow | Anti | Output
+
+type dep = {
+  src : Tiramisu_core.Ir.computation;
+  dst : Tiramisu_core.Ir.computation;
+  kind : kind;
+  rel : Tiramisu_presburger.Poly.t list;
+      (** pieces over columns [params; src iters; dst iters] *)
+}
+
+val flow_deps : Tiramisu_core.Ir.fn -> dep list
+(** Producer-consumer dependences of the algorithm (Layer I). *)
+
+val memory_deps : Tiramisu_core.Ir.fn -> dep list
+(** Buffer-based dependences after data mapping (Layer III): all pairs of
+    accesses to the same buffer where at least one writes. *)
+
+val is_empty_dep : dep -> bool
+
+type violation = {
+  dep : dep;
+  level : int;  (** time dimension at which the order is reversed *)
+}
+
+val check_legality : Tiramisu_core.Ir.fn -> violation list
+(** Empty list = the current schedules preserve every flow dependence.
+    Computations under [compute_at] are validated separately by
+    {!compute_at_covered} and skipped here. *)
+
+val compute_at_covered : Tiramisu_core.Ir.fn -> Tiramisu_core.Ir.computation -> bool
+(** For a producer scheduled with [compute_at]: does every consumer read hit
+    an instance computed in the same or an earlier tile?  (Overlapped tiling
+    makes this true by construction; this is the verification.) *)
+
+val has_cycle : Tiramisu_core.Ir.fn -> bool
+(** Does the computation-level dataflow graph contain a cycle?  Tiramisu
+    supports cyclic graphs (edgeDetector, §VI-B); the Halide baseline
+    rejects them. *)
+
+val pp_dep : Format.formatter -> dep -> unit
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,1 @@
+lib/frontend/frontend.ml: Aff Ir Iset Isl List Printf String Tiramisu Tiramisu_core Tiramisu_presburger

@@ -1,0 +1,435 @@
+open Tiramisu_presburger
+open Tiramisu_core
+
+exception Parse_error of string
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | IDENT of string
+  | STRING of string
+  | LPAREN | RPAREN | LBRACK | RBRACK
+  | COMMA | EQUALS | DOTDOT
+  | PLUS | MINUS | STAR | SLASH
+  | EOF
+
+let lex (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = toks := (t, !line) :: !toks in
+  let err msg = raise (Parse_error (Printf.sprintf "line %d: %s" !line msg)) in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '#' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '"' then begin
+      let j = ref (!i + 1) in
+      while !j < n && src.[!j] <> '"' do incr j done;
+      if !j >= n then err "unterminated string";
+      push (STRING (String.sub src (!i + 1) (!j - !i - 1)));
+      i := !j + 1
+    end
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+      (* a float only if '.' is followed by a digit — '..' is a range *)
+      if !j < n && src.[!j] = '.' && !j + 1 < n
+         && src.[!j + 1] >= '0' && src.[!j + 1] <= '9'
+      then begin
+        incr j;
+        while !j < n && src.[!j] >= '0' && src.[!j] <= '9' do incr j done;
+        push (FLOAT (float_of_string (String.sub src !i (!j - !i))))
+      end
+      else push (INT (int_of_string (String.sub src !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      while
+        !j < n
+        && ((src.[!j] >= 'a' && src.[!j] <= 'z')
+           || (src.[!j] >= 'A' && src.[!j] <= 'Z')
+           || (src.[!j] >= '0' && src.[!j] <= '9')
+           || src.[!j] = '_')
+      do incr j done;
+      push (IDENT (String.sub src !i (!j - !i)));
+      i := !j
+    end
+    else begin
+      (match c with
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | '[' -> push LBRACK
+      | ']' -> push RBRACK
+      | ',' -> push COMMA
+      | '=' -> push EQUALS
+      | '+' -> push PLUS
+      | '-' -> push MINUS
+      | '*' -> push STAR
+      | '/' -> push SLASH
+      | '.' ->
+          if !i + 1 < n && src.[!i + 1] = '.' then begin
+            push DOTDOT;
+            incr i
+          end
+          else err "stray '.'"
+      | c -> err (Printf.sprintf "unexpected character %c" c));
+      incr i
+    end
+  done;
+  List.rev ((EOF, !line) :: !toks)
+
+(* ---------------- parser ---------------- *)
+
+type st = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> EOF | (t, _) :: _ -> t
+
+let cur_line st = match st.toks with [] -> 0 | (_, l) :: _ -> l
+
+let err st msg =
+  raise (Parse_error (Printf.sprintf "line %d: %s" (cur_line st) msg))
+
+let next st =
+  match st.toks with
+  | [] -> EOF
+  | (t, _) :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t what = if next st <> t then err st ("expected " ^ what)
+
+let ident st =
+  match next st with IDENT x -> x | _ -> err st "expected identifier"
+
+let int_lit st =
+  match next st with
+  | INT k -> k
+  | MINUS -> ( match next st with INT k -> -k | _ -> err st "expected int")
+  | _ -> err st "expected integer"
+
+(* affine expressions for bounds and [where] constraints *)
+let rec parse_aff st : Aff.t =
+  let t = parse_aff_term st in
+  let rec rest acc =
+    match peek st with
+    | PLUS ->
+        ignore (next st);
+        rest (Aff.add acc (parse_aff_term st))
+    | MINUS ->
+        ignore (next st);
+        rest (Aff.sub acc (parse_aff_term st))
+    | _ -> acc
+  in
+  rest t
+
+and parse_aff_term st : Aff.t =
+  match next st with
+  | MINUS -> Aff.neg (parse_aff_term st)
+  | INT k -> (
+      match peek st with
+      | STAR ->
+          ignore (next st);
+          Aff.scale k (Aff.var (ident st))
+      | IDENT x ->
+          ignore (next st);
+          Aff.term k x
+      | _ -> Aff.const k)
+  | IDENT x -> Aff.var x
+  | LPAREN ->
+      let a = parse_aff st in
+      expect st RPAREN ")";
+      a
+  | _ -> err st "expected affine term"
+
+(* value expressions *)
+let rec parse_expr env st : Ir.expr =
+  let lhs = parse_mul env st in
+  let rec rest acc =
+    match peek st with
+    | PLUS ->
+        ignore (next st);
+        rest (Ir.Bin_e (Ir.Add, acc, parse_mul env st))
+    | MINUS ->
+        ignore (next st);
+        rest (Ir.Bin_e (Ir.Sub, acc, parse_mul env st))
+    | _ -> acc
+  in
+  rest lhs
+
+and parse_mul env st : Ir.expr =
+  let lhs = parse_atom env st in
+  let rec rest acc =
+    match peek st with
+    | STAR ->
+        ignore (next st);
+        rest (Ir.Bin_e (Ir.Mul, acc, parse_atom env st))
+    | SLASH ->
+        ignore (next st);
+        rest (Ir.Bin_e (Ir.Div, acc, parse_atom env st))
+    | _ -> acc
+  in
+  rest lhs
+
+and parse_atom env st : Ir.expr =
+  match next st with
+  | INT k -> Ir.Int_e k
+  | FLOAT f -> Ir.Float_e f
+  | MINUS -> Ir.Neg_e (parse_atom env st)
+  | LPAREN ->
+      let e = parse_expr env st in
+      expect st RPAREN ")";
+      e
+  | IDENT name -> (
+      match peek st with
+      | LPAREN -> (
+          ignore (next st);
+          let args = parse_args env st in
+          match name with
+          | "min" -> (
+              match args with
+              | [ a; b ] -> Ir.Bin_e (Ir.Min, a, b)
+              | _ -> err st "min takes 2 arguments")
+          | "max" -> (
+              match args with
+              | [ a; b ] -> Ir.Bin_e (Ir.Max, a, b)
+              | _ -> err st "max takes 2 arguments")
+          | "clamp" -> (
+              match args with
+              | [ x; lo; hi ] -> Ir.Clamp_e (x, lo, hi)
+              | _ -> err st "clamp takes 3 arguments")
+          | "select" -> (
+              match args with
+              | [ c; a; b ] -> Ir.Select_e (c, a, b)
+              | _ -> err st "select takes 3 arguments")
+          | "abs" | "sqrt" | "exp" | "log" | "sin" | "cos" | "floor"
+          | "pow" ->
+              Ir.Call_e (name, args)
+          | _ -> Ir.Access_e (name, args))
+      | _ ->
+          let is_iter, is_param = env name in
+          if is_iter then Ir.Iter_e name
+          else if is_param then Ir.Param_e name
+          else err st (Printf.sprintf "unknown name %s" name))
+  | _ -> err st "expected expression"
+
+and parse_args env st : Ir.expr list =
+  let rec go acc =
+    match peek st with
+    | RPAREN ->
+        ignore (next st);
+        List.rev acc
+    | COMMA ->
+        ignore (next st);
+        go acc
+    | _ -> go (parse_expr env st :: acc)
+  in
+  go []
+
+(* ---------------- top-level ---------------- *)
+
+let parse src =
+  let st = { toks = lex src } in
+  (match ident st with
+  | "function" -> ()
+  | _ -> err st "program must start with 'function'");
+  let fname = ident st in
+  expect st LPAREN "(";
+  let params =
+    let rec go acc =
+      match next st with
+      | RPAREN -> List.rev acc
+      | COMMA -> go acc
+      | IDENT p -> go (p :: acc)
+      | _ -> err st "expected parameter name"
+    in
+    go []
+  in
+  let fn = Tiramisu.create ~params fname in
+  let is_param n = List.mem n params in
+  (* iterator scope is per computation; the env closure is rebuilt below *)
+  let parse_iter_list () =
+    (* (i in lo..hi, j in lo..hi, ...) *)
+    expect st LPAREN "(";
+    let rec go acc =
+      match next st with
+      | RPAREN -> List.rev acc
+      | COMMA -> go acc
+      | IDENT it ->
+          (match next st with
+          | IDENT "in" -> ()
+          | _ -> err st "expected 'in'");
+          let lo = parse_aff st in
+          expect st DOTDOT "..";
+          let hi = parse_aff st in
+          (* ranges are written inclusive..exclusive-minus-one? we use
+             lo..hi as half-open [lo, hi): 0..N-2 means i < N-2 *)
+          go (Tiramisu.var it lo hi :: acc)
+      | _ -> err st "expected iterator"
+    in
+    go []
+  in
+  let rec statements () =
+    match peek st with
+    | EOF -> ()
+    | IDENT "input" ->
+        ignore (next st);
+        let name = ident st in
+        expect st LBRACK "[";
+        let dims =
+          let rec go acc =
+            match peek st with
+            | RBRACK ->
+                ignore (next st);
+                List.rev acc
+            | COMMA ->
+                ignore (next st);
+                go acc
+            | _ -> go (parse_aff st :: acc)
+          in
+          go []
+        in
+        let vars =
+          List.mapi
+            (fun k d -> Tiramisu.var (Printf.sprintf "_d%d" k) (Aff.const 0) d)
+            dims
+        in
+        ignore (Tiramisu.input fn name vars);
+        statements ()
+    | IDENT "comp" ->
+        ignore (next st);
+        let name = ident st in
+        let vars = parse_iter_list () in
+        expect st EQUALS "=";
+        let iters = List.map (fun v -> v.Tiramisu.v_name) vars in
+        let env n = (List.mem n iters, is_param n) in
+        let body = parse_expr env st in
+        let c = Tiramisu.comp fn name vars body in
+        (match peek st with
+        | IDENT "where" ->
+            ignore (next st);
+            (* a single affine comparison chain, e.g. where x >= r is not
+               lexable here (no relations in this lexer) — accept the form
+               lo <= expr style via the ISL parser instead: where "..." *)
+            (match next st with
+            | STRING s ->
+                let set =
+                  Isl.parse_set
+                    (Printf.sprintf "[%s] -> { %s[%s] : %s }"
+                       (String.concat ", " params) name
+                       (String.concat ", " iters) s)
+                in
+                c.Ir.domain <- Iset.intersect c.Ir.domain set
+            | _ -> err st "expected string of ISL constraints after 'where'")
+        | _ -> ());
+        statements ()
+    | IDENT "schedule" ->
+        ignore (next st);
+        schedule ()
+    | _ -> err st "expected 'input', 'comp' or 'schedule'"
+  and schedule () =
+    match peek st with
+    | EOF -> ()
+    | IDENT cmd -> (
+        ignore (next st);
+        let comp () = Tiramisu.find_comp fn (ident st) in
+        (match cmd with
+        | "tile" ->
+            let c = comp () in
+            let i = ident st and j = ident st in
+            let t1 = int_lit st and t2 = int_lit st in
+            let a = ident st and b = ident st and x = ident st and y = ident st in
+            Tiramisu.tile c i j t1 t2 a b x y
+        | "tile_gpu" ->
+            let c = comp () in
+            let i = ident st and j = ident st in
+            let t1 = int_lit st and t2 = int_lit st in
+            let a = ident st and b = ident st and x = ident st and y = ident st in
+            Tiramisu.tile_gpu c i j t1 t2 a b x y
+        | "split" ->
+            let c = comp () in
+            let i = ident st in
+            let f = int_lit st in
+            let a = ident st and b = ident st in
+            Tiramisu.split c i f a b
+        | "interchange" ->
+            let c = comp () in
+            let i = ident st and j = ident st in
+            Tiramisu.interchange c i j
+        | "shift" ->
+            let c = comp () in
+            let i = ident st in
+            Tiramisu.shift c i (int_lit st)
+        | "skew" ->
+            let c = comp () in
+            let i = ident st and j = ident st in
+            Tiramisu.skew c i j (int_lit st)
+        | "reverse" ->
+            let c = comp () in
+            Tiramisu.reverse c (ident st)
+        | "parallelize" ->
+            let c = comp () in
+            Tiramisu.parallelize c (ident st)
+        | "vectorize" ->
+            let c = comp () in
+            let i = ident st in
+            Tiramisu.vectorize c i (int_lit st)
+        | "unroll" ->
+            let c = comp () in
+            let i = ident st in
+            Tiramisu.unroll c i (int_lit st)
+        | "distribute" ->
+            let c = comp () in
+            Tiramisu.distribute c (ident st)
+        | "compute_at" ->
+            let p = comp () in
+            let c = comp () in
+            Tiramisu.compute_at p c (ident st)
+        | "cache_shared_at" ->
+            let p = comp () in
+            let c = comp () in
+            Tiramisu.cache_shared_at p c (ident st)
+        | "inline" -> Tiramisu.inline (comp ())
+        | "after" ->
+            let c = comp () in
+            let b = comp () in
+            Tiramisu.after c b (ident st)
+        | "store_in_dims" ->
+            let c = comp () in
+            expect st LPAREN "(";
+            let rec dims acc =
+              match next st with
+              | RPAREN -> List.rev acc
+              | COMMA -> dims acc
+              | IDENT d -> dims (d :: acc)
+              | _ -> err st "expected dimension name"
+            in
+            Tiramisu.store_in_dims c (dims [])
+        | "set_schedule" -> (
+            let c = comp () in
+            match next st with
+            | STRING s -> Tiramisu.set_schedule c s
+            | _ -> err st "expected ISL map string")
+        | _ -> err st (Printf.sprintf "unknown scheduling command %s" cmd));
+        schedule ())
+    | _ -> err st "expected a scheduling command"
+  in
+  statements ();
+  fn
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse src

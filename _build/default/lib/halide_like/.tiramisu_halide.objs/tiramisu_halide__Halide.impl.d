@@ -1,0 +1,1 @@
+lib/halide_like/halide.ml: Array Expr Float Hashtbl Ir List Option Printf Seq Tiramisu_backends Tiramisu_codegen Tiramisu_core Tiramisu_presburger

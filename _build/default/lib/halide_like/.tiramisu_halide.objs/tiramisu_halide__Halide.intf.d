@@ -1,0 +1,1 @@
+lib/halide_like/halide.mli: Tiramisu_backends Tiramisu_codegen Tiramisu_core

@@ -1,0 +1,1 @@
+lib/halide_like/hkernels.ml: Expr Halide Ir List Tiramisu_codegen Tiramisu_core

@@ -1,0 +1,91 @@
+(** A mini-Halide: the interval-based baseline compiler of §II-c / §VI-B.
+
+    Halide represents iteration spaces as rectangular intervals and infers
+    bounds by interval arithmetic, instead of the polyhedral sets Tiramisu
+    uses.  This module reproduces that design point over the same expression
+    language and loop IR, including Halide's documented restrictions:
+
+    - {b rectangular domains only}: every Func is realized over the bounding
+      box inferred from its consumers, which over-approximates non-
+      rectangular regions (ticket #2373 faults at realization);
+    - {b acyclic dataflow only}: in-place updates (edgeDetector) are
+      rejected;
+    - {b conservative fusion}: [compute_with] refuses to fuse two Funcs when
+      one reads the other or both write the same buffer, without consulting
+      dependence analysis (nb stays unfused);
+    - {b no general affine transformations}: only split / reorder /
+      parallel / vectorize / unroll / gpu_tile;
+    - {b distributed over-approximation}: the halo a node must receive is
+      derived from interval bounds of the (possibly clamped) accesses, so a
+      clamped stencil requires the neighbour's entire chunk, which is then
+      packed before sending (§VI-B-c). *)
+
+exception Unsupported of string
+
+type func
+type pipeline
+
+val pipeline : string -> pipeline
+val func : pipeline -> string -> string list -> Tiramisu_core.Ir.expr -> func
+(** Pure function definition over an unbounded rectangular domain. *)
+
+val input : pipeline -> string -> int -> func
+(** [input p name rank] declares an input image. *)
+
+val name : func -> string
+
+(** {1 Scheduling (the Halide subset)} *)
+
+val parallel : func -> string -> unit
+val vectorize : func -> string -> int -> unit
+val split : func -> string -> int -> string -> string -> unit
+val reorder : func -> string list -> unit
+val unroll : func -> string -> int -> unit
+val gpu_tile : func -> string -> string -> int -> int -> unit
+
+val compute_with : func -> func -> unit
+(** Fuse two Funcs' loop nests. @raise Unsupported under Halide's
+    conservative rule: one reads the other, or they share an output
+    buffer. *)
+
+val store_in_input : func -> func -> unit
+(** Write a Func's result into an input's buffer (in-place).
+    @raise Unsupported always — Halide requires acyclic dataflow. *)
+
+(** {1 Realization} *)
+
+type compiled = {
+  ast : Tiramisu_codegen.Loop_ir.stmt;
+  buffers : (string * int array * Tiramisu_codegen.Loop_ir.mem_space) list;
+  regions : (string * (int * int) list) list;
+      (** inferred realization box per func (min, extent) *)
+}
+
+val compile :
+  pipeline ->
+  outputs:(func * (int * int) list) list ->
+  inputs:(func * (int * int) list) list ->
+  params:(string * int) list ->
+  compiled
+(** Interval bounds inference from the requested output regions, then loop
+    generation.  @raise Unsupported on cyclic dataflow.
+    @raise Unsupported when an inferred region exceeds an input's declared
+    bounds (the ticket #2373 failure mode: the generated code would fault
+    at execution). *)
+
+val run :
+  compiled -> params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  Tiramisu_backends.Interp.t
+
+val estimate :
+  ?machine:Tiramisu_backends.Machine.t ->
+  compiled -> params:(string * int) list ->
+  Tiramisu_backends.Cost.report
+
+val dist_comm_bytes :
+  pipeline -> output:func -> rows:int -> cols:int -> elems:int -> nodes:int ->
+  float
+(** Bytes each node sends per exchange under distributed Halide's
+    interval-derived halo (over-approximated for clamped accesses), used by
+    the Fig. 6/7 distributed comparison. *)

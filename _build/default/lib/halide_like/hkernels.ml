@@ -1,0 +1,241 @@
+(* The image benchmarks of §VI-B written against the mini-Halide API, with
+   the expert schedules.  edgeDetector and ticket #2373 are deliberately
+   absent: they cannot be expressed (see {!Halide.store_in_input} and the
+   bounds-inference failure), which is what the "-" entries of Fig. 6
+   denote. *)
+
+open Tiramisu_core
+module H = Halide
+module E = Expr
+
+let acc name idx = Ir.Access_e (name, idx)
+let i' = E.iter "i"
+let j' = E.iter "j"
+let c' = E.iter "c"
+
+type bench = {
+  b_pipe : H.pipeline;
+  b_out : H.func list;
+  b_inputs : (H.func * (int * int) list) list;
+  b_out_bounds : (int * int) list;
+  cpu_sched : unit -> unit;
+  gpu_sched : unit -> unit;
+}
+
+let rgb_bounds n m = [ (0, n - 1); (0, m - 1); (0, 2) ]
+
+let cvt_color ~n ~m =
+  let p = H.pipeline "h_cvtColor" in
+  let inp = H.input p "img" 3 in
+  let gray =
+    H.func p "gray" [ "i"; "j" ]
+      E.(
+        (float 0.299 *: acc "img" [ i'; j'; int 0 ])
+        +: (float 0.587 *: acc "img" [ i'; j'; int 1 ])
+        +: (float 0.114 *: acc "img" [ i'; j'; int 2 ]))
+  in
+  {
+    b_pipe = p;
+    b_out = [ gray ];
+    b_inputs = [ (inp, rgb_bounds n m) ];
+    b_out_bounds = [ (0, n - 1); (0, m - 1) ];
+    cpu_sched =
+      (fun () ->
+        H.parallel gray "i";
+        H.vectorize gray "j" 8);
+    gpu_sched = (fun () -> H.gpu_tile gray "i" "j" 16 16);
+  }
+
+let conv2d ~n ~m =
+  let p = H.pipeline "h_conv2D" in
+  let inp = H.input p "img" 3 in
+  let w = H.input p "weights" 2 in
+  let terms =
+    List.concat_map
+      (fun ki ->
+        List.map
+          (fun kj ->
+            E.(
+              acc "img"
+                [
+                  clamp (i' +: int (ki - 1)) (int 0) (int (n - 1));
+                  clamp (j' +: int (kj - 1)) (int 0) (int (m - 1));
+                  c';
+                ]
+              *: acc "weights" [ int ki; int kj ]))
+          [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  let conv =
+    H.func p "conv" [ "i"; "j"; "c" ]
+      (List.fold_left E.( +: ) (List.hd terms) (List.tl terms))
+  in
+  {
+    b_pipe = p;
+    b_out = [ conv ];
+    b_inputs = [ (inp, rgb_bounds n m); (w, [ (0, 2); (0, 2) ]) ];
+    b_out_bounds = rgb_bounds n m;
+    cpu_sched =
+      (fun () ->
+        H.parallel conv "i";
+        H.vectorize conv "j" 8;
+        H.unroll conv "c" 3);
+    (* No constant-memory placement in the Halide PTX backend (§VI-B-b). *)
+    gpu_sched = (fun () -> H.gpu_tile conv "i" "j" 16 16);
+  }
+
+let gaussian ~n ~m =
+  let p = H.pipeline "h_gaussian" in
+  let inp = H.input p "img" 3 in
+  let weights = [ 0.0625; 0.25; 0.375; 0.25; 0.0625 ] in
+  let s1 =
+    List.mapi
+      (fun k w ->
+        E.(
+          float w
+          *: acc "img"
+               [ i'; clamp (j' +: int (k - 2)) (int 0) (int (m - 1)); c' ]))
+      weights
+  in
+  let gx =
+    H.func p "gx" [ "i"; "j"; "c" ]
+      (List.fold_left E.( +: ) (List.hd s1) (List.tl s1))
+  in
+  let s2 =
+    List.mapi
+      (fun k w ->
+        E.(
+          float w
+          *: acc "gx"
+               [ clamp (i' +: int (k - 2)) (int 0) (int (n - 1)); j'; c' ]))
+      weights
+  in
+  let gy =
+    H.func p "gy" [ "i"; "j"; "c" ]
+      (List.fold_left E.( +: ) (List.hd s2) (List.tl s2))
+  in
+  {
+    b_pipe = p;
+    b_out = [ gy ];
+    b_inputs = [ (inp, rgb_bounds n m) ];
+    b_out_bounds = rgb_bounds n m;
+    cpu_sched =
+      (fun () ->
+        H.parallel gx "i";
+        H.vectorize gx "j" 8;
+        H.parallel gy "i";
+        H.vectorize gy "j" 8);
+    gpu_sched =
+      (fun () ->
+        H.gpu_tile gx "i" "j" 16 16;
+        H.gpu_tile gy "i" "j" 16 16);
+  }
+
+let warp_affine ~n ~m =
+  let p = H.pipeline "h_warpAffine" in
+  let inp = H.input p "img" 2 in
+  let a11, a12, b1, a21, a22, b2 = (0.9, 0.1, 3.0, -0.1, 0.9, 5.0) in
+  let open E in
+  let xf = (float a11 *: i') +: (float a12 *: j') +: float b1 in
+  let yf = (float a21 *: i') +: (float a22 *: j') +: float b2 in
+  let xi =
+    clamp (cast Tiramisu_codegen.Loop_ir.I32 (call "floor" [ xf ])) (int 0)
+      (int (n - 2))
+  in
+  let yi =
+    clamp (cast Tiramisu_codegen.Loop_ir.I32 (call "floor" [ yf ])) (int 0)
+      (int (m - 2))
+  in
+  let wx = xf -: call "floor" [ xf ] and wy = yf -: call "floor" [ yf ] in
+  let s dx dy = acc "img" [ xi +: int dx; yi +: int dy ] in
+  let warp =
+    H.func p "warp" [ "i"; "j" ]
+      (((float 1.0 -: wx) *: (float 1.0 -: wy) *: s 0 0)
+      +: (wx *: (float 1.0 -: wy) *: s 1 0)
+      +: ((float 1.0 -: wx) *: wy *: s 0 1)
+      +: (wx *: wy *: s 1 1))
+  in
+  {
+    b_pipe = p;
+    b_out = [ warp ];
+    b_inputs = [ (inp, [ (0, n - 1); (0, m - 1) ]) ];
+    b_out_bounds = [ (0, n - 1); (0, m - 1) ];
+    cpu_sched =
+      (fun () ->
+        H.parallel warp "i";
+        H.vectorize warp "j" 8);
+    gpu_sched = (fun () -> H.gpu_tile warp "i" "j" 16 16);
+  }
+
+(* nb: Halide cannot fuse the four stages (conservative rule), so each runs
+   as its own loop nest — 4x the memory traffic of the fused Tiramisu
+   version. *)
+let nb ~n ~m =
+  let p = H.pipeline "h_nb" in
+  let inp = H.input p "img" 3 in
+  let t1 =
+    H.func p "t1" [ "i"; "j"; "c" ]
+      E.(float 255.0 -: acc "img" [ i'; j'; c' ])
+  in
+  let neg =
+    H.func p "negative" [ "i"; "j"; "c" ]
+      E.(max_ (float 0.0) (acc "t1" [ i'; j'; c' ]))
+  in
+  let t2 =
+    H.func p "t2" [ "i"; "j"; "c" ]
+      E.(float 1.5 *: acc "img" [ i'; j'; c' ])
+  in
+  let bright =
+    H.func p "brightened" [ "i"; "j"; "c" ]
+      E.(min_ (float 255.0) (acc "t2" [ i'; j'; c' ]))
+  in
+  let all = [ t1; neg; t2; bright ] in
+  {
+    b_pipe = p;
+    b_out = [ neg; bright ];
+    b_inputs = [ (inp, rgb_bounds n m) ];
+    b_out_bounds = rgb_bounds n m;
+    cpu_sched =
+      (fun () ->
+        List.iter
+          (fun f ->
+            H.parallel f "i";
+            H.vectorize f "j" 8)
+          all);
+    gpu_sched = (fun () -> List.iter (fun f -> H.gpu_tile f "i" "j" 16 16) all);
+  }
+
+let blur ~n ~m =
+  ignore (n, m);
+  let p = H.pipeline "h_blur" in
+  let inp = H.input p "img" 3 in
+  let bx =
+    H.func p "bx" [ "i"; "j"; "c" ]
+      E.(
+        ((acc "img" [ i'; j'; c' ] +: acc "img" [ i'; j' +: int 1; c' ])
+        +: acc "img" [ i'; j' +: int 2; c' ])
+        /: float 3.0)
+  in
+  let by =
+    H.func p "by" [ "i"; "j"; "c" ]
+      E.(
+        ((acc "bx" [ i'; j'; c' ] +: acc "bx" [ i' +: int 1; j'; c' ])
+        +: acc "bx" [ i' +: int 2; j'; c' ])
+        /: float 3.0)
+  in
+  {
+    b_pipe = p;
+    b_out = [ by ];
+    b_inputs = [ (inp, rgb_bounds n m) ];
+    b_out_bounds = [ (0, n - 5); (0, m - 3); (0, 2) ];
+    cpu_sched =
+      (fun () ->
+        H.parallel by "i";
+        H.vectorize by "j" 8;
+        H.parallel bx "i";
+        H.vectorize bx "j" 8);
+    gpu_sched =
+      (fun () ->
+        H.gpu_tile bx "i" "j" 16 16;
+        H.gpu_tile by "i" "j" 16 16);
+  }

@@ -1,0 +1,1 @@
+lib/kernels/image.ml: Aff Cstr Expr List Tiramisu Tiramisu_codegen Tiramisu_core Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/kernels/linalg.ml: Aff Expr Ir List Schedule Tiramisu Tiramisu_codegen Tiramisu_core Tiramisu_presburger

@@ -1,0 +1,1 @@
+lib/kernels/runner.ml: Array Float Ir List Lower Printf String Tiramisu_backends Tiramisu_core

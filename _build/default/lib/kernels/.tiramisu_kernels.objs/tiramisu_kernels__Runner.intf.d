@@ -1,0 +1,1 @@
+lib/kernels/runner.mli: Ir Tiramisu_backends Tiramisu_core

@@ -1,0 +1,1 @@
+lib/kernels/schedules.ml: Aff Ir List Schedule Tiramisu Tiramisu_codegen Tiramisu_core Tiramisu_presburger

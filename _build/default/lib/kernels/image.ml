@@ -1,0 +1,248 @@
+(* The image-processing benchmarks of §VI-B: edgeDetector, cvtColor, conv2D,
+   warpAffine, gaussian, nb and ticket #2373, as Tiramisu pipelines, plus
+   the expert schedules used for the CPU / GPU / distributed comparisons.
+
+   Every builder returns a fresh pipeline; schedules mutate it in place
+   (mirroring the paper's workflow: same algorithm, different scheduling
+   commands per target). *)
+
+open Tiramisu_presburger
+open Tiramisu_core
+open Tiramisu
+module E = Expr
+
+let a = Aff.var
+let k0 = Aff.const
+
+(* Common iterator helpers over an N x M (x3) image. *)
+let rows ?(margin = 0) () = var "i" (k0 0) Aff.(a "N" - k0 margin)
+let cols ?(margin = 0) () = var "j" (k0 0) Aff.(a "M" - k0 margin)
+let chans = var "c" (k0 0) (k0 3)
+
+let rgb_input f name =
+  input f name [ rows (); cols (); chans ]
+
+(* Sum of a list of expressions. *)
+let sum = function
+  | [] -> E.int 0
+  | e :: rest -> List.fold_left E.( +: ) e rest
+
+(* ------------------------------------------------------------------ *)
+(* blur (Figs. 2-3): two-stage 3-point blur.                           *)
+(* ------------------------------------------------------------------ *)
+
+let blur () =
+  let f = create ~params:[ "N"; "M" ] "blur" in
+  let i = rows ~margin:2 () and j = cols ~margin:2 () in
+  let ib = var "i" (k0 0) Aff.(a "N" - k0 4) in
+  let inp = rgb_input f "img" in
+  let bx =
+    comp f "bx" [ i; j; chans ]
+      E.(
+        ((inp $ [ x i; x j; x chans ])
+        +: (inp $ [ x i; x j +: int 1; x chans ])
+        +: (inp $ [ x i; x j +: int 2; x chans ]))
+        /: float 3.0)
+  in
+  let bx_of v j' = E.(bx $ [ v; j'; (x chans : t) ]) in
+  let by =
+    comp f "by" [ ib; j; chans ]
+      E.(
+        (bx_of (x ib) (x j) +: bx_of (x ib +: int 1) (x j)
+        +: bx_of (x ib +: int 2) (x j))
+        /: float 3.0)
+  in
+  (f, bx, by)
+
+(* ------------------------------------------------------------------ *)
+(* cvtColor: RGB -> grayscale (no stencil, no communication).          *)
+(* ------------------------------------------------------------------ *)
+
+let cvt_color () =
+  let f = create ~params:[ "N"; "M" ] "cvtColor" in
+  let i = rows () and j = cols () in
+  let inp = rgb_input f "img" in
+  let gray =
+    comp f "gray" [ i; j ]
+      E.(
+        (float 0.299 *: (inp $ [ x i; x j; int 0 ]))
+        +: (float 0.587 *: (inp $ [ x i; x j; int 1 ]))
+        +: (float 0.114 *: (inp $ [ x i; x j; int 2 ])))
+  in
+  (f, gray)
+
+(* ------------------------------------------------------------------ *)
+(* conv2D: 3x3 convolution with clamped borders (non-affine accesses). *)
+(* ------------------------------------------------------------------ *)
+
+let conv2d () =
+  let f = create ~params:[ "N"; "M" ] "conv2D" in
+  let i = rows () and j = cols () in
+  let inp = rgb_input f "img" in
+  let kern =
+    input f "weights" [ var "ki" (k0 0) (k0 3); var "kj" (k0 0) (k0 3) ]
+  in
+  let terms =
+    List.concat_map
+      (fun ki ->
+        List.map
+          (fun kj ->
+            E.(
+              (inp
+              $ [
+                  clamp (x i +: int (ki - 1)) (int 0) (param "N" -: int 1);
+                  clamp (x j +: int (kj - 1)) (int 0) (param "M" -: int 1);
+                  x chans;
+                ])
+              *: (kern $ [ int ki; int kj ])))
+          [ 0; 1; 2 ])
+      [ 0; 1; 2 ]
+  in
+  let out = comp f "conv" [ i; j; chans ] (sum terms) in
+  (f, kern, out)
+
+(* ------------------------------------------------------------------ *)
+(* warpAffine: inverse affine warp with bilinear sampling (non-affine). *)
+(* ------------------------------------------------------------------ *)
+
+let warp_coeffs = (0.9, 0.1, 3.0, -0.1, 0.9, 5.0)
+
+let warp_affine () =
+  let f = create ~params:[ "N"; "M" ] "warpAffine" in
+  let i = rows () and j = cols () in
+  let inp = input f "img" [ rows (); cols () ] in
+  let a11, a12, b1, a21, a22, b2 = warp_coeffs in
+  let open E in
+  let xf = (float a11 *: x i) +: (float a12 *: x j) +: float b1 in
+  let yf = (float a21 *: x i) +: (float a22 *: x j) +: float b2 in
+  let xi = cast Tiramisu_codegen.Loop_ir.I32 (call "floor" [ xf ]) in
+  let yi = cast Tiramisu_codegen.Loop_ir.I32 (call "floor" [ yf ]) in
+  let cl v hi = clamp v (int 0) (param hi -: int 2) in
+  let xi = cl xi "N" and yi = cl yi "M" in
+  let wx = xf -: call "floor" [ xf ] and wy = yf -: call "floor" [ yf ] in
+  let s dx dy = inp $ [ xi +: int dx; yi +: int dy ] in
+  let out =
+    comp f "warp" [ i; j ]
+      (((float 1.0 -: wx) *: (float 1.0 -: wy) *: s 0 0)
+      +: (wx *: (float 1.0 -: wy) *: s 1 0)
+      +: ((float 1.0 -: wx) *: wy *: s 0 1)
+      +: (wx *: wy *: s 1 1))
+  in
+  (f, out)
+
+(* ------------------------------------------------------------------ *)
+(* gaussian: separable 5-tap blur with clamped borders.                *)
+(* ------------------------------------------------------------------ *)
+
+let gaussian_weights = [ 0.0625; 0.25; 0.375; 0.25; 0.0625 ]
+
+let gaussian () =
+  let f = create ~params:[ "N"; "M" ] "gaussian" in
+  let i = rows () and j = cols () in
+  let inp = rgb_input f "img" in
+  let tap e w = E.(float w *: e) in
+  let gx =
+    comp f "gx" [ i; j; chans ]
+      (sum
+         (List.mapi
+            (fun k w ->
+              tap
+                E.(
+                  inp
+                  $ [
+                      x i;
+                      clamp (x j +: int (k - 2)) (int 0) (param "M" -: int 1);
+                      x chans;
+                    ])
+                w)
+            gaussian_weights))
+  in
+  let gy =
+    comp f "gy" [ i; j; chans ]
+      (sum
+         (List.mapi
+            (fun k w ->
+              tap
+                E.(
+                  gx
+                  $ [
+                      clamp (x i +: int (k - 2)) (int 0) (param "N" -: int 1);
+                      x j;
+                      x chans;
+                    ])
+                w)
+            gaussian_weights))
+  in
+  (f, gx, gy)
+
+(* ------------------------------------------------------------------ *)
+(* nb: 4-stage synthetic pipeline producing a negative and a brightened *)
+(* image from the same input (the fusion benchmark).                   *)
+(* ------------------------------------------------------------------ *)
+
+let nb () =
+  let f = create ~params:[ "N"; "M" ] "nb" in
+  let i = rows () and j = cols () in
+  let inp = rgb_input f "img" in
+  let t1 =
+    comp f "t1" [ i; j; chans ] E.(float 255.0 -: (inp $ [ x i; x j; x chans ]))
+  in
+  let neg =
+    comp f "negative" [ i; j; chans ]
+      E.(max_ (float 0.0) (t1 $ [ x i; x j; x chans ]))
+  in
+  let t2 =
+    comp f "t2" [ i; j; chans ] E.(float 1.5 *: (inp $ [ x i; x j; x chans ]))
+  in
+  let bright =
+    comp f "brightened" [ i; j; chans ]
+      E.(min_ (float 255.0) (t2 $ [ x i; x j; x chans ]))
+  in
+  (f, t1, neg, t2, bright)
+
+(* ------------------------------------------------------------------ *)
+(* edgeDetector: ring blur + Roberts edge filter, writing the result   *)
+(* back into the image buffer (cyclic memory dataflow; §VI-B).         *)
+(* ------------------------------------------------------------------ *)
+
+let edge_detector () =
+  let f = create ~params:[ "N" ] "edgeDetector" in
+  let i = var "i" (k0 1) Aff.(a "N" - k0 2) in
+  let j = var "j" (k0 1) Aff.(a "N" - k0 2) in
+  let img = input f "img" [ var "i" (k0 0) (a "N"); var "j" (k0 0) (a "N") ] in
+  let open E in
+  let at di dj = img $ [ x i +: int di; x j +: int dj ] in
+  let r =
+    comp f "r" [ i; j ]
+      ((at (-1) (-1) +: at (-1) 0 +: at (-1) 1 +: at 0 (-1) +: at 0 1
+       +: at 1 (-1) +: at 1 0 +: at 1 1)
+      /: float 8.0)
+  in
+  let racc di dj = r $ [ x i +: int di; x j +: int dj ] in
+  (* edges reads r at (i+1, j-1): stay within r's domain. *)
+  let out =
+    comp f "edges" [ var "i" (k0 1) Aff.(a "N" - k0 3);
+                     var "j" (k0 2) Aff.(a "N" - k0 2) ]
+      (abs_ (racc 0 0 -: racc 1 (-1)) +: abs_ (racc 1 0 -: racc 0 (-1)))
+  in
+  (* In-place: the edge image overwrites the input buffer — the cyclic
+     dataflow Halide rejects. *)
+  store_in out (buffer_of img) [ a "i"; a "j" ];
+  (f, r, out)
+
+(* ------------------------------------------------------------------ *)
+(* ticket #2373: non-rectangular (triangular) iteration space.  The    *)
+(* read in(x - r) is only in-bounds on the triangle x >= r: a compiler  *)
+(* that over-approximates the domain to its bounding box faults.       *)
+(* ------------------------------------------------------------------ *)
+
+let ticket2373 () =
+  let f = create ~params:[ "N" ] "ticket2373" in
+  let r = var "r" (k0 0) (a "N") in
+  let xx = var "x" (k0 0) (a "N") in
+  let inp = input f "img" [ var "i" (k0 0) (a "N") ] in
+  let t = comp f "t" [ r; xx ] E.(inp $ [ x xx -: x r ]) in
+  add_domain_constraints t [ Cstr.Ge (a "x", a "r") ];
+  (f, t)
+
+(* Expert schedules live in {!Schedules}. *)

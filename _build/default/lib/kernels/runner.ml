@@ -1,0 +1,93 @@
+open Tiramisu_core
+module B = Tiramisu_backends
+
+let prepare ~fn ~params ~inputs =
+  (* Lower once; each call of the thunk re-creates buffers and executes the
+     generated code (used by the wall-clock micro-benchmarks). *)
+  let lowered = Lower.lower fn in
+  let extents = Lower.buffer_extents fn ~params in
+  fun () ->
+    let interp = B.Interp.create ~params () in
+    List.iter
+      (fun ((b : Ir.buffer), dims) ->
+        B.Interp.add_buffer interp
+          (B.Buffers.create ~mem:b.Ir.buf_mem b.Ir.buf_name dims))
+      extents;
+    List.iter
+      (fun (name, fill) -> B.Buffers.fill (B.Interp.buffer interp name) fill)
+      inputs;
+    B.Interp.run interp lowered.Lower.ast;
+    interp
+
+let run ~fn ~params ~inputs =
+  let lowered = Lower.lower fn in
+  let interp = B.Interp.create ~params () in
+  List.iter
+    (fun ((b : Ir.buffer), dims) ->
+      B.Interp.add_buffer interp (B.Buffers.create ~mem:b.Ir.buf_mem b.Ir.buf_name dims))
+    (Lower.buffer_extents fn ~params);
+  List.iter
+    (fun (name, fill) ->
+      let buf = B.Interp.buffer interp name in
+      B.Buffers.fill buf fill)
+    inputs;
+  B.Interp.run interp lowered.Lower.ast;
+  interp
+
+let model ?machine ~fn ~params () =
+  let lowered = Lower.lower fn in
+  let buffers =
+    List.map
+      (fun ((b : Ir.buffer), dims) -> (b.Ir.buf_name, dims, b.Ir.buf_mem))
+      (Lower.buffer_extents fn ~params)
+  in
+  B.Cost.estimate ?machine ~params ~buffers lowered.Lower.ast
+
+let check ~fn ~params ~inputs ~output ~expect ?(eps = 1e-3) () =
+  let interp = run ~fn ~params ~inputs in
+  let buf = B.Interp.buffer interp output in
+  let bad = ref None in
+  let rank = Array.length buf.B.Buffers.dims in
+  let idx = Array.make rank 0 in
+  let n = B.Buffers.size buf in
+  (try
+     for flat = 0 to n - 1 do
+       let r = ref flat in
+       for k = rank - 1 downto 0 do
+         idx.(k) <- !r mod buf.B.Buffers.dims.(k);
+         r := !r / buf.B.Buffers.dims.(k)
+       done;
+       let got = buf.B.Buffers.data.(flat) in
+       let want = expect idx in
+       if Float.abs (got -. want) > eps then begin
+         bad :=
+           Some
+             (Printf.sprintf "%s%s: got %g, want %g" output
+                (String.concat ""
+                   (List.map (Printf.sprintf "[%d]") (Array.to_list idx)))
+                got want);
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  match !bad with None -> Ok () | Some m -> Error m
+
+let run_native ~fn ~params ~inputs =
+  (* Closure-compiled execution (the fast backend); same contract as
+     {!run}. *)
+  let lowered = Lower.lower fn in
+  let buffers =
+    List.map
+      (fun ((b : Ir.buffer), dims) ->
+        B.Buffers.create ~mem:b.Ir.buf_mem b.Ir.buf_name dims)
+      (Lower.buffer_extents fn ~params)
+  in
+  List.iter
+    (fun (name, fill) ->
+      match List.find_opt (fun b -> b.B.Buffers.name = name) buffers with
+      | Some b -> B.Buffers.fill b fill
+      | None -> invalid_arg ("run_native: unknown input " ^ name))
+    inputs;
+  let compiled = B.Exec.compile ~params ~buffers lowered.Lower.ast in
+  B.Exec.run compiled;
+  compiled

@@ -1,0 +1,50 @@
+(** Uniform execution and modeling entry points for the benchmark kernels. *)
+
+open Tiramisu_core
+module B = Tiramisu_backends
+
+val prepare :
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  (unit -> B.Interp.t)
+(** Lower once and return a thunk that executes the generated code (for
+    wall-clock measurement without recompilation). *)
+
+val run :
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  B.Interp.t
+(** Lower the pipeline and execute it with the reference interpreter; input
+    buffers are filled from the given functions, every other buffer starts
+    zeroed.  Returns the interpreter (query outputs via
+    {!B.Interp.buffer}). *)
+
+val model :
+  ?machine:B.Machine.t ->
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  unit ->
+  B.Cost.report
+(** Lower the pipeline and estimate its execution time on the machine
+    model. *)
+
+val check :
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  output:string ->
+  expect:(int array -> float) ->
+  ?eps:float ->
+  unit ->
+  (unit, string) result
+(** Run and compare the named output buffer element-wise against [expect]. *)
+
+val run_native :
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  B.Exec.compiled
+(** Closure-compiled execution with real multicore parallelism (OCaml 5
+    domains); the fast counterpart of {!run}. *)

@@ -1,0 +1,236 @@
+(* Expert schedules for the image benchmarks, one per target architecture —
+   the right-hand side of the paper's Fig. 6 heatmap.  These are the
+   "hand-written by Halide experts" schedules of §VI-B, expressed with
+   Table II commands.
+
+   Conventions: every schedule function takes the pipeline built by the
+   matching {!Image} builder and mutates it. Distributed schedules take the
+   concrete row count and node count because [split] factors are integer
+   literals (as in Fig. 3c, where the factor is N/Ranks). *)
+
+open Tiramisu_presburger
+open Tiramisu_core
+open Tiramisu
+module L = Tiramisu_codegen.Loop_ir
+
+let a = Aff.var
+let k0 = Aff.const
+
+(* ---------------- CPU ---------------- *)
+
+let cpu_blur ?(t = 32) (f : Ir.fn) =
+  let bx = find_comp f "bx" and by = find_comp f "by" in
+  tile by "i" "j" t t "i0" "j0" "i1" "j1";
+  parallelize by "i0";
+  compute_at bx by "j0";
+  vectorize by "j1" 8
+
+let cpu_cvt_color f =
+  let g = find_comp f "gray" in
+  parallelize g "i";
+  vectorize g "j" 8
+
+let cpu_conv2d f =
+  let c = find_comp f "conv" in
+  parallelize c "i";
+  vectorize c "j" 8;
+  unroll c "c" 3
+
+let cpu_warp_affine f =
+  let w = find_comp f "warp" in
+  parallelize w "i";
+  vectorize w "j" 8
+
+let cpu_gaussian f =
+  let gx = find_comp f "gx" and gy = find_comp f "gy" in
+  parallelize gx "i";
+  parallelize gy "i";
+  vectorize gx "j" 8;
+  vectorize gy "j" 8
+
+(* nb: the fusion schedule — all four stages share one loop nest (Tiramisu
+   proves legality via dependence analysis; Halide refuses, §VI-B). *)
+let cpu_nb ?(fuse = true) f =
+  let t1 = find_comp f "t1" and neg = find_comp f "negative" in
+  let t2 = find_comp f "t2" and bright = find_comp f "brightened" in
+  if fuse then begin
+    after neg t1 "c";
+    after t2 neg "c";
+    after bright t2 "c"
+  end;
+  List.iter
+    (fun c ->
+      parallelize c "i";
+      vectorize c "j" 8)
+    [ t1; neg; t2; bright ]
+
+let cpu_edge_detector f =
+  let r = find_comp f "r" and e = find_comp f "edges" in
+  parallelize r "i";
+  parallelize e "i";
+  vectorize r "j" 8;
+  vectorize e "j" 8
+
+let cpu_ticket2373 f =
+  let t = find_comp f "t" in
+  parallelize t "r"
+
+(* ---------------- GPU ---------------- *)
+
+(* Copy operations bracket the kernel: inputs host-to-device before the
+   first computation, outputs device-to-host after the last (Fig. 3b). *)
+let gpu_wrap f ~inputs ~outputs ~first ~last =
+  ignore first;
+  ignore last;
+  (* Input copies run before every computation, output copies after: pin
+     their root static orders directly. *)
+  List.iteri
+    (fun k i ->
+      let cp = host_to_device f (find_comp f i) in
+      Schedule.set_static cp.Ir.sched 0 (-10 + k))
+    inputs;
+  List.iteri
+    (fun k o ->
+      let cp = device_to_host f (find_comp f o) in
+      Schedule.set_static cp.Ir.sched 0 (1000 + k))
+    outputs
+
+let gpu_tile_2d f name =
+  let c = find_comp f name in
+  tile_gpu c "i" "j" 16 16 "i0" "j0" "i1" "j1"
+
+let gpu_blur f =
+  gpu_tile_2d f "by";
+  let bx = find_comp f "bx" and by = find_comp f "by" in
+  compute_at bx by "j0";
+  (* Stage bx's tile in shared memory (Fig. 3b line 8). *)
+  cache_shared_at bx by "j0";
+  (* SOA layout for coalesced accesses (Fig. 3b). *)
+  store_in_dims bx [ "c"; "i"; "j" ];
+  store_in_dims by [ "c"; "i"; "j" ];
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[] ~first:"bx" ~last:"by";
+  tag_mem (buffer_of by) L.Gpu_global
+
+let gpu_cvt_color f =
+  gpu_tile_2d f "gray";
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[ "gray" ] ~first:"gray" ~last:"gray"
+
+let gpu_conv2d f =
+  gpu_tile_2d f "conv";
+  (* The weights go to constant memory — the optimization behind the paper's
+     win over Halide on conv2D/gaussian (§VI-B-b). *)
+  tag_mem (buffer_of (find_comp f "weights")) L.Gpu_constant;
+  gpu_wrap f ~inputs:[ "img"; "weights" ] ~outputs:[ "conv" ] ~first:"conv"
+    ~last:"conv"
+
+let gpu_warp_affine f =
+  gpu_tile_2d f "warp";
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[ "warp" ] ~first:"warp" ~last:"warp"
+
+let gpu_gaussian f =
+  gpu_tile_2d f "gx";
+  gpu_tile_2d f "gy";
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[ "gy" ] ~first:"gx" ~last:"gy"
+
+let gpu_nb ?(fuse = true) f =
+  let t1 = find_comp f "t1" and neg = find_comp f "negative" in
+  let t2 = find_comp f "t2" and bright = find_comp f "brightened" in
+  if fuse then begin
+    after neg t1 "c";
+    after t2 neg "c";
+    after bright t2 "c"
+  end;
+  List.iter
+    (fun c -> tile_gpu c "i" "j" 16 16 "i0" "j0" "i1" "j1")
+    [ t1; neg; t2; bright ];
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[ "negative"; "brightened" ]
+    ~first:"t1" ~last:"brightened"
+
+let gpu_edge_detector f =
+  gpu_tile_2d f "r";
+  gpu_tile_2d f "edges";
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[] ~first:"r" ~last:"edges"
+
+let gpu_ticket2373 f =
+  let t = find_comp f "t" in
+  tile_gpu t "r" "x" 16 16 "r0" "x0" "r1" "x1";
+  gpu_wrap f ~inputs:[ "img" ] ~outputs:[ "t" ] ~first:"t" ~last:"t"
+
+(* ---------------- distributed (Fig. 3c pattern) ---------------- *)
+
+(* Split rows across [nodes], distribute the chunk dimension, and exchange
+   [halo] boundary rows between neighbours with explicit send/receive
+   (the exact-communication schedule distributed Halide cannot derive). *)
+let dist_rows f ~comps ~buf ~rows:n ~row_elems ~nodes ~halo =
+  let chunk = n / nodes in
+  List.iter
+    (fun name ->
+      let c = find_comp f name in
+      split c "i" chunk "i0" "i1";
+      distribute c "i0";
+      parallelize c "i1")
+    comps;
+  if halo > 0 then begin
+    let is = var "is" (k0 1) (k0 nodes) in
+    let ir = var "ir" (k0 0) (k0 (nodes - 1)) in
+    let count = k0 (halo * row_elems) in
+    let s =
+      send f "halo_send" ~iters:[ is ] ~buf
+        ~offset:[ Aff.(scale chunk (a "is")) ]
+        ~count
+        ~dest:Aff.(sub (a "is") (k0 1))
+        ~async:true
+    in
+    let r =
+      receive f "halo_recv" ~iters:[ ir ] ~buf
+        ~offset:[ Aff.(add (scale chunk (a "ir")) (k0 chunk)) ]
+        ~count
+        ~src:Aff.(add (a "ir") (k0 1))
+        ~sync:true
+    in
+    (* Halo exchange precedes all compute: sends first, then receives. *)
+    Schedule.set_static s.Ir.sched 0 (-2);
+    Schedule.set_static r.Ir.sched 0 (-1);
+    distribute s "is";
+    distribute r "ir"
+  end
+
+let dist_blur f ~n ~m ~nodes =
+  dist_rows f ~comps:[ "bx"; "by" ] ~buf:(buffer_of (find_comp f "img"))
+    ~rows:n ~row_elems:(m * 3) ~nodes ~halo:2
+
+let dist_cvt_color f ~n ~m ~nodes =
+  ignore m;
+  dist_rows f ~comps:[ "gray" ] ~buf:(buffer_of (find_comp f "img")) ~rows:n
+    ~row_elems:0 ~nodes ~halo:0
+
+let dist_conv2d f ~n ~m ~nodes =
+  dist_rows f ~comps:[ "conv" ] ~buf:(buffer_of (find_comp f "img")) ~rows:n
+    ~row_elems:(m * 3) ~nodes ~halo:1
+
+let dist_warp_affine f ~n ~m ~nodes =
+  dist_rows f ~comps:[ "warp" ] ~buf:(buffer_of (find_comp f "img")) ~rows:n
+    ~row_elems:m ~nodes ~halo:2
+
+let dist_gaussian f ~n ~m ~nodes =
+  dist_rows f ~comps:[ "gx"; "gy" ] ~buf:(buffer_of (find_comp f "img"))
+    ~rows:n ~row_elems:(m * 3) ~nodes ~halo:2
+
+let dist_nb f ~n ~m ~nodes =
+  ignore m;
+  List.iter
+    (fun name ->
+      let c = find_comp f name in
+      split c "i" (n / nodes) "i0" "i1";
+      distribute c "i0";
+      parallelize c "i1")
+    [ "t1"; "negative"; "t2"; "brightened" ]
+
+let dist_edge_detector f ~n ~nodes =
+  dist_rows f ~comps:[ "r"; "edges" ] ~buf:(buffer_of (find_comp f "img"))
+    ~rows:n ~row_elems:n ~nodes ~halo:2
+
+let dist_ticket2373 f ~n ~nodes =
+  let t = find_comp f "t" in
+  split t "r" (n / nodes) "r0" "r1";
+  distribute t "r0"

@@ -1,0 +1,1 @@
+lib/presburger/aff.ml: Array Format Ints List Map Printf Stdlib String Tiramisu_support

@@ -1,0 +1,1 @@
+lib/presburger/aff.mli: Format

@@ -1,0 +1,1 @@
+lib/presburger/cstr.ml: Aff Format

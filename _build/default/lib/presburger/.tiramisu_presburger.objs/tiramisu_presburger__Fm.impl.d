@@ -1,0 +1,1 @@
+lib/presburger/fm.ml: Array Hashtbl Ints List Tiramisu_support Vec

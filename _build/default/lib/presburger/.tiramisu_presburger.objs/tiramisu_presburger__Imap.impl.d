@@ -1,0 +1,1 @@
+lib/presburger/imap.ml: Aff Array Cstr Format Fun Iset List Option Poly Printf Rat Space String Tiramisu_support

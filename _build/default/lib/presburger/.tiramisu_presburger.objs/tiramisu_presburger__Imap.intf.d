@@ -1,0 +1,1 @@
+lib/presburger/imap.mli: Aff Cstr Format Iset Poly Space

@@ -1,0 +1,1 @@
+lib/presburger/iset.ml: Aff Array Cstr Format List Option Poly Printf Space Stdlib String Tiramisu_support

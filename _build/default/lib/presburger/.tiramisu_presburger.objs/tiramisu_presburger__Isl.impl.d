@@ -1,0 +1,1 @@
+lib/presburger/isl.ml: Aff Cstr Imap Iset List Option Printf Space String

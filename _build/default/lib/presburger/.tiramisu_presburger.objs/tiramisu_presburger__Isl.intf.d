@@ -1,0 +1,1 @@
+lib/presburger/isl.mli: Imap Iset

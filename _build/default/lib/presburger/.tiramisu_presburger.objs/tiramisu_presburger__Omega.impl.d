@@ -1,0 +1,1 @@
+lib/presburger/omega.ml: Array Fm Ints List Option Tiramisu_support Vec

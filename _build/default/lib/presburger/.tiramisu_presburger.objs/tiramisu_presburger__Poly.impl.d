@@ -1,0 +1,1 @@
+lib/presburger/poly.ml: Array Fm Format Fun Ints List Omega Printf Tiramisu_support Vec

@@ -1,0 +1,1 @@
+lib/presburger/space.ml: Array Format Hashtbl Option Printf String

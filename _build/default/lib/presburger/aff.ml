@@ -1,0 +1,95 @@
+open Tiramisu_support
+
+module M = Map.Make (String)
+
+type t = { const : int; terms : int M.t }
+
+let normalize terms = M.filter (fun _ c -> c <> 0) terms
+let const c = { const = c; terms = M.empty }
+let zero = const 0
+let term c name = { const = 0; terms = normalize (M.singleton name c) }
+let var name = term 1 name
+
+let add a b =
+  {
+    const = Ints.add a.const b.const;
+    terms =
+      normalize
+        (M.union (fun _ x y -> Some (Ints.add x y)) a.terms b.terms);
+  }
+
+let neg a = { const = Ints.neg a.const; terms = M.map Ints.neg a.terms }
+let sub a b = add a (neg b)
+
+let scale k a =
+  if k = 0 then zero
+  else { const = Ints.mul k a.const; terms = M.map (Ints.mul k) a.terms }
+
+let ( + ) = add
+let ( - ) = sub
+let ( * ) = scale
+let constant_part a = a.const
+let coeff a name = match M.find_opt name a.terms with Some c -> c | None -> 0
+let terms a = M.bindings a.terms
+let is_const a = if M.is_empty a.terms then Some a.const else None
+let vars a = List.map fst (M.bindings a.terms)
+
+let subst a f =
+  M.fold
+    (fun name c acc ->
+      match f name with
+      | None -> add acc (term c name)
+      | Some e -> add acc (scale c e))
+    a.terms (const a.const)
+
+let eval a f =
+  M.fold (fun name c acc -> Ints.add acc (Ints.mul c (f name))) a.terms a.const
+
+let to_row ~cols a =
+  let row = Array.make (Stdlib.( + ) (Array.length cols) 1) 0 in
+  row.(0) <- a.const;
+  M.iter
+    (fun name c ->
+      let idx = ref (-1) in
+      Array.iteri (fun i n -> if n = name && !idx < 0 then idx := i) cols;
+      if !idx < 0 then
+        invalid_arg (Printf.sprintf "Aff.to_row: unknown dimension %s" name);
+      row.(Stdlib.( + ) !idx 1) <- c)
+    a.terms;
+  row
+
+let of_row ~cols row =
+  let acc = ref (const row.(0)) in
+  Array.iteri
+    (fun i name ->
+      if row.(Stdlib.( + ) i 1) <> 0 then
+        acc := add !acc (term row.(Stdlib.( + ) i 1) name))
+    cols;
+  !acc
+
+let compare a b =
+  match Stdlib.compare a.const b.const with
+  | 0 -> M.compare Stdlib.compare a.terms b.terms
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf a =
+  let printed = ref false in
+  M.iter
+    (fun name c ->
+      if !printed then
+        if c > 0 then Format.fprintf ppf " + " else Format.fprintf ppf " - "
+      else if c < 0 then Format.fprintf ppf "-";
+      let ac = abs c in
+      if ac = 1 then Format.fprintf ppf "%s" name
+      else Format.fprintf ppf "%d%s" ac name;
+      printed := true)
+    a.terms;
+  if a.const <> 0 || not !printed then
+    if !printed then
+      if a.const > 0 then Format.fprintf ppf " + %d" a.const
+      else Format.fprintf ppf " - %d" (abs a.const)
+    else Format.fprintf ppf "%d" a.const
+
+let to_string a = Format.asprintf "%a" pp a

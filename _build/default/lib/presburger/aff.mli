@@ -1,0 +1,47 @@
+(** Named affine expressions: [const + Σ coeff·name].
+
+    These are the syntactic building blocks for iteration domains, schedules
+    and access relations; they are resolved to coefficient rows against a
+    {!Space} when building {!Iset}/{!Imap} values, and back again when
+    extracting loop bounds. *)
+
+type t
+
+val const : int -> t
+val var : string -> t
+val term : int -> string -> t
+val zero : t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val scale : int -> t -> t
+
+val ( + ) : t -> t -> t
+val ( - ) : t -> t -> t
+val ( * ) : int -> t -> t
+
+val constant_part : t -> int
+val coeff : t -> string -> int
+val terms : t -> (string * int) list
+(** Non-zero terms, sorted by name. *)
+
+val is_const : t -> int option
+val vars : t -> string list
+
+val subst : t -> (string -> t option) -> t
+(** Replace variables; [None] keeps the variable. *)
+
+val eval : t -> (string -> int) -> int
+(** @raise Not_found (from the callback) for unbound variables. *)
+
+val to_row : cols:string array -> t -> int array
+(** Row in {!Poly} layout: column 0 constant, column [i+1] = [cols.(i)].
+    @raise Invalid_argument if the expression mentions a name outside
+    [cols]. *)
+
+val of_row : cols:string array -> int array -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

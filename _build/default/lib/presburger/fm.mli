@@ -1,0 +1,28 @@
+(** Fourier–Motzkin elimination with integer tightening.
+
+    Projects variables out of an inequality system.  The result is an
+    over-approximation of the exact integer projection (it is the rational
+    shadow, tightened by GCD normalization with floored constants), which is
+    precisely what loop-bound computation needs: bounds may only widen, and
+    per-statement guards recover exactness (see {!Tiramisu_codegen.Ast_gen}).
+
+    Rows follow the {!Omega} layout: [r.(0)] constant, [r.(i+1)] coefficient
+    of variable [i], each row asserting the form is [>= 0]. *)
+
+val tighten : int array -> int array option
+(** Normalize one inequality row: divide by the GCD of the variable
+    coefficients, flooring the constant.  [None] if the row has no variable
+    and asserts a non-negative constant (trivially true); rows asserting a
+    negative constant are returned unchanged (caller detects infeasibility). *)
+
+val eliminate : n:int -> keep:(int -> bool) -> int array list -> int array list
+(** [eliminate ~n ~keep rows] removes every variable [i] with [keep i =
+    false] by pairwise combination.  The returned rows still have arity [n]
+    (eliminated columns are zero), so callers can keep using the original
+    column indexing. *)
+
+val bounds_on : n:int -> var:int -> int array list ->
+  int array list * int array list * int array list
+(** [bounds_on ~n ~var rows] classifies rows into [(lowers, uppers, rest)]
+    according to the sign of the coefficient on [var]: positive coefficient
+    rows bound [var] from below, negative ones from above. *)

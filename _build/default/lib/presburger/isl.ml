@@ -1,0 +1,323 @@
+exception Parse_error of string
+
+(* ---------------- lexer ---------------- *)
+
+type token =
+  | INT of int
+  | IDENT of string
+  | LBRACE | RBRACE | LBRACK | RBRACK | LPAREN | RPAREN
+  | COMMA | COLON | SEMI | ARROW
+  | PLUS | MINUS | STAR
+  | EQ | LE | LT | GE | GT
+  | AND
+  | EOF
+
+let lex (s : string) : token list =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let push t = toks := t :: !toks in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c >= '0' && c <= '9' then begin
+      let j = ref !i in
+      while !j < n && s.[!j] >= '0' && s.[!j] <= '9' do incr j done;
+      push (INT (int_of_string (String.sub s !i (!j - !i))));
+      i := !j
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let j = ref !i in
+      while
+        !j < n
+        && ((s.[!j] >= 'a' && s.[!j] <= 'z')
+           || (s.[!j] >= 'A' && s.[!j] <= 'Z')
+           || (s.[!j] >= '0' && s.[!j] <= '9')
+           || s.[!j] = '_' || s.[!j] = '$' || s.[!j] = '\'')
+      do incr j done;
+      let id = String.sub s !i (!j - !i) in
+      push (if id = "and" then AND else IDENT id);
+      i := !j
+    end
+    else begin
+      (match c with
+      | '{' -> push LBRACE
+      | '}' -> push RBRACE
+      | '[' -> push LBRACK
+      | ']' -> push RBRACK
+      | '(' -> push LPAREN
+      | ')' -> push RPAREN
+      | ',' -> push COMMA
+      | ':' -> push COLON
+      | ';' -> push SEMI
+      | '+' -> push PLUS
+      | '*' -> push STAR
+      | '-' ->
+          if !i + 1 < n && s.[!i + 1] = '>' then begin
+            push ARROW;
+            incr i
+          end
+          else push MINUS
+      | '=' -> push EQ
+      | '<' ->
+          if !i + 1 < n && s.[!i + 1] = '=' then begin
+            push LE;
+            incr i
+          end
+          else push LT
+      | '>' ->
+          if !i + 1 < n && s.[!i + 1] = '=' then begin
+            push GE;
+            incr i
+          end
+          else push GT
+      | '&' ->
+          if !i + 1 < n && s.[!i + 1] = '&' then begin
+            push AND;
+            incr i
+          end
+          else raise (Parse_error "stray '&'")
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %c" c)));
+      incr i
+    end
+  done;
+  List.rev (EOF :: !toks)
+
+(* ---------------- parser ---------------- *)
+
+type stream = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> EOF | t :: _ -> t
+
+let next st =
+  match st.toks with
+  | [] -> EOF
+  | t :: rest ->
+      st.toks <- rest;
+      t
+
+let expect st t =
+  let got = next st in
+  if got <> t then raise (Parse_error "unexpected token")
+
+let idents st close =
+  let rec go acc =
+    match peek st with
+    | t when t = close ->
+        ignore (next st);
+        List.rev acc
+    | COMMA ->
+        ignore (next st);
+        go acc
+    | IDENT x ->
+        ignore (next st);
+        go (x :: acc)
+    | _ -> raise (Parse_error "expected identifier list")
+  in
+  go []
+
+(* params prefix: '[' ids ']' '->' — only if it is followed by '->' *)
+let parse_params st =
+  match st.toks with
+  | LBRACK :: _ ->
+      ignore (next st);
+      let ps = idents st RBRACK in
+      expect st ARROW;
+      ps
+  | _ -> []
+
+let parse_tuple st =
+  let name =
+    match peek st with
+    | IDENT x ->
+        ignore (next st);
+        Some x
+    | _ -> None
+  in
+  match next st with
+  | LBRACK -> (name, idents st RBRACK)
+  | LPAREN -> (name, idents st RPAREN)
+  | _ -> raise (Parse_error "expected tuple")
+
+(* affine expression *)
+let rec parse_expr st : Aff.t =
+  let t = parse_term st in
+  parse_expr_rest st t
+
+and parse_expr_rest st acc =
+  match peek st with
+  | PLUS ->
+      ignore (next st);
+      parse_expr_rest st (Aff.add acc (parse_term st))
+  | MINUS ->
+      ignore (next st);
+      parse_expr_rest st (Aff.sub acc (parse_term st))
+  | _ -> acc
+
+and parse_term st : Aff.t =
+  match next st with
+  | MINUS -> Aff.neg (parse_term st)
+  | INT k -> (
+      match peek st with
+      | STAR ->
+          ignore (next st);
+          Aff.scale k (parse_atom st)
+      | IDENT x ->
+          ignore (next st);
+          Aff.term k x
+      | _ -> Aff.const k)
+  | IDENT x -> (
+      match peek st with
+      | STAR -> (
+          ignore (next st);
+          match next st with
+          | INT k -> Aff.term k x
+          | _ -> raise (Parse_error "non-affine product"))
+      | _ -> Aff.var x)
+  | LPAREN ->
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | _ -> raise (Parse_error "expected term")
+
+and parse_atom st : Aff.t =
+  match next st with
+  | IDENT x -> Aff.var x
+  | INT k -> Aff.const k
+  | LPAREN ->
+      let e = parse_expr st in
+      expect st RPAREN;
+      e
+  | _ -> raise (Parse_error "expected atom")
+
+let rel_of = function
+  | EQ -> Some `Eq
+  | LE -> Some `Le
+  | LT -> Some `Lt
+  | GE -> Some `Ge
+  | GT -> Some `Gt
+  | _ -> None
+
+(* chain: e1 rel e2 rel e3 ... *)
+let parse_chain st : Cstr.t list =
+  let e0 = parse_expr st in
+  let rec go lhs acc =
+    match rel_of (peek st) with
+    | None -> if acc = [] then raise (Parse_error "expected relation") else acc
+    | Some r ->
+        ignore (next st);
+        let rhs = parse_expr st in
+        let c =
+          match r with
+          | `Eq -> Cstr.Eq (lhs, rhs)
+          | `Le -> Cstr.Le (lhs, rhs)
+          | `Lt -> Cstr.Lt (lhs, rhs)
+          | `Ge -> Cstr.Ge (lhs, rhs)
+          | `Gt -> Cstr.Gt (lhs, rhs)
+        in
+        go rhs (c :: acc)
+  in
+  go e0 []
+
+let parse_constrs st : Cstr.t list =
+  let rec go acc =
+    let acc = parse_chain st @ acc in
+    match peek st with
+    | AND ->
+        ignore (next st);
+        go acc
+    | _ -> acc
+  in
+  go []
+
+let parse_set str =
+  let st = { toks = lex str } in
+  let params = parse_params st in
+  expect st LBRACE;
+  let rec pieces acc space =
+    let name, vars = parse_tuple st in
+    let cs =
+      match peek st with
+      | COLON ->
+          ignore (next st);
+          parse_constrs st
+      | _ -> []
+    in
+    let sp =
+      match space with
+      | Some sp -> sp
+      | None -> Space.set_space ?name ~params vars
+    in
+    let piece = Iset.of_constraints sp cs in
+    let acc = match acc with None -> Some piece | Some s -> Some (Iset.union s piece) in
+    match next st with
+    | SEMI -> pieces acc (Some sp)
+    | RBRACE -> Option.get acc
+    | _ -> raise (Parse_error "expected ';' or '}'")
+  in
+  pieces None None
+
+let parse_map str =
+  let st = { toks = lex str } in
+  let params = parse_params st in
+  expect st LBRACE;
+  let in_name, ins = parse_tuple st in
+  expect st ARROW;
+  let out_name, out_exprs_or_vars =
+    (* output tuple entries may be affine expressions of the inputs *)
+    let name =
+      match peek st with
+      | IDENT x when (match st.toks with _ :: (LBRACK | LPAREN) :: _ -> true | _ -> false) ->
+          ignore (next st);
+          Some x
+      | _ -> None
+    in
+    let close =
+      match next st with
+      | LBRACK -> RBRACK
+      | LPAREN -> RPAREN
+      | _ -> raise (Parse_error "expected output tuple")
+    in
+    let rec go acc =
+      match peek st with
+      | t when t = close ->
+          ignore (next st);
+          (name, List.rev acc)
+      | COMMA ->
+          ignore (next st);
+          go acc
+      | _ -> go (parse_expr st :: acc)
+    in
+    go []
+  in
+  let cs =
+    match peek st with
+    | COLON ->
+        ignore (next st);
+        parse_constrs st
+    | _ -> []
+  in
+  expect st RBRACE;
+  (* Outputs that are plain fresh variables become named dims; expression
+     outputs get synthesized names with linking equalities. *)
+  let out_names, link =
+    List.fold_left
+      (fun (names, link) (k, e) ->
+        match Aff.is_const e with
+        | None
+          when (match Aff.terms e with
+               | [ (v, 1) ]
+                 when Aff.constant_part e = 0 && not (List.mem v ins)
+                      && not (List.mem v params) ->
+                   true
+               | _ -> false) ->
+            let v = List.hd (Aff.vars e) in
+            (names @ [ v ], link)
+        | _ ->
+            let v = Printf.sprintf "o$%d" k in
+            (names @ [ v ], Cstr.Eq (Aff.var v, e) :: link))
+      ([], [])
+      (List.mapi (fun k e -> (k, e)) out_exprs_or_vars)
+  in
+  let sp = Space.map_space ?in_name ?out_name ~params ~ins out_names in
+  Imap.of_constraints sp (link @ cs)

@@ -1,0 +1,23 @@
+(** Parser for the ISL set/map notation the paper uses throughout §IV
+    (e.g. [{ S(i, j) : 1 <= i <= 3 and 1 <= j <= 2 }],
+    [{ S1(i, j) -> S2(i + 2, j + 2) : ... }]).
+
+    Supported grammar (a practical subset of isl's):
+
+    {v
+    set    ::= params? '{' piece (';' piece)* '}'
+    piece  ::= tuple (':' constrs)?
+    map    ::= params? '{' tuple '->' tuple (':' constrs)? '}'
+    params ::= '[' idents ']' '->'
+    tuple  ::= ident? ('[' idents ']' | '(' idents ')')
+    constrs::= chain ('and' chain)*
+    chain  ::= expr (rel expr)+          (chains like 0 <= i < N)
+    expr   ::= affine terms with +, -, integer * ident
+    v}
+
+    Both [S[i,j]] and [S(i,j)] tuple syntax are accepted. *)
+
+exception Parse_error of string
+
+val parse_set : string -> Iset.t
+val parse_map : string -> Imap.t

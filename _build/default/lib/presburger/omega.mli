@@ -1,0 +1,38 @@
+(** Exact integer feasibility via the Omega test (Pugh, 1991).
+
+    This is the decision procedure underlying every exactness claim the paper
+    makes for its ISL substrate: compile-time set-emptiness checks (Table I)
+    and exact dependence analysis (§II, §VI-B).
+
+    A system is a list of equality rows and inequality rows over [n]
+    variables.  A row [r] of length [n+1] denotes the affine form
+    [r.(0) + Σ r.(i+1)·x_i]; an equality row asserts the form is [0], an
+    inequality row asserts it is [>= 0].  All variables range over the
+    integers (symbolic parameters are treated as ordinary existentially
+    quantified variables). *)
+
+val feasible : n:int -> eqs:int array list -> ineqs:int array list -> bool
+(** [feasible ~n ~eqs ~ineqs] decides whether the system has an integer
+    solution.  Exact: equalities are eliminated by Pugh's modular reduction;
+    inequalities by Fourier–Motzkin with exact/dark shadows and splinter
+    enumeration when the shadows disagree. *)
+
+val sample : n:int -> eqs:int array list -> ineqs:int array list -> int array option
+(** A witness integer point, or [None] when infeasible.  Requires the
+    feasible region to be bounded in every coordinate it explores (loop-nest
+    domains in this project always are once parameters are fixed); falls back
+    to a bounded search and returns [None] if no point is found within it. *)
+
+(** {1 Building blocks exposed for {!Poly}} *)
+
+exception Infeasible
+
+val normalize_eq : int array -> int array option
+(** Divide an equality row by the GCD of its variable coefficients.  [None]
+    for the trivial row [0 = 0]. @raise Infeasible when the constant is not
+    divisible (no integer solutions). *)
+
+val subst_eq : k:int -> int array -> int array -> int array
+(** [subst_eq ~k e r] substitutes variable [k] out of row [r] using equality
+    row [e], which must carry a unit coefficient on [k].  The result has a
+    zero coefficient on [k]. *)

@@ -1,0 +1,245 @@
+open Tiramisu_support
+
+type t = { n : int; eqs : int array list; ineqs : int array list }
+
+let check_row n r =
+  if Array.length r <> n + 1 then
+    invalid_arg
+      (Printf.sprintf "Poly: row arity %d, expected %d" (Array.length r - 1) n)
+
+let make n ~eqs ~ineqs =
+  List.iter (check_row n) eqs;
+  List.iter (check_row n) ineqs;
+  { n; eqs; ineqs }
+
+let universe n = { n; eqs = []; ineqs = [] }
+let dim p = p.n
+
+let add_eq p r =
+  check_row p.n r;
+  { p with eqs = r :: p.eqs }
+
+let add_ineq p r =
+  check_row p.n r;
+  { p with ineqs = r :: p.ineqs }
+
+let intersect a b =
+  if a.n <> b.n then invalid_arg "Poly.intersect: arity mismatch";
+  { n = a.n; eqs = a.eqs @ b.eqs; ineqs = a.ineqs @ b.ineqs }
+
+let is_empty p = not (Omega.feasible ~n:p.n ~eqs:p.eqs ~ineqs:p.ineqs)
+let sample p = Omega.sample ~n:p.n ~eqs:p.eqs ~ineqs:p.ineqs
+
+let eval row pt =
+  let acc = ref row.(0) in
+  Array.iteri (fun i x -> acc := Ints.add !acc (Ints.mul row.(i + 1) x)) pt;
+  !acc
+
+let mem p pt =
+  Array.length pt = p.n
+  && List.for_all (fun r -> eval r pt = 0) p.eqs
+  && List.for_all (fun r -> eval r pt >= 0) p.ineqs
+
+let insert_vars p ~at ~count =
+  let f r = Vec.insert_cols r ~at:(at + 1) ~count in
+  { n = p.n + count; eqs = List.map f p.eqs; ineqs = List.map f p.ineqs }
+
+let drop_vars p ~at ~count =
+  let f r = Vec.drop_cols r ~at:(at + 1) ~count in
+  { n = p.n - count; eqs = List.map f p.eqs; ineqs = List.map f p.ineqs }
+
+(* Normalize equality rows; raises Omega.Infeasible on contradiction. *)
+let normalize_eqs eqs = List.filter_map Omega.normalize_eq eqs
+
+(* Substitute out every to-be-eliminated variable that carries a unit
+   coefficient in some equality. Exact. *)
+let subst_units ~keep p =
+  let rec go eqs ineqs zeroed =
+    let pick =
+      List.find_opt
+        (fun e ->
+          let found = ref false in
+          Array.iteri
+            (fun j c ->
+              if j > 0 && abs c = 1 && (not (keep (j - 1))) && not zeroed.(j - 1)
+              then found := true)
+            e;
+          !found)
+        eqs
+    in
+    match pick with
+    | None -> (eqs, ineqs, zeroed)
+    | Some e ->
+        let k = ref (-1) in
+        Array.iteri
+          (fun j c ->
+            if !k < 0 && j > 0 && abs c = 1 && (not (keep (j - 1)))
+               && not zeroed.(j - 1)
+            then k := j - 1)
+          e;
+        let k = !k in
+        let sub r = if r == e then r else Omega.subst_eq ~k e r in
+        let clear r =
+          (* Keep arity: zero the substituted column instead of dropping. *)
+          let r' = Array.copy r in
+          r'.(k + 1) <- 0;
+          r'
+        in
+        let eqs' =
+          List.filter_map
+            (fun r -> if r == e then None else Some (clear (sub r)))
+            eqs
+        in
+        let ineqs' = List.map (fun r -> clear (sub r)) ineqs in
+        zeroed.(k) <- true;
+        go eqs' ineqs' zeroed
+  in
+  let zeroed = Array.make p.n false in
+  go (normalize_eqs p.eqs) p.ineqs zeroed
+
+let eliminate p ~keep =
+  match subst_units ~keep p with
+  | exception Omega.Infeasible ->
+      (* Represent the contradiction explicitly: -1 >= 0. *)
+      let bad = Vec.zero (p.n + 1) in
+      bad.(0) <- -1;
+      ({ n = p.n; eqs = []; ineqs = [ bad ] }, true)
+  | eqs, ineqs, zeroed ->
+      let still_to_go v = (not (keep v)) && not zeroed.(v) in
+      let appears v =
+        List.exists (fun r -> r.(v + 1) <> 0) eqs
+        || List.exists (fun r -> r.(v + 1) <> 0) ineqs
+      in
+      let leftovers =
+        List.filter
+          (fun v -> still_to_go v && appears v)
+          (List.init p.n Fun.id)
+      in
+      if leftovers = [] then ({ n = p.n; eqs; ineqs }, true)
+      else
+        (* Fall back to rational Fourier-Motzkin with integer tightening:
+           an over-approximation of the integer projection. *)
+        let rows =
+          ineqs @ List.concat_map (fun e -> [ e; Vec.neg e ]) eqs
+        in
+        let keep' v = not (List.mem v leftovers) in
+        let rows' = Fm.eliminate ~n:p.n ~keep:keep' rows in
+        ({ n = p.n; eqs = []; ineqs = rows' }, false)
+
+let project_out p ~at ~count =
+  let keep v = v < at || v >= at + count in
+  let q, exact = eliminate p ~keep in
+  (drop_vars q ~at ~count, exact)
+
+let fix_var p v c =
+  let row = Vec.unit (p.n + 1) (v + 1) in
+  row.(0) <- -c;
+  add_eq p row
+
+let constant_value p v =
+  (* Gauss-propagate equalities to surface single-variable rows. *)
+  match
+    let eqs = ref (normalize_eqs p.eqs) in
+    let progress = ref true in
+    while !progress do
+      progress := false;
+      (* Use any single-variable equality x_j = c to substitute everywhere. *)
+      List.iter
+        (fun e ->
+          let nz =
+            List.filter (fun j -> e.(j + 1) <> 0) (List.init p.n Fun.id)
+          in
+          match nz with
+          | [ j ] when abs e.(j + 1) = 1 ->
+              let changed = ref false in
+              eqs :=
+                List.map
+                  (fun r ->
+                    if r != e && r.(j + 1) <> 0 then (
+                      changed := true;
+                      let r' = Omega.subst_eq ~k:j e r in
+                      r'.(j + 1) <- 0;
+                      r')
+                    else r)
+                  !eqs;
+              if !changed then progress := true
+          | _ -> ())
+        !eqs;
+      eqs := normalize_eqs !eqs
+    done;
+    !eqs
+  with
+  | exception Omega.Infeasible -> None
+  | eqs ->
+      List.find_map
+        (fun e ->
+          let nz =
+            List.filter (fun j -> e.(j + 1) <> 0) (List.init p.n Fun.id)
+          in
+          match nz with
+          | [ j ] when j = v && abs e.(j + 1) = 1 ->
+              Some (-e.(0) * e.(j + 1))
+          | _ -> None)
+        eqs
+
+let to_ineqs p = p.ineqs @ List.concat_map (fun e -> [ e; Vec.neg e ]) p.eqs
+
+(* not (row >= 0)  <=>  -row - 1 >= 0 *)
+let negate_ineq row =
+  let r = Vec.neg row in
+  r.(0) <- Ints.sub r.(0) 1;
+  r
+
+let subtract a b =
+  if a.n <> b.n then invalid_arg "Poly.subtract: arity mismatch";
+  let rows = to_ineqs b in
+  let pieces, _ =
+    List.fold_left
+      (fun (acc, ctx) row ->
+        let piece = add_ineq ctx (negate_ineq row) in
+        let ctx' = add_ineq ctx row in
+        ((if is_empty piece then acc else piece :: acc), ctx'))
+      ([], a) rows
+  in
+  List.rev pieces
+
+let implies_ineq p row =
+  check_row p.n row;
+  is_empty (add_ineq p (negate_ineq row))
+
+let gist p ~ctx =
+  let keep_ineqs = List.filter (fun r -> not (implies_ineq ctx r)) p.ineqs in
+  let keep_eqs =
+    List.filter
+      (fun e -> not (implies_ineq ctx e && implies_ineq ctx (Vec.neg e)))
+      p.eqs
+  in
+  { p with eqs = keep_eqs; ineqs = keep_ineqs }
+
+let permute p perm =
+  if Array.length perm <> p.n then invalid_arg "Poly.permute";
+  let f r =
+    Array.init (p.n + 1) (fun i -> if i = 0 then r.(0) else r.(perm.(i - 1) + 1))
+  in
+  { p with eqs = List.map f p.eqs; ineqs = List.map f p.ineqs }
+
+let subset a b =
+  a.n = b.n
+  && List.for_all
+       (fun r -> implies_ineq a r)
+       (to_ineqs b)
+
+let equal a b = subset a b && subset b a
+
+let pp ppf p =
+  let pp_row kind ppf r =
+    Format.fprintf ppf "%d" r.(0);
+    Array.iteri
+      (fun i c -> if i > 0 && c <> 0 then Format.fprintf ppf " %+d·x%d" c (i - 1))
+      r;
+    Format.fprintf ppf " %s 0" kind
+  in
+  Format.fprintf ppf "@[<v>{ dim=%d" p.n;
+  List.iter (fun r -> Format.fprintf ppf ";@ %a" (pp_row "=") r) p.eqs;
+  List.iter (fun r -> Format.fprintf ppf ";@ %a" (pp_row ">=") r) p.ineqs;
+  Format.fprintf ppf " }@]"

@@ -1,0 +1,77 @@
+(** Raw convex integer polyhedra (conjunctions of affine constraints).
+
+    A value of type {!t} represents the set of integer points of dimension
+    [n] satisfying a list of equality and inequality rows (layout as in
+    {!Omega}: column 0 is the constant).  This module is nameless — the
+    {!Set_} and {!Map_} wrappers assign meaning (parameters, tuple
+    dimensions) to columns. *)
+
+type t = private { n : int; eqs : int array list; ineqs : int array list }
+
+val make : int -> eqs:int array list -> ineqs:int array list -> t
+(** @raise Invalid_argument if a row's length differs from [n+1]. *)
+
+val universe : int -> t
+val dim : t -> int
+val add_eq : t -> int array -> t
+val add_ineq : t -> int array -> t
+val intersect : t -> t -> t
+
+val is_empty : t -> bool
+(** Exact integer emptiness (Omega test). *)
+
+val sample : t -> int array option
+(** A witness integer point (see {!Omega.sample} for caveats). *)
+
+val mem : t -> int array -> bool
+(** Point membership. *)
+
+val insert_vars : t -> at:int -> count:int -> t
+(** Add [count] fresh unconstrained dimensions before position [at]. *)
+
+val drop_vars : t -> at:int -> count:int -> t
+(** Remove columns without elimination — only safe if the dropped variables
+    are unconstrained or already eliminated. *)
+
+val eliminate : t -> keep:(int -> bool) -> t * bool
+(** Existentially project out all variables [v] with [keep v = false].  The
+    boolean is [true] when the projection is exact (every eliminated variable
+    was removed by unit-coefficient equality substitution); otherwise the
+    result is a Fourier–Motzkin over-approximation.  The result keeps arity
+    [n] with zero columns for eliminated variables. *)
+
+val project_out : t -> at:int -> count:int -> t * bool
+(** [eliminate] followed by [drop_vars]: the result has [n - count]
+    dimensions. *)
+
+val fix_var : t -> int -> int -> t
+(** [fix_var p v c] adds the equality [x_v = c]. *)
+
+val constant_value : t -> int -> int option
+(** [constant_value p v] is [Some c] when the (normalized, propagated)
+    equalities force [x_v = c] syntactically. *)
+
+val subtract : t -> t -> t list
+(** [subtract a b] is a disjoint decomposition of [a \ b] into convex
+    pieces; empty pieces are filtered out. *)
+
+val implies_ineq : t -> int array -> bool
+(** [implies_ineq p row] holds when every point of [p] satisfies [row >= 0]. *)
+
+val gist : t -> ctx:t -> t
+(** Drop from [p] every constraint already implied by [ctx]. *)
+
+val to_ineqs : t -> int array list
+(** All constraints as inequality rows (equalities become two rows). *)
+
+val permute : t -> int array -> t
+(** [permute p perm]: variable [i] of the result is variable [perm.(i)] of
+    [p]. *)
+
+val equal : t -> t -> bool
+(** Set equality (double inclusion, exact). *)
+
+val subset : t -> t -> bool
+(** [subset a b]: every integer point of [a] lies in [b]. *)
+
+val pp : Format.formatter -> t -> unit

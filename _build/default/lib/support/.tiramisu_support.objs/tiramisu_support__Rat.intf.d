@@ -1,0 +1,1 @@
+lib/support/rat.mli: Format

@@ -1,0 +1,30 @@
+exception Overflow
+
+let add a b =
+  let r = a + b in
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then raise Overflow else r
+
+let neg a = if a = min_int then raise Overflow else -a
+let sub a b = if b = min_int then raise Overflow else add a (-b)
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a || (a = min_int && b = -1) then raise Overflow else r
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul (a / gcd a b) b)
+
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let cdiv a b = -fdiv (-a) b
+let emod a b = a - mul b (fdiv a b)
+let sign a = compare a 0
+
+let rec pow b e =
+  if e < 0 then invalid_arg "Ints.pow: negative exponent"
+  else if e = 0 then 1
+  else mul b (pow b (e - 1))

@@ -1,0 +1,1 @@
+test/test_autosched.ml: Alcotest Array Image Linalg List Printf Runner Schedules String Tiramisu_autosched Tiramisu_backends Tiramisu_core Tiramisu_kernels

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Aff Alcotest Array Ast_gen Cstr Imap Iset List Loop_ir Printf QCheck QCheck_alcotest Space String Tiramisu_backends Tiramisu_codegen Tiramisu_presburger

@@ -1,0 +1,1 @@
+test/test_core.ml: Aff Alcotest Array Astring Expr Float Ir List Lower Printf Tiramisu Tiramisu_backends Tiramisu_codegen Tiramisu_core Tiramisu_presburger

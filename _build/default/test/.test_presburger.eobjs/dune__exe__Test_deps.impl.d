@@ -1,0 +1,1 @@
+test/test_deps.ml: Aff Alcotest Expr Ir List Tiramisu Tiramisu_core Tiramisu_deps Tiramisu_presburger

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Image Linalg List Printf Runner Schedules Tiramisu_backends Tiramisu_core Tiramisu_kernels Unix

@@ -1,0 +1,1 @@
+test/test_halide.ml: Alcotest Array Astring Expr Float Ir List Printf Tiramisu_backends Tiramisu_core Tiramisu_halide

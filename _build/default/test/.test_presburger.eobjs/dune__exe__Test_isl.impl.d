@@ -1,0 +1,1 @@
+test/test_isl.ml: Aff Alcotest Array Astring Expr Filename Imap Ir Iset Isl List Lower Printf Sys Tiramisu Tiramisu_backends Tiramisu_codegen Tiramisu_core Tiramisu_kernels Tiramisu_presburger

@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Float Image List Printf Runner Schedules Tiramisu_backends Tiramisu_kernels

@@ -1,0 +1,1 @@
+test/test_layer4.ml: Aff Alcotest Array Astring Expr Float Ir List Lower Printf Tiramisu Tiramisu_backends Tiramisu_codegen Tiramisu_core Tiramisu_kernels Tiramisu_presburger

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Float Linalg List Printf Runner Tiramisu_backends Tiramisu_core Tiramisu_deps Tiramisu_kernels

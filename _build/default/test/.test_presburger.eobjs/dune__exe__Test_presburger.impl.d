@@ -1,0 +1,1 @@
+test/test_presburger.ml: Aff Alcotest Array Astring Cstr Format Imap Iset List Option Poly Printf QCheck QCheck_alcotest Space Tiramisu_presburger

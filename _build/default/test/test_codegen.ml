@@ -1,0 +1,248 @@
+(* AST-generation tests: generated loop nests must visit every point of every
+   scheduled set exactly once, in the lexicographic order of the time tuples
+   (the CLooG contract, paper §V-A).  The oracle is Iset.points enumeration;
+   the system under test is Ast_gen + the reference interpreter. *)
+
+open Tiramisu_presburger
+open Tiramisu_codegen
+module B = Tiramisu_backends
+
+let v = Aff.var
+let c = Aff.const
+
+(* Run the generated AST, collecting (stmt_name, time_tuple) in order. *)
+let trace ?(params = []) sources =
+  let ast = Ast_gen.generate ~params:(List.map fst params) sources in
+  let t = B.Interp.create ~params () in
+  let log = ref [] in
+  B.Interp.on_store t (fun name idx _ ->
+      let stmt = String.sub name 8 (String.length name - 8) in
+      log := (stmt, Array.to_list idx) :: !log);
+  B.Interp.run t ast;
+  (ast, List.rev !log)
+
+(* A trace-emitting source over a scheduled set. Index offset avoids negative
+   trace indices for skewed schedules. *)
+let source name sched tags =
+  let nt = Iset.n_vars sched in
+  {
+    Ast_gen.name;
+    sched;
+    dim_names = Array.init nt (Printf.sprintf "t%d");
+    tags = (match tags with Some ts -> ts | None -> Array.make nt Loop_ir.Seq);
+    emit =
+      (fun env ->
+        Loop_ir.Store
+          ( "__trace_" ^ name,
+            List.init nt env,
+            Loop_ir.Float 0.0 ));
+  }
+
+let expected_points sched ~params =
+  List.map Array.to_list (Iset.points sched ~params)
+
+let check_single_stmt ?(params = []) name sched =
+  let _, log = trace ~params [ source name sched None ] in
+  let got = List.map snd log in
+  let want = expected_points sched ~params in
+  Alcotest.(check (list (list int))) (name ^ " visit order") want got
+
+(* ---------- fixed scenarios ---------- *)
+
+let box_space = Space.set_space ~name:"S" ~params:[] [ "i"; "j" ]
+
+let box lo_i hi_i lo_j hi_j =
+  Iset.of_constraints box_space
+    (Cstr.between (c lo_i) (v "i") (c hi_i)
+    @ Cstr.between (c lo_j) (v "j") (c hi_j))
+
+let triangle n =
+  (* { S[i,j] : 0 <= i < n, i <= j < n } *)
+  Iset.of_constraints box_space
+    (Cstr.between (c 0) (v "i") (c n) @ Cstr.between (v "i") (v "j") (c n))
+
+let apply_map ?nt dom cstrs =
+  let nt = match nt with Some n -> n | None -> List.length cstrs in
+  let outs = List.init nt (Printf.sprintf "o%d") in
+  let sp =
+    Space.map_space ~params:[]
+      ~ins:(Array.to_list dom.Iset.space.Space.vars)
+      outs
+  in
+  Imap.apply dom (Imap.of_constraints sp cstrs)
+
+let fixed_tests =
+  [
+    Alcotest.test_case "identity box" `Quick (fun () ->
+        check_single_stmt "box" (box 0 4 0 3));
+    Alcotest.test_case "triangle (non-rectangular)" `Quick (fun () ->
+        check_single_stmt "tri" (triangle 6));
+    Alcotest.test_case "interchange" `Quick (fun () ->
+        let sched =
+          apply_map (triangle 5)
+            [ Cstr.Eq (v "o0", v "j"); Cstr.Eq (v "o1", v "i") ]
+        in
+        check_single_stmt "interchange" sched);
+    Alcotest.test_case "skewing (not expressible in Halide)" `Quick (fun () ->
+        let sched =
+          apply_map (box 0 4 0 4)
+            [ Cstr.Eq (v "o0", Aff.(v "i" + v "j")); Cstr.Eq (v "o1", v "j") ]
+        in
+        check_single_stmt "skew" sched);
+    Alcotest.test_case "tiling a triangle (guards needed)" `Quick (fun () ->
+        let sched =
+          apply_map ~nt:4 (triangle 10)
+            ([
+               Cstr.Eq (v "i", Aff.(4 * v "o0" + v "o2"));
+               Cstr.Eq (v "j", Aff.(4 * v "o1" + v "o3"));
+             ]
+            @ Cstr.between (c 0) (v "o2") (c 4)
+            @ Cstr.between (c 0) (v "o3") (c 4))
+        in
+        check_single_stmt "tiled-tri" sched);
+    Alcotest.test_case "loop reversal" `Quick (fun () ->
+        let sched =
+          apply_map (box 0 5 0 3)
+            [ Cstr.Eq (v "o0", Aff.(neg (v "i"))); Cstr.Eq (v "o1", v "j") ]
+        in
+        check_single_stmt "reversed" sched);
+    Alcotest.test_case "two statements sequenced by static dim" `Quick
+      (fun () ->
+        (* S then T, each over a 3x2 box: schedule [stmt, i, j]. *)
+        let sched k =
+          apply_map (box 0 3 0 2)
+            [
+              Cstr.Eq (v "o0", c k);
+              Cstr.Eq (v "o1", v "i");
+              Cstr.Eq (v "o2", v "j");
+            ]
+        in
+        let _, log =
+          trace [ source "S" (sched 0) None; source "T" (sched 1) None ]
+        in
+        let names = List.map fst log in
+        Alcotest.(check int) "total" 12 (List.length log);
+        let first_half = List.filteri (fun i _ -> i < 6) names in
+        Alcotest.(check (list string)) "S first"
+          [ "S"; "S"; "S"; "S"; "S"; "S" ] first_half);
+    Alcotest.test_case "fusion interleaves statements" `Quick (fun () ->
+        (* S and T fused at i (static dim inside): order (i, stmt, j). *)
+        let sched k =
+          apply_map (box 0 3 0 2)
+            [
+              Cstr.Eq (v "o0", v "i");
+              Cstr.Eq (v "o1", c k);
+              Cstr.Eq (v "o2", v "j");
+            ]
+        in
+        let _, log =
+          trace [ source "S" (sched 0) None; source "T" (sched 1) None ]
+        in
+        let names = List.map fst log in
+        Alcotest.(check (list string)) "interleaved"
+          [ "S"; "S"; "T"; "T"; "S"; "S"; "T"; "T"; "S"; "S"; "T"; "T" ]
+          names);
+    Alcotest.test_case "fused statements with different extents" `Quick
+      (fun () ->
+        (* S over 0..5, T over 2..8, fused on the same loop: loop covers the
+           union, guards restrict each statement. *)
+        let line_space = Space.set_space ~name:"L" ~params:[] [ "i" ] in
+        let seg a b =
+          Iset.of_constraints line_space (Cstr.between (c a) (v "i") (c b))
+        in
+        let sched dom k =
+          apply_map dom [ Cstr.Eq (v "o0", v "i"); Cstr.Eq (v "o1", c k) ]
+        in
+        let _, log =
+          trace
+            [
+              source "S" (sched (seg 0 6) 0) None;
+              source "T" (sched (seg 2 9) 1) None;
+            ]
+        in
+        let expected =
+          (* i=0,1: S only; i=2..5: S,T; i=6..8: T only *)
+          List.concat_map
+            (fun i ->
+              (if i < 6 then [ ("S", [ i; 0 ]) ] else [])
+              @ if i >= 2 then [ ("T", [ i; 1 ]) ] else [])
+            [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ]
+        in
+        Alcotest.(check (list (pair string (list int)))) "union loop" expected
+          log);
+    Alcotest.test_case "parametric bounds" `Quick (fun () ->
+        let sp = Space.set_space ~name:"P" ~params:[ "N" ] [ "i" ] in
+        let dom =
+          Iset.of_constraints sp (Cstr.between (c 0) (v "i") Aff.(v "N" - c 2))
+        in
+        let _, log = trace ~params:[ ("N", 6) ] [ source "P" dom None ] in
+        Alcotest.(check int) "N-2 iterations" 4 (List.length log));
+  ]
+
+(* ---------- qcheck: random affine schedules on random domains ---------- *)
+
+let gen_domain =
+  QCheck.Gen.(
+    let* ni = int_range 3 6 in
+    let* nj = int_range 3 6 in
+    let* shape = int_range 0 2 in
+    return
+      (match shape with
+      | 0 -> box 0 ni 0 nj
+      | 1 -> triangle (ni + 2)
+      | _ ->
+          (* trapezoid: j <= i + 2 *)
+          Iset.add_constraints (box 0 ni 0 nj)
+            [ Cstr.Le (v "j", Aff.(v "i" + c 2)) ]))
+
+let gen_transform =
+  QCheck.Gen.(
+    let* kind = int_range 0 4 in
+    return
+      (match kind with
+      | 0 -> [ Cstr.Eq (v "o0", v "i"); Cstr.Eq (v "o1", v "j") ]
+      | 1 -> [ Cstr.Eq (v "o0", v "j"); Cstr.Eq (v "o1", v "i") ]
+      | 2 ->
+          [ Cstr.Eq (v "o0", Aff.(v "i" + v "j")); Cstr.Eq (v "o1", v "j") ]
+      | 3 ->
+          [
+            Cstr.Eq (v "o0", Aff.(v "i" - c 3));
+            Cstr.Eq (v "o1", Aff.(neg (v "j")));
+          ]
+      | _ ->
+          [
+            Cstr.Eq (v "o0", Aff.(2 * v "i" + v "j"));
+            Cstr.Eq (v "o1", Aff.(v "i" + c 1));
+          ]))
+
+let gen_tiling =
+  QCheck.Gen.(
+    let* f = int_range 2 4 in
+    return
+      ([
+         Cstr.Eq (v "i", Aff.(f * v "o0" + v "o2"));
+         Cstr.Eq (v "j", Aff.(f * v "o1" + v "o3"));
+       ]
+      @ Cstr.between (c 0) (v "o2") (c f)
+      @ Cstr.between (c 0) (v "o3") (c f)))
+
+let prop_random_schedule =
+  QCheck.Test.make ~count:150 ~name:"random schedules visit points in order"
+    (QCheck.make
+       QCheck.Gen.(
+         let* d = gen_domain in
+         let* tile = bool in
+         let* t = if tile then gen_tiling else gen_transform in
+         return (d, t, if tile then 4 else 2)))
+    (fun (dom, tr, nt) ->
+      let sched = apply_map ~nt dom tr in
+      let _, log = trace [ source "S" sched None ] in
+      List.map snd log = expected_points sched ~params:[])
+
+let () =
+  Alcotest.run "codegen"
+    [
+      ("ast-gen", fixed_tests);
+      ( "ast-gen-qcheck",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_schedule ] );
+    ]

@@ -1,0 +1,151 @@
+(* Dependence analysis and legality tests (paper §II, Table I rows "Exact
+   dependence analysis" / "Compile-time set emptiness check" / "Expressing
+   cyclic data-flow graphs"). *)
+
+open Tiramisu_presburger
+open Tiramisu_core
+module D = Tiramisu_deps.Deps
+
+let a = Aff.var
+let c0 = Aff.const
+
+let make_blur () =
+  let f = Tiramisu.create ~params:[ "N"; "M" ] "blur" in
+  let i = Tiramisu.var "i" (c0 0) Aff.(a "N" - c0 2) in
+  let iby = Tiramisu.var "i" (c0 0) Aff.(a "N" - c0 4) in
+  let j = Tiramisu.var "j" (c0 0) Aff.(a "M" - c0 2) in
+  let inp =
+    Tiramisu.input f "input"
+      [ Tiramisu.var "i" (c0 0) (a "N"); Tiramisu.var "j" (c0 0) (a "M") ]
+  in
+  let open Expr in
+  let open Tiramisu in
+  let bx =
+    comp f "bx" [ i; j ]
+      (((inp $ [ x i; x j ]) +: (inp $ [ x i; x j +: int 1 ])) /: float 2.0)
+  in
+  let by =
+    comp f "by" [ iby; j ]
+      (((bx $ [ x iby; x j ]) +: (bx $ [ x iby +: int 2; x j ])) /: float 2.0)
+  in
+  (f, inp, bx, by)
+
+(* A stencil with a self-dependence of distance (1, -1):
+   s(i,j) = s(i-1, j+1) + 1. *)
+let make_skewed_stencil () =
+  let f = Tiramisu.create ~params:[ "N" ] "stencil" in
+  let i = Tiramisu.var "i" (c0 1) (a "N") in
+  let j = Tiramisu.var "j" (c0 0) Aff.(a "N" - c0 1) in
+  let s =
+    Tiramisu.comp f "s" [ i; j ]
+      Expr.(int 1)
+  in
+  (* Self-access: s(i,j) reads s(i-1, j+1) where defined. *)
+  s.Ir.expr <-
+    Ir.Bin_e
+      ( Ir.Add,
+        Ir.Access_e
+          ("s", Expr.[ iter "i" -: int 1; iter "j" +: int 1 ]),
+        Ir.Int_e 1 );
+  (f, s)
+
+let tests =
+  [
+    Alcotest.test_case "blur flow deps found" `Quick (fun () ->
+        let f, _, bx, by = make_blur () in
+        let deps = D.flow_deps f in
+        Alcotest.(check int) "one dep (bx->by twice merged per access)" 2
+          (List.length deps);
+        List.iter
+          (fun d ->
+            Alcotest.(check string) "src" bx.Ir.comp_name d.D.src.Ir.comp_name;
+            Alcotest.(check string) "dst" by.Ir.comp_name d.D.dst.Ir.comp_name)
+          deps);
+    Alcotest.test_case "default blur schedule is legal" `Quick (fun () ->
+        let f, _, _, _ = make_blur () in
+        Alcotest.(check int) "no violations" 0
+          (List.length (D.check_legality f)));
+    Alcotest.test_case "consumer before producer is illegal" `Quick
+      (fun () ->
+        let f, _, bx, by = make_blur () in
+        Tiramisu.before by bx Tiramisu.root;
+        Alcotest.(check bool) "violations found" true
+          (D.check_legality f <> []));
+    Alcotest.test_case "interchange of independent dims is legal" `Quick
+      (fun () ->
+        let f, _, bx, by = make_blur () in
+        Tiramisu.interchange bx "i" "j";
+        Tiramisu.interchange by "i" "j";
+        Alcotest.(check int) "no violations" 0
+          (List.length (D.check_legality f)));
+    Alcotest.test_case "self-dependence (1,-1): interchange illegal" `Quick
+      (fun () ->
+        let f, s = make_skewed_stencil () in
+        Alcotest.(check int) "legal before" 0
+          (List.length (D.check_legality f));
+        Tiramisu.interchange s "i" "j";
+        Alcotest.(check bool) "illegal after interchange" true
+          (D.check_legality f <> []));
+    Alcotest.test_case "self-dependence (1,-1): skewing makes interchange \
+                        legal" `Quick (fun () ->
+        (* Skew j by 2i: dep distance becomes (1, 1); interchange is then
+           legal. This is the affine transformation Halide cannot express. *)
+        let f, s = make_skewed_stencil () in
+        Tiramisu.skew s "i" "j" 2;
+        Tiramisu.interchange s "i" "j";
+        Alcotest.(check int) "legal after skew+interchange" 0
+          (List.length (D.check_legality f)));
+    Alcotest.test_case "vectorizing the dependent dim is illegal-free \
+                        (loop preserved)" `Quick (fun () ->
+        let f, _, _, by = make_blur () in
+        Tiramisu.vectorize by "j" 4;
+        Alcotest.(check int) "no violations" 0
+          (List.length (D.check_legality f)));
+    Alcotest.test_case "cyclic dataflow detected (edgeDetector shape)" `Quick
+      (fun () ->
+        let f = Tiramisu.create ~params:[ "N" ] "edge" in
+        let i = Tiramisu.var "i" (c0 1) Aff.(a "N" - c0 1) in
+        let j = Tiramisu.var "j" (c0 1) Aff.(a "N" - c0 1) in
+        let r = Tiramisu.comp f "r" [ i; j ] Expr.(int 0) in
+        let img = Tiramisu.comp f "img" [ i; j ] Expr.(int 0) in
+        (* R reads Img, Img reads R: cyclic. *)
+        r.Ir.expr <- Ir.Access_e ("img", Expr.[ iter "i"; iter "j" ]);
+        img.Ir.expr <- Ir.Access_e ("r", Expr.[ iter "i"; iter "j" ]);
+        Alcotest.(check bool) "cycle" true (D.has_cycle f));
+    Alcotest.test_case "blur dataflow is acyclic" `Quick (fun () ->
+        let f, _, _, _ = make_blur () in
+        Alcotest.(check bool) "no cycle" false (D.has_cycle f));
+    Alcotest.test_case "memory deps: two writers, one buffer" `Quick
+      (fun () ->
+        let f = Tiramisu.create ~params:[ "N" ] "two_writers" in
+        let i = Tiramisu.var "i" (c0 0) (a "N") in
+        let s1 = Tiramisu.comp f "s1" [ i ] Expr.(int 1) in
+        let s2 = Tiramisu.comp f "s2" [ i ] Expr.(int 2) in
+        let b = Tiramisu.buffer f "shared" [ a "N" ] in
+        Tiramisu.store_in s1 b [ a "i" ];
+        Tiramisu.store_in s2 b [ a "i" ];
+        let deps = D.memory_deps f in
+        let outputs = List.filter (fun d -> d.D.kind = D.Output) deps in
+        (* s1/s1, s1/s2, s2/s1, s2/s2 all write the same elements. *)
+        Alcotest.(check int) "output deps" 4 (List.length outputs));
+    Alcotest.test_case "compute_at coverage holds for blur" `Quick (fun () ->
+        let f, _, bx, by = make_blur () in
+        Tiramisu.tile by "i" "j" 4 4 "i0" "j0" "i1" "j1";
+        Tiramisu.compute_at bx by "j0";
+        Alcotest.(check bool) "covered" true (D.compute_at_covered f bx));
+    Alcotest.test_case "dependence is exact: no dep between disjoint \
+                        regions" `Quick (fun () ->
+        (* w writes rows 0..N/2-1; r reads rows N/2..N-1: no flow dep
+           (requires exact emptiness over integers). *)
+        let f = Tiramisu.create ~params:[] "disjoint" in
+        let iw = Tiramisu.var "i" (c0 0) (c0 8) in
+        let ir = Tiramisu.var "i" (c0 8) (c0 16) in
+        let w = Tiramisu.comp f "w" [ iw ] Expr.(int 1) in
+        let r = Tiramisu.comp f "r" [ ir ] Expr.(int 0) in
+        r.Ir.expr <- Ir.Access_e ("w", [ Ir.Iter_e "i" ]);
+        ignore w;
+        (* read of w at i in [8,16) is outside w's domain [0,8): dep empty *)
+        Alcotest.(check int) "no deps" 0 (List.length (D.flow_deps f)));
+  ]
+
+let () = Alcotest.run "deps" [ ("deps", tests) ]

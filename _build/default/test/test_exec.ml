@@ -1,0 +1,115 @@
+(* The closure-compiling native executor must agree with the reference
+   interpreter on every kernel x schedule combination, and actually be
+   faster. *)
+
+open Tiramisu_kernels
+module B = Tiramisu_backends
+
+let n = 16
+let m = 12
+
+let img3 (idx : int array) =
+  float_of_int (((idx.(0) * 13) + (idx.(1) * 7) + (idx.(2) * 3)) mod 31) /. 7.0
+
+let img2 (idx : int array) =
+  float_of_int (((idx.(0) * 11) + (idx.(1) * 5)) mod 23) /. 3.0
+
+let agree ?(params = [ ("N", n); ("M", m) ]) ?(inputs = [ ("img", img3) ])
+    name build sched outputs =
+  Alcotest.test_case name `Quick (fun () ->
+      let f1 = build () in
+      sched f1;
+      let interp = Runner.run ~fn:f1 ~params ~inputs in
+      let f2 = build () in
+      sched f2;
+      let native = Runner.run_native ~fn:f2 ~params ~inputs in
+      List.iter
+        (fun out ->
+          let a = B.Interp.buffer interp out in
+          let b = B.Exec.buffer native out in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s equal (max diff %g)" name out
+               (B.Buffers.max_abs_diff a b))
+            true (B.Buffers.equal a b))
+        outputs)
+
+let tests =
+  [
+    agree "blur tiled+parallel"
+      (fun () ->
+        let f, _, _ = Image.blur () in
+        f)
+      (fun f -> Schedules.cpu_blur ~t:4 f)
+      [ "by" ];
+    agree "conv2d vectorized"
+      ~inputs:
+        [ ("img", img3);
+          ("weights",
+           fun idx ->
+             [| 0.05; 0.1; 0.05; 0.1; 0.4; 0.1; 0.05; 0.1; 0.05 |].((idx.(0) * 3) + idx.(1)))
+        ]
+      (fun () ->
+        let f, _, _ = Image.conv2d () in
+        f)
+      Schedules.cpu_conv2d [ "conv" ];
+    agree "warp affine"
+      ~inputs:[ ("img", img2) ]
+      (fun () ->
+        let f, _ = Image.warp_affine () in
+        f)
+      Schedules.cpu_warp_affine [ "warp" ];
+    agree "nb fused parallel"
+      (fun () ->
+        let f, _, _, _, _ = Image.nb () in
+        f)
+      (Schedules.cpu_nb ~fuse:true)
+      [ "negative"; "brightened" ];
+    agree "distributed gaussian (channels through mutex)"
+      (fun () ->
+        let f, _, _ = Image.gaussian () in
+        f)
+      (fun f -> Schedules.dist_gaussian f ~n ~m ~nodes:4)
+      [ "gy" ];
+    agree "sgemm tuned" ~params:[ ("S", 13) ]
+      ~inputs:
+        [ ("A", fun i -> float_of_int (((i.(0) * 7) + (i.(1) * 3)) mod 11));
+          ("B", fun i -> float_of_int (((i.(0) * 5) + i.(1)) mod 9));
+          ("C0", fun i -> float_of_int ((i.(0) + i.(1)) mod 7)) ]
+      (fun () ->
+        let f, _, _ = Linalg.sgemm () in
+        f)
+      (Linalg.sgemm_tuned ~bi:4 ~bj:4 ~bk:4 ~vec:2 ~unr:2)
+      [ "C" ];
+    Alcotest.test_case "native executor is faster than the interpreter"
+      `Quick (fun () ->
+        let params = [ ("S", 64) ] in
+        let inputs =
+          [ ("A", fun (i : int array) -> float_of_int ((i.(0) + i.(1)) mod 5));
+            ("B", fun (i : int array) -> float_of_int ((i.(0) * i.(1)) mod 7));
+            ("C0", fun _ -> 1.0) ]
+        in
+        let f1, _, _ = Linalg.sgemm () in
+        let thunk = Runner.prepare ~fn:f1 ~params ~inputs in
+        let t0 = Unix.gettimeofday () in
+        ignore (thunk ());
+        let interp_t = Unix.gettimeofday () -. t0 in
+        let f2, _, _ = Linalg.sgemm () in
+        let lowered = Tiramisu_core.Lower.lower f2 in
+        let buffers =
+          List.map
+            (fun ((b : Tiramisu_core.Ir.buffer), dims) ->
+              B.Buffers.create ~mem:b.Tiramisu_core.Ir.buf_mem
+                b.Tiramisu_core.Ir.buf_name dims)
+            (Tiramisu_core.Lower.buffer_extents f2 ~params)
+        in
+        let compiled =
+          B.Exec.compile ~params ~buffers lowered.Tiramisu_core.Lower.ast
+        in
+        let native_t = B.Exec.time_run compiled in
+        Alcotest.(check bool)
+          (Printf.sprintf "native %.4fs < interp %.4fs" native_t interp_t)
+          true
+          (native_t < interp_t));
+  ]
+
+let () = Alcotest.run "exec" [ ("native-executor", tests) ]

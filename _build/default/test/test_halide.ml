@@ -1,0 +1,205 @@
+(* The Halide baseline: interval bounds inference, correctness on
+   rectangular pipelines, and faithful reproduction of the restrictions the
+   paper exploits in §VI-B (fusion refusal, cyclic-graph rejection, bounds
+   over-approximation on ticket #2373, distributed over-communication). *)
+
+open Tiramisu_core
+module H = Tiramisu_halide.Halide
+module B = Tiramisu_backends
+module E = Expr
+
+let n = 12
+let m = 10
+
+let img2 (idx : int array) =
+  float_of_int (((idx.(0) * 11) + (idx.(1) * 5)) mod 23) /. 3.0
+
+let blur_pipeline () =
+  let p = H.pipeline "hblur" in
+  let inp = H.input p "in" 2 in
+  let bx =
+    H.func p "bx" [ "i"; "j" ]
+      E.(
+        ((Ir.Access_e ("in", [ iter "i"; iter "j" ])
+         +: Ir.Access_e ("in", [ iter "i"; iter "j" +: int 1 ]))
+        +: Ir.Access_e ("in", [ iter "i"; iter "j" +: int 2 ]))
+        /: float 3.0)
+  in
+  let by =
+    H.func p "by" [ "i"; "j" ]
+      E.(
+        ((Ir.Access_e ("bx", [ iter "i"; iter "j" ])
+         +: Ir.Access_e ("bx", [ iter "i" +: int 1; iter "j" ]))
+        +: Ir.Access_e ("bx", [ iter "i" +: int 2; iter "j" ]))
+        /: float 3.0)
+  in
+  (p, inp, bx, by)
+
+let ref_by i j =
+  let bx i j =
+    (img2 [| i; j |] +. img2 [| i; j + 1 |] +. img2 [| i; j + 2 |]) /. 3.0
+  in
+  (bx i j +. bx (i + 1) j +. bx (i + 2) j) /. 3.0
+
+let tests =
+  [
+    Alcotest.test_case "bounds inference sizes intermediates" `Quick
+      (fun () ->
+        let p, inp, _, by = blur_pipeline () in
+        let c =
+          H.compile p
+            ~outputs:[ (by, [ (0, n - 5); (0, m - 3) ]) ]
+            ~inputs:[ (inp, [ (0, n - 1); (0, m - 1) ]) ]
+            ~params:[]
+        in
+        (* bx must cover rows 0..n-3 (by reads i+2). *)
+        let bx_box = List.assoc "bx" c.H.regions in
+        Alcotest.(check (list (pair int int))) "bx region"
+          [ (0, n - 3); (0, m - 3) ] bx_box);
+    Alcotest.test_case "blur output matches reference" `Quick (fun () ->
+        let p, inp, _, by = blur_pipeline () in
+        let c =
+          H.compile p
+            ~outputs:[ (by, [ (0, n - 5); (0, m - 3) ]) ]
+            ~inputs:[ (inp, [ (0, n - 1); (0, m - 1) ]) ]
+            ~params:[]
+        in
+        let interp = H.run c ~params:[] ~inputs:[ ("in", img2) ] in
+        let buf = B.Interp.buffer interp "by" in
+        let ok = ref true in
+        for i = 0 to n - 5 do
+          for j = 0 to m - 3 do
+            if Float.abs (B.Buffers.get buf [| i; j |] -. ref_by i j) > 1e-3
+            then ok := false
+          done
+        done;
+        Alcotest.(check bool) "matches" true !ok);
+    Alcotest.test_case "scheduled blur (split/parallel/vectorize) correct"
+      `Quick (fun () ->
+        let p, inp, bx, by = blur_pipeline () in
+        H.parallel by "i";
+        H.vectorize by "j" 4;
+        H.vectorize bx "j" 4;
+        let c =
+          H.compile p
+            ~outputs:[ (by, [ (0, n - 5); (0, m - 3) ]) ]
+            ~inputs:[ (inp, [ (0, n - 1); (0, m - 1) ]) ]
+            ~params:[]
+        in
+        let interp = H.run c ~params:[] ~inputs:[ ("in", img2) ] in
+        let buf = B.Interp.buffer interp "by" in
+        let ok = ref true in
+        for i = 0 to n - 5 do
+          for j = 0 to m - 3 do
+            if Float.abs (B.Buffers.get buf [| i; j |] -. ref_by i j) > 1e-3
+            then ok := false
+          done
+        done;
+        Alcotest.(check bool) "matches" true !ok);
+    Alcotest.test_case "fusion refused when producer-consumer (nb)" `Quick
+      (fun () ->
+        let p = H.pipeline "hnb" in
+        let _ = H.input p "in" 2 in
+        let t1 =
+          H.func p "t1" [ "i"; "j" ]
+            E.(float 255.0 -: Ir.Access_e ("in", [ iter "i"; iter "j" ]))
+        in
+        let neg =
+          H.func p "neg" [ "i"; "j" ]
+            E.(max_ (float 0.0) (Ir.Access_e ("t1", [ iter "i"; iter "j" ])))
+        in
+        Alcotest.check_raises "conservative rule"
+          (H.Unsupported
+             "cannot compute neg with t1: one reads the other's output \
+              (Halide cannot prove the fusion legal without dependence \
+              analysis)") (fun () -> H.compute_with neg t1));
+    Alcotest.test_case "independent stages may fuse" `Quick (fun () ->
+        let p = H.pipeline "hnb2" in
+        let _ = H.input p "in" 2 in
+        let s1 =
+          H.func p "s1" [ "i"; "j" ]
+            E.(float 1.0 +: Ir.Access_e ("in", [ iter "i"; iter "j" ]))
+        in
+        let s2 =
+          H.func p "s2" [ "i"; "j" ]
+            E.(float 2.0 *: Ir.Access_e ("in", [ iter "i"; iter "j" ]))
+        in
+        H.compute_with s2 s1);
+    Alcotest.test_case "in-place update rejected (edgeDetector)" `Quick
+      (fun () ->
+        let p = H.pipeline "hedge" in
+        let inp = H.input p "img" 2 in
+        let r =
+          H.func p "r" [ "i"; "j" ]
+            E.(Ir.Access_e ("img", [ iter "i"; iter "j" ]) /: float 8.0)
+        in
+        Alcotest.check_raises "acyclic restriction"
+          (H.Unsupported
+             "storing r into input img creates a cyclic dataflow graph, \
+              which Halide's acyclic-pipeline restriction rejects")
+          (fun () -> H.store_in_input r inp));
+    Alcotest.test_case "ticket #2373: bounds over-approximation faults"
+      `Quick (fun () ->
+        (* t(r,x) = in(x - r) over the rectangle [0,N)x[0,N): the inferred
+           required interval of in is [-(N-1), N-1], outside the input. *)
+        let p = H.pipeline "hticket" in
+        let inp = H.input p "in" 1 in
+        let t =
+          H.func p "t" [ "r"; "x" ]
+            (Ir.Access_e ("in", [ E.(iter "x" -: iter "r") ]))
+        in
+        match
+          H.compile p
+            ~outputs:[ (t, [ (0, n - 1); (0, n - 1) ]) ]
+            ~inputs:[ (inp, [ (0, n - 1) ]) ]
+            ~params:[]
+        with
+        | exception H.Unsupported msg ->
+            Alcotest.(check bool) "mentions assertion" true
+              (Astring.String.is_infix ~affix:"assertion" msg)
+        | _ -> Alcotest.fail "expected bounds failure");
+    Alcotest.test_case "clamped accesses stay in bounds (no false fault)"
+      `Quick (fun () ->
+        let p = H.pipeline "hclamp" in
+        let inp = H.input p "in" 1 in
+        let g =
+          H.func p "g" [ "x" ]
+            (Ir.Access_e
+               ( "in",
+                 [ E.(clamp (iter "x" -: int 1) (int 0) (int (n - 1))) ] ))
+        in
+        let c =
+          H.compile p
+            ~outputs:[ (g, [ (0, n - 1) ]) ]
+            ~inputs:[ (inp, [ (0, n - 1) ]) ]
+            ~params:[]
+        in
+        ignore c);
+    Alcotest.test_case "distributed halo over-approximated under clamp"
+      `Quick (fun () ->
+        (* A clamped stencil forces distributed Halide to require the whole
+           neighbour chunk; Tiramisu's explicit send moves just the halo. *)
+        let p = H.pipeline "hdist" in
+        let _ = H.input p "in" 2 in
+        let g =
+          H.func p "g" [ "i"; "j" ]
+            (Ir.Access_e
+               ( "in",
+                 [
+                   E.(clamp (iter "i" -: int 1) (int 0) (int 2111));
+                   E.iter "j";
+                 ] ))
+        in
+        let halide_bytes =
+          H.dist_comm_bytes p ~output:g ~rows:2112 ~cols:3520 ~elems:3
+            ~nodes:16
+        in
+        let tiramisu_bytes = float_of_int (1 * 3520 * 3 * 4) in
+        Alcotest.(check bool)
+          (Printf.sprintf "halide %.3g >> tiramisu %.3g" halide_bytes
+             tiramisu_bytes)
+          true
+          (halide_bytes > 10.0 *. tiramisu_bytes));
+  ]
+
+let () = Alcotest.run "halide" [ ("halide", tests) ]

@@ -1,0 +1,309 @@
+(* Correctness of every image benchmark (§VI-B) against plain-OCaml
+   references, for the unscheduled pipelines and for each expert schedule
+   (CPU / GPU / distributed).  The schedule must never change results —
+   that's the core contract of the scheduling language. *)
+
+open Tiramisu_kernels
+module B = Tiramisu_backends
+
+let n = 16
+let m = 12
+
+let img3 (idx : int array) =
+  float_of_int (((idx.(0) * 13) + (idx.(1) * 7) + (idx.(2) * 3)) mod 31) /. 7.0
+
+let img2 (idx : int array) =
+  float_of_int (((idx.(0) * 11) + (idx.(1) * 5)) mod 23) /. 3.0
+
+let img1 (idx : int array) = float_of_int ((idx.(0) * 17) mod 13) /. 2.0
+
+let kern3 (idx : int array) =
+  [| 0.05; 0.1; 0.05; 0.1; 0.4; 0.1; 0.05; 0.1; 0.05 |].((idx.(0) * 3) + idx.(1))
+
+let clampi v lo hi = max lo (min hi v)
+
+let check name fn ~params ~inputs ~output ~expect =
+  match Runner.check ~fn ~params ~inputs ~output ~expect () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let params_nm = [ ("N", n); ("M", m) ]
+let inputs3 = [ ("img", img3) ]
+
+(* ---------------- references ---------------- *)
+
+let ref_gray idx =
+  (0.299 *. img3 [| idx.(0); idx.(1); 0 |])
+  +. (0.587 *. img3 [| idx.(0); idx.(1); 1 |])
+  +. (0.114 *. img3 [| idx.(0); idx.(1); 2 |])
+
+let ref_conv idx =
+  let i = idx.(0) and j = idx.(1) and c = idx.(2) in
+  let acc = ref 0.0 in
+  for ki = 0 to 2 do
+    for kj = 0 to 2 do
+      let ii = clampi (i + ki - 1) 0 (n - 1) in
+      let jj = clampi (j + kj - 1) 0 (m - 1) in
+      acc := !acc +. (img3 [| ii; jj; c |] *. kern3 [| ki; kj |])
+    done
+  done;
+  !acc
+
+let ref_gx idx =
+  let i = idx.(0) and j = idx.(1) and c = idx.(2) in
+  List.fold_left ( +. ) 0.0
+    (List.mapi
+       (fun k w -> w *. img3 [| i; clampi (j + k - 2) 0 (m - 1); c |])
+       Image.gaussian_weights)
+
+let ref_gy idx =
+  let i = idx.(0) and j = idx.(1) and c = idx.(2) in
+  List.fold_left ( +. ) 0.0
+    (List.mapi
+       (fun k w ->
+         w *. ref_gx [| clampi (i + k - 2) 0 (n - 1); j; c |])
+       Image.gaussian_weights)
+
+let ref_warp idx =
+  let a11, a12, b1, a21, a22, b2 = Image.warp_coeffs in
+  let i = float_of_int idx.(0) and j = float_of_int idx.(1) in
+  let xf = (a11 *. i) +. (a12 *. j) +. b1 in
+  let yf = (a21 *. i) +. (a22 *. j) +. b2 in
+  let xi = clampi (int_of_float (Float.round (xf -. 0.5))) 0 (n - 2) in
+  let yi = clampi (int_of_float (Float.round (yf -. 0.5))) 0 (m - 2) in
+  let wx = xf -. Float.round (xf -. 0.5) in
+  let wy = yf -. Float.round (yf -. 0.5) in
+  let s dx dy = img2 [| xi + dx; yi + dy |] in
+  ((1.0 -. wx) *. (1.0 -. wy) *. s 0 0)
+  +. (wx *. (1.0 -. wy) *. s 1 0)
+  +. ((1.0 -. wx) *. wy *. s 0 1)
+  +. (wx *. wy *. s 1 1)
+
+(* ---------------- per-benchmark tests ---------------- *)
+
+let cvt_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _ = Image.cvt_color () in
+        sched f;
+        check name f ~params:params_nm ~inputs:inputs3 ~output:"gray"
+          ~expect:ref_gray)
+  in
+  [
+    run (fun _ -> ()) "cvtColor unscheduled";
+    run Schedules.cpu_cvt_color "cvtColor cpu schedule";
+    run Schedules.gpu_cvt_color "cvtColor gpu schedule";
+    run (fun f -> Schedules.dist_cvt_color f ~n ~m ~nodes:4)
+      "cvtColor distributed schedule";
+  ]
+
+let conv_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _ = Image.conv2d () in
+        sched f;
+        check name f ~params:params_nm
+          ~inputs:[ ("img", img3); ("weights", kern3) ]
+          ~output:"conv" ~expect:ref_conv)
+  in
+  [
+    run (fun _ -> ()) "conv2D unscheduled";
+    run Schedules.cpu_conv2d "conv2D cpu schedule";
+    run Schedules.gpu_conv2d "conv2D gpu schedule";
+    run (fun f -> Schedules.dist_conv2d f ~n ~m ~nodes:4)
+      "conv2D distributed schedule";
+  ]
+
+let gaussian_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _ = Image.gaussian () in
+        sched f;
+        check name f ~params:params_nm ~inputs:inputs3 ~output:"gy"
+          ~expect:ref_gy)
+  in
+  [
+    run (fun _ -> ()) "gaussian unscheduled";
+    run Schedules.cpu_gaussian "gaussian cpu schedule";
+    run Schedules.gpu_gaussian "gaussian gpu schedule";
+    run (fun f -> Schedules.dist_gaussian f ~n ~m ~nodes:4)
+      "gaussian distributed schedule";
+  ]
+
+let warp_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _ = Image.warp_affine () in
+        sched f;
+        check name f ~params:params_nm ~inputs:[ ("img", img2) ]
+          ~output:"warp" ~expect:ref_warp)
+  in
+  [
+    run (fun _ -> ()) "warpAffine unscheduled";
+    run Schedules.cpu_warp_affine "warpAffine cpu schedule";
+    run Schedules.gpu_warp_affine "warpAffine gpu schedule";
+  ]
+
+let nb_tests =
+  let ref_neg idx = Float.max 0.0 (255.0 -. img3 idx) in
+  let ref_bright idx = Float.min 255.0 (1.5 *. img3 idx) in
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _, _, _ = Image.nb () in
+        sched f;
+        check name f ~params:params_nm ~inputs:inputs3 ~output:"negative"
+          ~expect:ref_neg;
+        check name f ~params:params_nm ~inputs:inputs3 ~output:"brightened"
+          ~expect:ref_bright)
+  in
+  [
+    run (fun _ -> ()) "nb unscheduled";
+    run (Schedules.cpu_nb ~fuse:true) "nb fused cpu schedule";
+    run (Schedules.gpu_nb ~fuse:true) "nb fused gpu schedule";
+    run (fun f -> Schedules.dist_nb f ~n ~m ~nodes:4)
+      "nb distributed schedule";
+  ]
+
+let edge_tests =
+  let ref_r i j =
+    (img1 [| 0 |] *. 0.0)
+    +. (img2 [| i - 1; j - 1 |] +. img2 [| i - 1; j |] +. img2 [| i - 1; j + 1 |]
+       +. img2 [| i; j - 1 |] +. img2 [| i; j + 1 |] +. img2 [| i + 1; j - 1 |]
+       +. img2 [| i + 1; j |] +. img2 [| i + 1; j + 1 |])
+       /. 8.0
+  in
+  let ref_edges idx =
+    let i = idx.(0) + 1 and j = idx.(1) + 1 in
+    (* edges domain starts at 1; buffer index shifted by the auto layout *)
+    Float.abs (ref_r i j -. ref_r (i + 1) (j - 1))
+    +. Float.abs (ref_r (i + 1) j -. ref_r i (j - 1))
+  in
+  ignore ref_edges;
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _ = Image.edge_detector () in
+        sched f;
+        let interp =
+          Runner.run ~fn:f ~params:[ ("N", n) ] ~inputs:[ ("img", img2) ]
+        in
+        (* The result is written in place into img. *)
+        let img = B.Interp.buffer interp "img" in
+        let ok = ref true in
+        for i = 1 to n - 4 do
+          for j = 2 to n - 3 do
+            let want =
+              Float.abs (ref_r i j -. ref_r (i + 1) (j - 1))
+              +. Float.abs (ref_r (i + 1) j -. ref_r i (j - 1))
+            in
+            if Float.abs (B.Buffers.get img [| i; j |] -. want) > 1e-3 then
+              ok := false
+          done
+        done;
+        Alcotest.(check bool) (name ^ " in-place edges") true !ok)
+  in
+  [
+    run (fun _ -> ()) "edgeDetector unscheduled (cyclic buffers)";
+    run Schedules.cpu_edge_detector "edgeDetector cpu schedule";
+    run (fun f -> Schedules.dist_edge_detector f ~n ~nodes:4)
+      "edgeDetector distributed schedule";
+  ]
+
+let ticket_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _ = Image.ticket2373 () in
+        sched f;
+        (* In-bounds everywhere on the triangle x >= r. Tiramisu generates
+           the exact triangular loop; success = no out-of-bounds access. *)
+        let interp =
+          Runner.run ~fn:f ~params:[ ("N", n) ] ~inputs:[ ("img", img1) ]
+        in
+        let t = B.Interp.buffer interp "t" in
+        Alcotest.(check (float 0.001)) "corner value"
+          (img1 [| n - 1 |])
+          (B.Buffers.get t [| 0; n - 1 |]))
+  in
+  [
+    run (fun _ -> ()) "ticket2373 unscheduled (triangular domain)";
+    run Schedules.cpu_ticket2373 "ticket2373 cpu schedule";
+    run (fun f -> Schedules.dist_ticket2373 f ~n ~nodes:4)
+      "ticket2373 distributed schedule";
+  ]
+
+let blur_dist_tests =
+  [
+    Alcotest.test_case "blur distributed halo exchange" `Quick (fun () ->
+        let f, _, _ = Image.blur () in
+        Schedules.dist_blur f ~n ~m ~nodes:4;
+        let interp = Runner.run ~fn:f ~params:params_nm ~inputs:inputs3 in
+        let c = B.Interp.counters interp in
+        (* 3 sender ranks x 1 message *)
+        Alcotest.(check int) "messages" 3 c.B.Interp.messages;
+        Alcotest.(check int) "bytes" (3 * 2 * m * 3 * 4) c.B.Interp.bytes_sent);
+    Alcotest.test_case "blur gpu schedule correct" `Quick (fun () ->
+        let f, _, _ = Image.blur () in
+        Schedules.gpu_blur f;
+        let interp = Runner.run ~fn:f ~params:params_nm ~inputs:inputs3 in
+        (* SOA layout: by[c][i][j]; compare a sample against the plain CPU
+           run. *)
+        let f2, _, _ = Image.blur () in
+        let i2 = Runner.run ~fn:f2 ~params:params_nm ~inputs:inputs3 in
+        let soa = B.Interp.buffer interp "by" in
+        let aos = B.Interp.buffer i2 "by" in
+        let ok = ref true in
+        for i = 0 to n - 5 do
+          for j = 0 to m - 3 do
+            for c = 0 to 2 do
+              if
+                Float.abs
+                  (B.Buffers.get soa [| c; i; j |]
+                  -. B.Buffers.get aos [| i; j; c |])
+                > 1e-3
+              then ok := false
+            done
+          done
+        done;
+        Alcotest.(check bool) "gpu soa equals cpu aos" true !ok);
+  ]
+
+let model_tests =
+  [
+    Alcotest.test_case "cost model: parallel+vectorized is faster" `Quick
+      (fun () ->
+        let big = [ ("N", 512); ("M", 512) ] in
+        let f1, _ = Image.cvt_color () in
+        let base = (Runner.model ~fn:f1 ~params:big ()).B.Cost.time_ns in
+        let f2, _ = Image.cvt_color () in
+        Schedules.cpu_cvt_color f2;
+        let opt = (Runner.model ~fn:f2 ~params:big ()).B.Cost.time_ns in
+        Alcotest.(check bool)
+          (Printf.sprintf "opt %.3g < base %.3g" opt base)
+          true
+          (opt < base /. 4.0));
+    Alcotest.test_case "cost model: nb fusion reduces memory time" `Quick
+      (fun () ->
+        let big = [ ("N", 512); ("M", 512) ] in
+        let unfused, _, _, _, _ = Image.nb () in
+        Schedules.cpu_nb ~fuse:false unfused;
+        let t_unfused = (Runner.model ~fn:unfused ~params:big ()).B.Cost.time_ns in
+        let fused, _, _, _, _ = Image.nb () in
+        Schedules.cpu_nb ~fuse:true fused;
+        let t_fused = (Runner.model ~fn:fused ~params:big ()).B.Cost.time_ns in
+        Alcotest.(check bool)
+          (Printf.sprintf "fused %.3g < unfused %.3g" t_fused t_unfused)
+          true (t_fused < t_unfused));
+  ]
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ("cvtColor", cvt_tests);
+      ("conv2D", conv_tests);
+      ("gaussian", gaussian_tests);
+      ("warpAffine", warp_tests);
+      ("nb", nb_tests);
+      ("edgeDetector", edge_tests);
+      ("ticket2373", ticket_tests);
+      ("blur-targets", blur_dist_tests);
+      ("cost-model", model_tests);
+    ]

@@ -1,0 +1,275 @@
+(* Correctness of the §VI-A kernels (sgemm, Conv, VGG, HPCG, Baryon) under
+   every schedule used in the evaluation, plus legality and model sanity. *)
+
+open Tiramisu_kernels
+module B = Tiramisu_backends
+module D = Tiramisu_deps.Deps
+
+let s = 13 (* deliberately not a multiple of the tile sizes *)
+
+let am (idx : int array) =
+  float_of_int (((idx.(0) * 7) + (idx.(1) * 3)) mod 11) /. 4.0
+
+let bm (idx : int array) =
+  float_of_int (((idx.(0) * 5) + (idx.(1) * 13)) mod 9) /. 3.0
+
+let cm (idx : int array) =
+  float_of_int (((idx.(0) * 2) + idx.(1)) mod 7) /. 2.0
+
+let ref_gemm idx =
+  let i = idx.(0) and j = idx.(1) in
+  let acc = ref (Linalg.beta *. cm [| i; j |]) in
+  for k = 0 to s - 1 do
+    acc := !acc +. (Linalg.alpha *. am [| i; k |] *. bm [| k; j |])
+  done;
+  !acc
+
+let gemm_inputs = [ ("A", am); ("B", bm); ("C0", cm) ]
+
+let check name fn ~params ~inputs ~output ~expect =
+  match Runner.check ~fn ~params ~inputs ~output ~expect () with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+
+let sgemm_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _ = Linalg.sgemm () in
+        sched f;
+        check name f ~params:[ ("S", s) ] ~inputs:gemm_inputs ~output:"C"
+          ~expect:ref_gemm)
+  in
+  [
+    run (fun _ -> ()) "sgemm naive";
+    run (Linalg.sgemm_tuned ~bi:4 ~bj:4 ~bk:4 ~vec:2 ~unr:2)
+      "sgemm tuned (blocked, vectorized, unrolled, partial tiles)";
+    run (Linalg.sgemm_pluto ~t:4) "sgemm pluto-style";
+    Alcotest.test_case "sgemm tuned schedule is legal" `Quick (fun () ->
+        let f, _, _ = Linalg.sgemm () in
+        Linalg.sgemm_tuned ~bi:4 ~bj:4 ~bk:4 ~vec:2 ~unr:2 f;
+        Alcotest.(check int) "no violations" 0
+          (List.length (D.check_legality f)));
+    Alcotest.test_case "illegal sgemm schedule caught (k parallel-reversed)"
+      `Quick (fun () ->
+        let f, _, upd = Linalg.sgemm () in
+        Tiramisu_core.Tiramisu.reverse upd "k";
+        Alcotest.(check bool) "violations" true (D.check_legality f <> []));
+  ]
+
+(* ---------------- conv layer ---------------- *)
+
+let bsz = 2
+let feats = 3
+let chans_in = 2
+let ydim = 8
+let xdim = 7
+
+let conv_params =
+  [ ("B", bsz); ("F", feats); ("C", chans_in); ("Y", ydim); ("X", xdim) ]
+
+let conv_in (idx : int array) =
+  float_of_int
+    (((idx.(0) * 3) + (idx.(1) * 5) + (idx.(2) * 7) + (idx.(3) * 2)) mod 13)
+  /. 5.0
+
+let conv_w (idx : int array) =
+  float_of_int
+    (((idx.(0) * 2) + (idx.(1) * 3) + (idx.(2) * 5) + (idx.(3) * 7)) mod 9)
+  /. 8.0
+
+let conv_bias (idx : int array) = float_of_int idx.(0) /. 2.0
+
+let ref_conv_layer idx =
+  let b = idx.(0) and f = idx.(1) and y = idx.(2) and x = idx.(3) in
+  let acc = ref (conv_bias [| f |]) in
+  for c = 0 to chans_in - 1 do
+    for ky = 0 to 2 do
+      for kx = 0 to 2 do
+        acc :=
+          !acc
+          +. (conv_in [| b; c; y + ky; x + kx |] *. conv_w [| f; c; ky; kx |])
+      done
+    done
+  done;
+  !acc
+
+let conv_inputs =
+  [ ("conv_in", conv_in); ("conv_w", conv_w); ("conv_bias", conv_bias) ]
+
+let conv_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _, _ = Linalg.conv_layer () in
+        sched f;
+        check name f ~params:conv_params ~inputs:conv_inputs
+          ~output:"conv_out" ~expect:ref_conv_layer)
+  in
+  [
+    run (fun _ -> ()) "conv unscheduled";
+    run (fun f -> Linalg.conv_schedule f ~name:"conv") "conv scheduled";
+  ]
+
+(* ---------------- VGG block ---------------- *)
+
+let relu v = Float.max 0.0 v
+
+let ref_relu1 b f y x =
+  let acc = ref (conv_bias [| f |]) in
+  for c = 0 to chans_in - 1 do
+    for ky = 0 to 2 do
+      for kx = 0 to 2 do
+        acc :=
+          !acc
+          +. (conv_in [| b; c; y + ky; x + kx |]
+             *. conv_w [| f; c; ky; kx |])
+      done
+    done
+  done;
+  relu !acc
+
+let vgg_w2 (idx : int array) =
+  float_of_int
+    (((idx.(0) * 5) + (idx.(1) * 2) + (idx.(2) * 3) + (idx.(3) * 4)) mod 7)
+  /. 6.0
+
+let vgg_bias2 (idx : int array) = float_of_int (idx.(0) + 1) /. 3.0
+
+let ref_vgg idx =
+  let b = idx.(0) and f = idx.(1) and y = idx.(2) and x = idx.(3) in
+  let acc = ref (vgg_bias2 [| f |]) in
+  for c = 0 to feats - 1 do
+    for ky = 0 to 2 do
+      for kx = 0 to 2 do
+        acc :=
+          !acc +. (ref_relu1 b c (y + ky) (x + kx) *. vgg_w2 [| f; c; ky; kx |])
+      done
+    done
+  done;
+  relu !acc
+
+let vgg_inputs =
+  [
+    ("conv_in", conv_in); ("conv1_w", conv_w); ("conv1_bias", conv_bias);
+    ("conv2_w", vgg_w2); ("conv2_bias", vgg_bias2);
+  ]
+
+let vgg_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _ = Linalg.vgg_block () in
+        sched f;
+        check name f ~params:conv_params ~inputs:vgg_inputs ~output:"relu2"
+          ~expect:ref_vgg)
+  in
+  [
+    run (fun _ -> ()) "vgg unscheduled";
+    run Linalg.vgg_schedule "vgg fused (relu inlined) + vectorized";
+  ]
+
+(* ---------------- HPCG stencil ---------------- *)
+
+let g = 8
+
+let pvec (idx : int array) =
+  float_of_int (((idx.(0) * 3) + (idx.(1) * 7) + (idx.(2) * 11)) mod 17) /. 4.0
+
+let ref_hpcg idx =
+  let i = idx.(0) + 1 and j = idx.(1) + 1 and k = idx.(2) + 1 in
+  let acc = ref 0.0 in
+  for di = -1 to 1 do
+    for dj = -1 to 1 do
+      for dk = -1 to 1 do
+        let w = if di = 0 && dj = 0 && dk = 0 then 26.0 else -1.0 in
+        acc := !acc +. (w *. pvec [| i + di; j + dj; k + dk |])
+      done
+    done
+  done;
+  !acc
+
+let hpcg_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _ = Linalg.hpcg () in
+        sched f;
+        check name f ~params:[ ("G", g) ] ~inputs:[ ("p", pvec) ] ~output:"q"
+          ~expect:ref_hpcg)
+  in
+  [
+    run (fun _ -> ()) "hpcg unscheduled";
+    run Linalg.hpcg_schedule "hpcg parallel+vectorized";
+  ]
+
+(* ---------------- Baryon contraction ---------------- *)
+
+let tdim = 6
+let ddim = 4
+
+let wt (idx : int array) =
+  float_of_int (((idx.(0) * 2) + (idx.(1) * 3) + (idx.(2) * 5)) mod 7) /. 3.0
+
+let p1 (idx : int array) = float_of_int (((idx.(0) * 3) + idx.(1)) mod 5) /. 2.0
+let p2 (idx : int array) = float_of_int (((idx.(0) * 5) + idx.(1)) mod 7) /. 3.0
+let p3 (idx : int array) = float_of_int (((idx.(0) * 7) + idx.(1)) mod 3) /. 1.5
+
+let ref_baryon idx =
+  let t = idx.(0) in
+  let acc = ref 0.0 in
+  for i = 0 to ddim - 1 do
+    for j = 0 to ddim - 1 do
+      for k = 0 to ddim - 1 do
+        acc :=
+          !acc
+          +. (wt [| i; j; k |] *. p1 [| i; t |] *. p2 [| j; t |]
+             *. p3 [| k; t |])
+      done
+    done
+  done;
+  !acc
+
+let baryon_tests =
+  let run sched name =
+    Alcotest.test_case name `Quick (fun () ->
+        let f, _, _ = Linalg.baryon () in
+        sched f;
+        check name f
+          ~params:[ ("T", tdim); ("D", ddim) ]
+          ~inputs:[ ("w", wt); ("P1", p1); ("P2", p2); ("P3", p3) ]
+          ~output:"Bl" ~expect:ref_baryon)
+  in
+  [
+    run (fun _ -> ()) "baryon unscheduled";
+    run Linalg.baryon_schedule "baryon vectorized over t";
+  ]
+
+(* ---------------- model shape ---------------- *)
+
+let model_tests =
+  [
+    Alcotest.test_case "sgemm: tuned beats naive and pluto sits between"
+      `Quick (fun () ->
+        let params = [ ("S", 512) ] in
+        let time sched =
+          let f, _, _ = Linalg.sgemm () in
+          sched f;
+          (Runner.model ~fn:f ~params ()).B.Cost.time_ns
+        in
+        let naive = time (fun _ -> ()) in
+        let pluto = time (Linalg.sgemm_pluto ~t:32) in
+        let tuned = time (fun f -> Linalg.sgemm_tuned f) in
+        Alcotest.(check bool)
+          (Printf.sprintf "tuned %.3g < pluto %.3g < naive %.3g" tuned pluto
+             naive)
+          true
+          (tuned < pluto && pluto < naive));
+  ]
+
+let () =
+  Alcotest.run "linalg"
+    [
+      ("sgemm", sgemm_tests);
+      ("conv", conv_tests);
+      ("vgg", vgg_tests);
+      ("hpcg", hpcg_tests);
+      ("baryon", baryon_tests);
+      ("model", model_tests);
+    ]

@@ -1,0 +1,252 @@
+(* Property-based tests on the loop-IR layer: constant folding and the
+   legalization passes must preserve semantics on randomly generated
+   programs, and the affine-expression algebra must satisfy its laws. *)
+
+open Tiramisu_codegen
+open Tiramisu_presburger
+module L = Loop_ir
+module B = Tiramisu_backends
+
+(* ---------- random integer expressions over two variables ---------- *)
+
+let expr_gen =
+  QCheck.Gen.(
+    sized (fun n ->
+        fix
+          (fun self n ->
+            if n = 0 then
+              oneof
+                [ map (fun k -> L.Int k) (int_range (-9) 9);
+                  oneofl [ L.Var "x"; L.Var "y" ] ]
+            else
+              let sub = self (n / 2) in
+              oneof
+                [
+                  map2 (fun a b -> L.Bin (L.Add, a, b)) sub sub;
+                  map2 (fun a b -> L.Bin (L.Sub, a, b)) sub sub;
+                  map2 (fun a b -> L.Bin (L.Mul, a, b)) sub sub;
+                  map2 (fun a b -> L.Bin (L.MinOp, a, b)) sub sub;
+                  map2 (fun a b -> L.Bin (L.MaxOp, a, b)) sub sub;
+                  map (fun a -> L.Neg a) sub;
+                ])
+          (min n 6)))
+
+let eval_expr env e =
+  let t = B.Interp.create ~params:env () in
+  B.Interp.eval_expr t e
+
+let prop_simplify_preserves =
+  QCheck.Test.make ~count:500 ~name:"simplify_expr preserves evaluation"
+    (QCheck.make expr_gen)
+    (fun e ->
+      List.for_all
+        (fun (x, y) ->
+          let env = [ ("x", x); ("y", y) ] in
+          Float.abs
+            (eval_expr env e -. eval_expr env (L.simplify_expr e))
+          < 1e-9)
+        [ (0, 0); (1, -3); (-7, 5); (11, 2) ])
+
+(* ---------- legalization passes on random loop nests ---------- *)
+
+(* A random two-level nest accumulating into an output array via the trace
+   hook; inner loop optionally tagged Vectorized/Unrolled. *)
+let nest_gen =
+  QCheck.Gen.(
+    let* lo1 = int_range 0 2 and* hi1 = int_range 3 7 in
+    let* lo2 = int_range 0 2 and* hi2 = int_range 3 9 in
+    let* width = oneofl [ 2; 4; 8 ] in
+    let* tag = oneofl [ L.Vectorized 0 (* patched below *); L.Unrolled ] in
+    let tag = match tag with L.Vectorized _ -> L.Vectorized width | t -> t in
+    let body =
+      L.Store
+        ( "__trace_s",
+          [ L.Var "a"; L.Var "b" ],
+          L.(Var "a" +! (Var "b" *! int 3)) )
+    in
+    return
+      (L.For
+         {
+           var = "a";
+           lo = L.Int lo1;
+           hi = L.Int hi1;
+           tag = L.Seq;
+           body =
+             L.For
+               { var = "b"; lo = L.Int lo2; hi = L.Int hi2; tag; body };
+         }))
+
+let trace_of stmt =
+  let t = B.Interp.create () in
+  let log = ref [] in
+  B.Interp.on_store t (fun _ idx v -> log := (Array.to_list idx, v) :: !log);
+  B.Interp.run t stmt;
+  List.rev !log
+
+let prop_legalize_preserves =
+  QCheck.Test.make ~count:300
+    ~name:"vector/unroll legalization preserves the store trace"
+    (QCheck.make nest_gen)
+    (fun nest ->
+      (* Order within a vector lane group may be permuted by a real backend,
+         but our passes keep sequential semantics: traces must be equal. *)
+      trace_of nest = trace_of (Passes.legalize nest))
+
+let prop_subst_var =
+  QCheck.Test.make ~count:300 ~name:"subst_var agrees with binding"
+    (QCheck.make QCheck.Gen.(pair expr_gen (int_range (-5) 5)))
+    (fun (e, v) ->
+      let bound = eval_expr [ ("x", v); ("y", 2) ] e in
+      let substituted =
+        eval_expr
+          [ ("y", 2) ]
+          (match Passes.subst_var "x" (L.Int v) (L.Store ("__trace_t", [], e)) with
+          | L.Store (_, _, e') -> e'
+          | _ -> assert false)
+      in
+      Float.abs (bound -. substituted) < 1e-9)
+
+(* ---------- affine expression algebra ---------- *)
+
+let aff_gen =
+  QCheck.Gen.(
+    let* c = int_range (-10) 10 in
+    let* xs =
+      list_size (int_range 0 3)
+        (pair (oneofl [ "i"; "j"; "N" ]) (int_range (-6) 6))
+    in
+    return
+      (List.fold_left
+         (fun acc (n, k) -> Aff.add acc (Aff.term k n))
+         (Aff.const c) xs))
+
+let aff_eval a env = Aff.eval a (fun n -> List.assoc n env)
+let env0 = [ ("i", 3); ("j", -2); ("N", 7) ]
+
+let prop_aff_laws =
+  QCheck.Test.make ~count:500 ~name:"Aff ring laws under evaluation"
+    (QCheck.make QCheck.Gen.(triple aff_gen aff_gen (int_range (-4) 4)))
+    (fun (a, b, k) ->
+      aff_eval (Aff.add a b) env0 = aff_eval (Aff.add b a) env0
+      && aff_eval (Aff.sub a b) env0 = aff_eval a env0 - aff_eval b env0
+      && aff_eval (Aff.scale k (Aff.add a b)) env0
+         = (k * aff_eval a env0) + (k * aff_eval b env0)
+      && Aff.equal (Aff.sub a a) Aff.zero)
+
+let prop_aff_row_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"Aff row round-trip"
+    (QCheck.make aff_gen)
+    (fun a ->
+      let cols = [| "i"; "j"; "N" |] in
+      Aff.equal a (Aff.of_row ~cols (Aff.to_row ~cols a)))
+
+(* ---------- ISL printer/parser round trip ---------- *)
+
+let prop_isl_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Iset print/parse round-trip"
+    (QCheck.make
+       QCheck.Gen.(
+         let* n = int_range 2 6 in
+         let* m = int_range 2 6 in
+         let* tri = bool in
+         return (n, m, tri)))
+    (fun (n, m, tri) ->
+      let sp = Space.set_space ~name:"S" ~params:[] [ "i"; "j" ] in
+      let s =
+        Iset.of_constraints sp
+          (Cstr.between (Aff.const 0) (Aff.var "i") (Aff.const n)
+          @ Cstr.between (Aff.const 0) (Aff.var "j") (Aff.const m)
+          @ if tri then [ Cstr.Le (Aff.var "i", Aff.var "j") ] else [])
+      in
+      let s' = Isl.parse_set (Iset.to_string s) in
+      Iset.equal s s')
+
+(* ---------- random schedule compositions preserve semantics ----------
+
+   The central contract of a scheduling language: any composition of legal
+   Table-II commands leaves the computed function unchanged. *)
+
+let cmd_gen =
+  QCheck.Gen.(
+    int_range 0 7 >|= fun k ->
+    (* each command picks its own applicability at run time *)
+    k)
+
+let apply_cmd (c : Tiramisu_core.Ir.computation) rng_k step =
+  let open Tiramisu_core in
+  let dyn () =
+    List.map (fun d -> d.Ir.d_name) (Ir.dyn_dims c.Ir.sched)
+  in
+  let fresh suffix = Printf.sprintf "t%d%s" step suffix in
+  match rng_k with
+  | 0 -> (
+      match dyn () with
+      | a :: b :: _ -> Tiramisu.interchange c a b
+      | _ -> ())
+  | 1 -> (
+      match dyn () with
+      | a :: _ -> Tiramisu.shift c a 3
+      | _ -> ())
+  | 2 -> (
+      match dyn () with
+      | a :: _ -> Tiramisu.split c a 3 (fresh "o") (fresh "i")
+      | _ -> ())
+  | 3 -> (
+      match dyn () with
+      | a :: b :: _ -> Tiramisu.skew c a b 2
+      | _ -> ())
+  | 4 -> (
+      match dyn () with
+      | a :: b :: _ when a <> b ->
+          Tiramisu.tile c a b 4 4 (fresh "a0") (fresh "b0") (fresh "a1")
+            (fresh "b1")
+      | _ -> ())
+  | 5 -> (
+      match List.rev (dyn ()) with
+      | a :: _ -> Tiramisu.vectorize c a 4
+      | _ -> ())
+  | 6 -> (
+      match dyn () with
+      | a :: _ -> Tiramisu.parallelize c a
+      | _ -> ())
+  | _ -> (
+      match List.rev (dyn ()) with
+      | a :: _ -> Tiramisu.unroll c a 2
+      | _ -> ())
+
+let prop_random_schedules =
+  QCheck.Test.make ~count:60
+    ~name:"random Table-II command compositions preserve cvtColor"
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 5) cmd_gen))
+    (fun cmds ->
+      let img (idx : int array) =
+        float_of_int (((idx.(0) * 11) + (idx.(1) * 5) + idx.(2)) mod 23) /. 3.
+      in
+      let f, gray = Tiramisu_kernels.Image.cvt_color () in
+      List.iteri (fun step k -> apply_cmd gray k step) cmds;
+      let expect idx =
+        (0.299 *. img [| idx.(0); idx.(1); 0 |])
+        +. (0.587 *. img [| idx.(0); idx.(1); 1 |])
+        +. (0.114 *. img [| idx.(0); idx.(1); 2 |])
+      in
+      match
+        Tiramisu_kernels.Runner.check ~fn:f
+          ~params:[ ("N", 11); ("M", 9) ]
+          ~inputs:[ ("img", img) ]
+          ~output:"gray" ~expect ()
+      with
+      | Ok () -> true
+      | Error e -> QCheck.Test.fail_report e)
+
+let () =
+  Alcotest.run "props"
+    [
+      ( "loop-ir",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_simplify_preserves; prop_legalize_preserves; prop_subst_var ] );
+      ( "aff",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_aff_laws; prop_aff_row_roundtrip; prop_isl_roundtrip ] );
+      ( "schedule-compositions",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_schedules ] );
+    ]
