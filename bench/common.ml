@@ -5,6 +5,14 @@ module B = Tiramisu_backends
 
 let machine = B.Machine.default
 
+(* Monotonic wall clock (ms) — immune to NTP slews, unlike gettimeofday. *)
+let now_ms = B.Clock.now_ms
+
+let time_ms f =
+  let t0 = now_ms () in
+  let r = f () in
+  (r, now_ms () -. t0)
+
 (* Model-estimated execution time (ms) of a scheduled pipeline. *)
 let model_ms ?(machine = machine) fn params =
   (Runner.model ~machine ~fn ~params ()).B.Cost.time_ns /. 1e6

@@ -1,0 +1,166 @@
+(* Wall-clock benchmark of the compiled backend's execution strategies:
+   reference interpreter vs. sequential exec vs. the seed's per-loop-entry
+   [Domain.spawn] strategy vs. the persistent domain pool.  Emits a
+   machine-readable BENCH_exec.json next to the human-readable table.
+
+   The interesting cases are kernels whose [Parallel] loop is entered many
+   times per run (inner-parallel blur, unfused nb): there the per-entry
+   spawn/join cost of the seed strategy dominates and the pool wins. *)
+
+open Tiramisu_kernels
+open Tiramisu_core
+open Tiramisu
+module B = Tiramisu_backends
+module L = Tiramisu_codegen.Loop_ir
+
+let reps = 15
+
+(* The container may expose a single core; force a real pool so the
+   strategies differ (TIRAMISU_NUM_DOMAINS still wins if set). *)
+let workers () =
+  (match Sys.getenv_opt "TIRAMISU_NUM_DOMAINS" with
+  | Some _ -> ()
+  | None -> B.Pool.set_num_workers 4);
+  B.Pool.num_workers ()
+
+let img3 (idx : int array) =
+  float_of_int (((idx.(0) * 13) + (idx.(1) * 7) + (idx.(2) * 3)) mod 31) /. 7.0
+
+(* blur with the parallel tag on the second tile loop (j0): the Parallel
+   For is entered once per i0 iteration — a multi-entry parallel loop. *)
+let blur_inner_par ?(t = 16) f =
+  let bx = find_comp f "bx" and by = find_comp f "by" in
+  tile by "i" "j" t t "i0" "j0" "i1" "j1";
+  parallelize by "j0";
+  compute_at bx by "j0";
+  vectorize by "j1" 8
+
+type case = {
+  c_name : string;
+  c_size : string;
+  c_params : (string * int) list;
+  c_inputs : (string * (int array -> float)) list;
+  c_build : unit -> Tiramisu_core.Ir.fn;
+  c_sched : Tiramisu_core.Ir.fn -> unit;
+}
+
+let cases =
+  [
+    {
+      c_name = "blur_inner_parallel";
+      c_size = "N=96 M=64 t=8";
+      c_params = [ ("N", 96); ("M", 64) ];
+      c_inputs = [ ("img", img3) ];
+      c_build =
+        (fun () ->
+          let f, _, _ = Image.blur () in
+          f);
+      c_sched = blur_inner_par ~t:8;
+    };
+    {
+      c_name = "nb_unfused";
+      c_size = "N=192 M=192";
+      c_params = [ ("N", 192); ("M", 192) ];
+      c_inputs = [ ("img", img3) ];
+      c_build =
+        (fun () ->
+          let f, _, _, _, _ = Image.nb () in
+          f);
+      c_sched = Schedules.cpu_nb ~fuse:false;
+    };
+    {
+      c_name = "sgemm_tuned";
+      c_size = "S=64";
+      c_params = [ ("S", 64) ];
+      c_inputs =
+        [ ("A", fun i -> float_of_int (((i.(0) * 7) + (i.(1) * 3)) mod 11));
+          ("B", fun i -> float_of_int (((i.(0) * 5) + i.(1)) mod 9));
+          ("C0", fun i -> float_of_int ((i.(0) + i.(1)) mod 7)) ];
+      c_build =
+        (fun () ->
+          let f, _, _ = Linalg.sgemm () in
+          f);
+      c_sched = Linalg.sgemm_tuned ~bi:8 ~bj:8 ~bk:8 ~vec:4 ~unr:2;
+    };
+  ]
+
+type row = {
+  r_case : case;
+  r_meta : L.loop_meta;
+  r_interp_ms : float;
+  r_seq_ms : float;
+  r_spawn_ms : float;
+  r_pool_ms : float;
+}
+
+(* Mean wall-clock per Exec.run over [reps] repetitions (one warmup run,
+   which also surfaces any bounds failure before we start timing). *)
+let time_exec case strategy =
+  let fn = case.c_build () in
+  case.c_sched fn;
+  let c =
+    Runner.prepare_native ~parallel:strategy ~fn ~params:case.c_params
+      ~inputs:case.c_inputs ()
+  in
+  B.Exec.run c;
+  let (), total =
+    Common.time_ms (fun () ->
+        for _ = 1 to reps do
+          B.Exec.run c
+        done)
+  in
+  (c, total /. float_of_int reps)
+
+let bench_case case =
+  let fn = case.c_build () in
+  case.c_sched fn;
+  let (_ : B.Interp.t), interp_ms =
+    Common.time_ms (fun () ->
+        Runner.run ~fn ~params:case.c_params ~inputs:case.c_inputs)
+  in
+  let c, seq_ms = time_exec case `Seq in
+  let _, spawn_ms = time_exec case `Spawn in
+  let _, pool_ms = time_exec case `Pool in
+  {
+    r_case = case;
+    r_meta = B.Exec.meta c;
+    r_interp_ms = interp_ms;
+    r_seq_ms = seq_ms;
+    r_spawn_ms = spawn_ms;
+    r_pool_ms = pool_ms;
+  }
+
+let json_of_row r =
+  let m = r.r_meta in
+  Printf.sprintf
+    {|    { "kernel": "%s", "size": "%s", "reps": %d,
+      "loop_meta": { "n_loops": %d, "n_parallel": %d, "n_nested_parallel": %d, "max_depth": %d },
+      "interp_ms": %.4f, "exec_seq_ms": %.4f, "exec_spawn_ms": %.4f, "exec_pool_ms": %.4f,
+      "speedup_exec_vs_interp": %.2f, "speedup_pool_vs_spawn": %.2f, "speedup_pool_vs_seq": %.2f }|}
+    r.r_case.c_name r.r_case.c_size reps m.L.n_loops m.L.n_parallel
+    m.L.n_nested_parallel m.L.max_depth r.r_interp_ms r.r_seq_ms r.r_spawn_ms
+    r.r_pool_ms
+    (r.r_interp_ms /. r.r_seq_ms)
+    (r.r_spawn_ms /. r.r_pool_ms)
+    (r.r_seq_ms /. r.r_pool_ms)
+
+let run () =
+  let w = workers () in
+  Common.pf "\nExec strategies (workers=%d, reps=%d)\n" w reps;
+  Common.pf "%-22s %-16s %10s %10s %10s %10s %12s\n" "kernel" "size"
+    "interp ms" "seq ms" "spawn ms" "pool ms" "pool/spawn";
+  let rows = List.map bench_case cases in
+  List.iter
+    (fun r ->
+      Common.pf "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %11.2fx\n"
+        r.r_case.c_name r.r_case.c_size r.r_interp_ms r.r_seq_ms r.r_spawn_ms
+        r.r_pool_ms
+        (r.r_spawn_ms /. r.r_pool_ms))
+    rows;
+  let oc = open_out "BENCH_exec.json" in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"exec\",\n  \"workers\": %d,\n  \"kernels\": [\n%s\n  ]\n}\n"
+    w
+    (String.concat ",\n" (List.map json_of_row rows));
+  close_out oc;
+  Common.pf "wrote BENCH_exec.json\n"

@@ -2,7 +2,7 @@
    evaluation (CGO'19).  Run with no argument for everything, or with a
    subset of: fig1 table1 fig5 fig6 fig7 micro. *)
 
-let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro" ]
+let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec" ]
 
 let () =
   let requested =
@@ -17,6 +17,7 @@ let () =
       | "fig6" -> Fig6.run ()
       | "fig7" -> Fig7.run ()
       | "micro" -> Micro.run ()
+      | "exec" -> Exec_bench.run ()
       | other ->
           Printf.eprintf "unknown benchmark %s (available: %s)\n" other
             (String.concat " " all);

@@ -265,11 +265,11 @@ let run_cmd =
     let k = find_kernel name in
     let f = scheduled k sched in
     if native then begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = Tiramisu_backends.Clock.now_ms () in
       ignore
-        (Runner.run_native ~fn:f ~params:k.params_small ~inputs:k.inputs);
+        (Runner.run_native ~fn:f ~params:k.params_small ~inputs:k.inputs ());
       Printf.printf "native execution ok in %.3f ms\n"
-        (1e3 *. (Unix.gettimeofday () -. t0))
+        (Tiramisu_backends.Clock.now_ms () -. t0)
     end
     else begin
       let interp = Runner.run ~fn:f ~params:k.params_small ~inputs:k.inputs in

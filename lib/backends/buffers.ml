@@ -17,6 +17,18 @@ let of_array ?(mem = Tiramisu_codegen.Loop_ir.Host) name dims data =
 
 let size b = Array.length b.data
 
+(* Row-major strides of a dims vector; the single stride computation shared
+   by every backend (interpreter offsets, compiled addressing, send/recv). *)
+let strides_of dims =
+  let n = Array.length dims in
+  let s = Array.make (max n 1) 1 in
+  for k = n - 2 downto 0 do
+    s.(k) <- s.(k + 1) * dims.(k + 1)
+  done;
+  s
+
+let strides b = strides_of b.dims
+
 let flat_index b idx =
   if Array.length idx <> Array.length b.dims then
     invalid_arg

@@ -19,6 +19,15 @@ val of_array :
   float array -> t
 
 val size : t -> int
+
+val strides_of : int array -> int array
+(** Row-major strides of a dims vector ([strides_of dims].(k) is the flat
+    distance between consecutive indices in dimension [k]).  The one stride
+    computation every backend shares. *)
+
+val strides : t -> int array
+(** [strides_of b.dims]. *)
+
 val flat_index : t -> int array -> int
 (** @raise Invalid_argument on out-of-bounds access, mirroring the assertion
     failures Halide's ticket #2373 reproduction relies on. *)

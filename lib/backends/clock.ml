@@ -1,0 +1,18 @@
+(* Monotonic wall-clock for the runtime and the benchmark harness.
+
+   [Unix.gettimeofday] is subject to NTP slews and leap adjustments, which
+   makes interp-vs-exec speedup numbers noisy and occasionally negative.
+   We read CLOCK_MONOTONIC through the bechamel stubs that are already in
+   the preinstalled package set; [Sys.time] would only measure CPU time of
+   the calling domain, which undercounts parallel regions. *)
+
+let now_ns () : int64 = Monotonic_clock.now ()
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+let now_ms () = Int64.to_float (now_ns ()) /. 1e6
+
+(* Seconds elapsed while running [f]. *)
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9)

@@ -2,12 +2,32 @@ open Tiramisu_codegen
 module L = Loop_ir
 
 (* Compiled code operates on a register file of integers (loop variables and
-   parameters), one slot per name; closures capture slot indices. *)
+   parameters), one slot per name; closures capture slot indices.
+
+   Two runtime subsystems distinguish this from a naive closure compiler:
+
+   - Parallel loops run on the persistent domain pool ({!Pool}) instead of
+     paying a Domain.spawn/join round-trip per loop entry; statically nested
+     Parallel loops are compiled sequentially (the loop metadata of
+     {!Loop_ir.analyze_loops} names this case) and dynamically nested ones
+     run inline on their worker.
+
+   - Addressing is hoisted: buffer strides are computed once at compile
+     time, index expressions are classified as affine combinations of loop
+     variables, and for each access dimension the bounds check is hoisted to
+     the entry of the innermost loop whose variable it involves — the two
+     corners of the loop range are checked once and a per-loop "in-bounds"
+     register tells every access in the body to skip its per-iteration
+     check.  Accesses that are not affine, or whose corners fail (e.g. the
+     guarded edges of partial tiles), fall back to the per-access check. *)
+
+type par_strategy = [ `Pool | `Spawn | `Seq ]
 
 type compiled = {
   body : int array -> unit;
   regs0 : int array;             (* initial register file (params bound) *)
   bufs : (string, Buffers.t) Hashtbl.t;
+  cmeta : L.loop_meta;
 }
 
 type ctx = {
@@ -17,6 +37,12 @@ type ctx = {
   channels : (int * int, float array Queue.t) Hashtbl.t;
   chan_mutex : Mutex.t;
   rank_slot : int;
+  par_mode : par_strategy;
+  (* compile-time state of the addressing-optimisation pass *)
+  pending : (string, (int array -> int -> int -> bool) list ref) Hashtbl.t;
+    (* per loop-var corner checks collected while compiling its body *)
+  mutable loop_stack : string list;  (* enclosing loop vars, innermost first *)
+  mutable par_depth : int;           (* enclosing Parallel loops *)
 }
 
 let slot ctx name =
@@ -28,35 +54,61 @@ let slot ctx name =
       Hashtbl.replace ctx.slots name s;
       s
 
+(* The "accesses through var v are in bounds" register of a loop: 1 after
+   the corner check at loop entry succeeded, 0 otherwise.  ':' cannot occur
+   in IR variable names, so the slot cannot collide. *)
+let flag_slot ctx v = slot ctx ("__inb:" ^ v)
+
+let hoist_check ctx v chk =
+  let r =
+    match Hashtbl.find_opt ctx.pending v with
+    | Some r -> r
+    | None ->
+        let r = ref [] in
+        Hashtbl.replace ctx.pending v r;
+        r
+  in
+  r := chk :: !r
+
 let buf ctx name =
   match Hashtbl.find_opt ctx.cbufs name with
   | Some b -> b
   | None -> failwith (Printf.sprintf "Exec: unknown buffer %s" name)
 
-(* Flat index closure with a single bounds check against the buffer size;
-   per-dimension checks are the interpreter's job. *)
-let index_fn (b : Buffers.t) (idx : (int array -> int) array) =
-  let dims = b.Buffers.dims in
-  let rank = Array.length dims in
-  if Array.length idx <> rank then
-    failwith (Printf.sprintf "Exec: rank mismatch on %s" b.Buffers.name);
-  let strides = Array.make rank 1 in
-  for k = rank - 2 downto 0 do
-    strides.(k) <- strides.(k + 1) * dims.(k + 1)
-  done;
-  let total = Array.length b.Buffers.data in
-  fun env ->
-    let acc = ref 0 in
-    for k = 0 to rank - 1 do
-      let i = idx.(k) env in
-      if i < 0 || i >= dims.(k) then
-        invalid_arg
-          (Printf.sprintf "buffer %s: index %d out of bounds [0,%d) at dim %d"
-             b.Buffers.name i dims.(k) k);
-      acc := !acc + (i * strides.(k))
-    done;
-    if !acc >= total then invalid_arg "Exec: flat index out of range";
-    !acc
+(* Σ coeff·var + const view of an index expression; None if not affine. *)
+let affine_terms (e : L.expr) : ((string * int) list * int) option =
+  let merge t1 t2 =
+    List.fold_left
+      (fun acc (v, c) ->
+        match List.assoc_opt v acc with
+        | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc
+        | None -> (v, c) :: acc)
+      t1 t2
+  in
+  let neg ts = List.map (fun (v, k) -> (v, -k)) ts in
+  let rec go e =
+    match e with
+    | L.Int n -> Some ([], n)
+    | L.Var v -> Some ([ (v, 1) ], 0)
+    | L.Neg a -> Option.map (fun (ts, c) -> (neg ts, -c)) (go a)
+    | L.Bin (L.Add, a, b) -> (
+        match (go a, go b) with
+        | Some (t1, c1), Some (t2, c2) -> Some (merge t1 t2, c1 + c2)
+        | _ -> None)
+    | L.Bin (L.Sub, a, b) -> (
+        match (go a, go b) with
+        | Some (t1, c1), Some (t2, c2) -> Some (merge t1 (neg t2), c1 - c2)
+        | _ -> None)
+    | L.Bin (L.Mul, a, b) -> (
+        match (go a, go b) with
+        | Some ([], k), Some (ts, c) | Some (ts, c), Some ([], k) ->
+            Some (List.map (fun (v, q) -> (v, q * k)) ts, c * k)
+        | _ -> None)
+    | _ -> None
+  in
+  Option.map
+    (fun (ts, c) -> (List.filter (fun (_, k) -> k <> 0) ts, c))
+    (go e)
 
 let rec compile_int ctx (e : L.expr) : int array -> int =
   match e with
@@ -74,7 +126,7 @@ let rec compile_int ctx (e : L.expr) : int array -> int =
   | L.Cast (_, a) -> compile_int ctx a
   | L.Load (b, idx) ->
       let bb = buf ctx b in
-      let fidx = index_fn bb (Array.of_list (List.map (compile_int ctx) idx)) in
+      let fidx = index_fn ctx bb idx in
       fun env -> int_of_float bb.Buffers.data.(fidx env)
   | L.Select (c, a, b) ->
       let fc = compile_cond ctx c
@@ -137,7 +189,7 @@ and compile_f ctx (e : L.expr) : int array -> float =
   | L.Cast (_, a) -> compile_f ctx a
   | L.Load (b, idx) ->
       let bb = buf ctx b in
-      let fidx = index_fn bb (Array.of_list (List.map (compile_int ctx) idx)) in
+      let fidx = index_fn ctx bb idx in
       fun env -> bb.Buffers.data.(fidx env)
   | L.Select (c, a, b) ->
       let fc = compile_cond ctx c
@@ -153,7 +205,7 @@ and compile_f ctx (e : L.expr) : int array -> float =
       | "log", [ a ] -> fun env -> log (a env)
       | "sin", [ a ] -> fun env -> sin (a env)
       | "cos", [ a ] -> fun env -> cos (a env)
-      | "floor", [ a ] -> fun env -> Float.round (a env -. 0.5)
+      | "floor", [ a ] -> fun env -> Float.floor (a env)
       | "pow", [ a; b ] -> fun env -> Float.pow (a env) (b env)
       | "fmin", [ a; b ] -> fun env -> Float.min (a env) (b env)
       | "fmax", [ a; b ] -> fun env -> Float.max (a env) (b env)
@@ -180,19 +232,116 @@ and compile_f ctx (e : L.expr) : int array -> float =
       | L.MinOp -> fun env -> Float.min (fa env) (fb env)
       | L.MaxOp -> fun env -> Float.max (fa env) (fb env))
 
-let flat_offset (b : Buffers.t) (idx : (int array -> int) list) env =
+(* Flat-index closure of a full-rank access.  Strides are precomputed once;
+   per dimension the index is classified: constant indices fold into the
+   static base (their bounds are checked here, at compile time), affine
+   indices check per access only while the "in-bounds" register of their
+   innermost loop variable is 0 (see the For case of {!compile_stmt}),
+   opaque indices always check. *)
+and index_fn ctx (b : Buffers.t) (idx : L.expr list) : int array -> int =
   let dims = b.Buffers.dims in
-  let n = Array.length dims in
-  let acc = ref 0 in
+  let rank = Array.length dims in
+  if List.length idx <> rank then
+    failwith (Printf.sprintf "Exec: rank mismatch on %s" b.Buffers.name);
+  let strides = Buffers.strides_of dims in
+  let base = ref 0 in
+  let terms = ref [] in
   List.iteri
-    (fun k f ->
-      let stride = ref 1 in
-      for d = k + 1 to n - 1 do
-        stride := !stride * dims.(d)
-      done;
-      acc := !acc + (f env * !stride))
+    (fun k e ->
+      let stride = strides.(k) and dk = dims.(k) in
+      let oob i =
+        invalid_arg
+          (Printf.sprintf "buffer %s: index %d out of bounds [0,%d) at dim %d"
+             b.Buffers.name i dk k)
+      in
+      match affine_terms e with
+      | Some ([], c) ->
+          if c >= 0 && c < dk then base := !base + (c * stride)
+          else terms := (fun _ -> oob c) :: !terms
+      | Some (ts, c) -> (
+          let eval =
+            match ts with
+            | [ (v0, a0) ] ->
+                let s0 = slot ctx v0 in
+                fun env -> (a0 * env.(s0)) + c
+            | [ (v0, a0); (v1, a1) ] ->
+                let s0 = slot ctx v0 and s1 = slot ctx v1 in
+                fun env -> (a0 * env.(s0)) + (a1 * env.(s1)) + c
+            | _ ->
+                let slots =
+                  Array.of_list (List.map (fun (v, _) -> slot ctx v) ts)
+                in
+                let coeffs = Array.of_list (List.map snd ts) in
+                let nv = Array.length slots in
+                fun env ->
+                  let x = ref c in
+                  for t = 0 to nv - 1 do
+                    x := !x + (coeffs.(t) * env.(slots.(t)))
+                  done;
+                  !x
+          in
+          let deepest =
+            List.find_opt (fun lv -> List.mem_assoc lv ts) ctx.loop_stack
+          in
+          match deepest with
+          | Some d ->
+              let fl = flag_slot ctx d in
+              let ad = List.assoc d ts in
+              let others = List.filter (fun (v, _) -> v <> d) ts in
+              let oslots =
+                Array.of_list (List.map (fun (v, _) -> slot ctx v) others)
+              in
+              let ocoeffs = Array.of_list (List.map snd others) in
+              (* The non-d part of the index is fixed while the d-loop runs,
+                 and the index is monotone in d: checking the two corners of
+                 [lo,hi] at loop entry covers every iteration. *)
+              hoist_check ctx d (fun env lo hi ->
+                  let rest = ref c in
+                  for t = 0 to Array.length oslots - 1 do
+                    rest := !rest + (ocoeffs.(t) * env.(oslots.(t)))
+                  done;
+                  let x0 = (ad * lo) + !rest and x1 = (ad * hi) + !rest in
+                  x0 >= 0 && x0 < dk && x1 >= 0 && x1 < dk);
+              terms :=
+                (fun env ->
+                  let i = eval env in
+                  if env.(fl) = 0 && (i < 0 || i >= dk) then oob i;
+                  i * stride)
+                :: !terms
+          | None ->
+              (* affine purely in parameters: loop-invariant, keep the
+                 per-access check *)
+              terms :=
+                (fun env ->
+                  let i = eval env in
+                  if i < 0 || i >= dk then oob i;
+                  i * stride)
+                :: !terms)
+      | None ->
+          let f = compile_int ctx e in
+          terms :=
+            (fun env ->
+              let i = f env in
+              if i < 0 || i >= dk then oob i;
+              i * stride)
+            :: !terms)
     idx;
-  !acc
+  let base = !base in
+  match Array.of_list (List.rev !terms) with
+  | [||] -> fun _ -> base
+  | [| t0 |] -> fun env -> base + t0 env
+  | [| t0; t1 |] -> fun env -> base + t0 env + t1 env
+  | [| t0; t1; t2 |] -> fun env -> base + t0 env + t1 env + t2 env
+  | terms -> fun env -> Array.fold_left (fun acc t -> acc + t env) base terms
+
+(* Offset of a starting element given (possibly shorter) leading indices;
+   used by send/recv.  Strides are computed once at compile time. *)
+let offset_fn (b : Buffers.t) (fidx : (int array -> int) array) =
+  let strides = Buffers.strides b in
+  fun env ->
+    let acc = ref 0 in
+    Array.iteri (fun k f -> acc := !acc + (f env * strides.(k))) fidx;
+    !acc
 
 let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
   match s with
@@ -209,68 +358,109 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
           fun env -> if fc env then ft env else fe env)
   | L.Store (b, idx, v) ->
       let bb = buf ctx b in
-      let fidx = index_fn bb (Array.of_list (List.map (compile_int ctx) idx)) in
+      let fidx = index_fn ctx bb idx in
       let fv = compile_f ctx v in
       fun env -> bb.Buffers.data.(fidx env) <- fv env
   | L.Alloc _ ->
       (* Scoped allocations capture buffers by reference at compile time;
          re-sizing per entry would need re-compilation. The reference
          interpreter handles these pipelines. *)
-      failwith "Exec: scoped Alloc not supported; use the interpreter" 
-  | L.For { var; lo; hi; tag = L.Parallel; body } ->
-      let s = slot ctx var in
-      let flo = compile_int ctx lo and fhi = compile_int ctx hi in
-      let fbody = compile_stmt ctx body in
-      fun env ->
-        let lo = flo env and hi = fhi env in
-        let extent = hi - lo + 1 in
-        if extent <= 0 then ()
-        else begin
-          let nd = min (Domain.recommended_domain_count ()) extent in
-          if nd <= 1 then
-            for x = lo to hi do
-              env.(s) <- x;
-              fbody env
-            done
-          else begin
-            let chunk = (extent + nd - 1) / nd in
-            let workers =
-              List.init nd (fun d ->
-                  Domain.spawn (fun () ->
-                      let env' = Array.copy env in
-                      let from = lo + (d * chunk) in
-                      let upto = min hi (from + chunk - 1) in
-                      for x = from to upto do
-                        env'.(s) <- x;
-                        fbody env'
-                      done))
-            in
-            List.iter Domain.join workers
-          end
-        end
+      failwith "Exec: scoped Alloc not supported; use the interpreter"
   | L.For { var; lo; hi; tag; body } ->
       let s = slot ctx var in
-      let is_dist = tag = L.Distributed in
       let flo = compile_int ctx lo and fhi = compile_int ctx hi in
+      (* Statically nested Parallel loops run sequentially inside their
+         chunk: the pool already owns the machine at the outer level. *)
+      let parallel =
+        tag = L.Parallel && ctx.par_mode <> `Seq && ctx.par_depth = 0
+      in
+      if tag = L.Parallel then ctx.par_depth <- ctx.par_depth + 1;
+      ctx.loop_stack <- var :: ctx.loop_stack;
+      let saved_pending = Hashtbl.find_opt ctx.pending var in
+      let my_pending = ref [] in
+      Hashtbl.replace ctx.pending var my_pending;
       let fbody = compile_stmt ctx body in
+      let checks = Array.of_list !my_pending in
+      (match saved_pending with
+      | Some r -> Hashtbl.replace ctx.pending var r
+      | None -> Hashtbl.remove ctx.pending var);
+      ctx.loop_stack <- List.tl ctx.loop_stack;
+      if tag = L.Parallel then ctx.par_depth <- ctx.par_depth - 1;
       let rs = ctx.rank_slot in
-      fun env ->
+      let seq_run =
+        if tag = L.Distributed then (fun env lo hi ->
+          for x = lo to hi do
+            env.(s) <- x;
+            env.(rs) <- x;
+            fbody env
+          done)
+        else fun env lo hi ->
+          for x = lo to hi do
+            env.(s) <- x;
+            fbody env
+          done
+      in
+      let run =
+        if not parallel then seq_run
+        else
+          match ctx.par_mode with
+          | `Pool ->
+              fun env lo hi ->
+                Pool.parallel_for lo hi ~body:(fun clo chi ->
+                    (* per-chunk private register file *)
+                    let env' = Array.copy env in
+                    seq_run env' clo chi)
+          | `Spawn | `Seq ->
+              (* the seed strategy, kept as the benchmark baseline:
+                 spawn/join a fresh set of domains on every loop entry *)
+              fun env lo hi ->
+                let extent = hi - lo + 1 in
+                let nd = min (Pool.num_workers ()) extent in
+                if nd <= 1 then seq_run env lo hi
+                else begin
+                  let chunk = (extent + nd - 1) / nd in
+                  let workers =
+                    List.init nd (fun d ->
+                        Domain.spawn (fun () ->
+                            let env' = Array.copy env in
+                            let from = lo + (d * chunk) in
+                            let upto = min hi (from + chunk - 1) in
+                            seq_run env' from upto))
+                  in
+                  List.iter Domain.join workers
+                end
+      in
+      if Array.length checks = 0 then (fun env ->
         let lo = flo env and hi = fhi env in
-        for x = lo to hi do
-          env.(s) <- x;
-          if is_dist then env.(rs) <- x;
-          fbody env
-        done
+        if hi >= lo then run env lo hi)
+      else begin
+        let fv = flag_slot ctx var in
+        let nchecks = Array.length checks in
+        fun env ->
+          let lo = flo env and hi = fhi env in
+          if hi >= lo then begin
+            let ok = ref true in
+            let i = ref 0 in
+            while !ok && !i < nchecks do
+              ok := checks.(!i) env lo hi;
+              incr i
+            done;
+            let saved = env.(fv) in
+            env.(fv) <- (if !ok then 1 else 0);
+            run env lo hi;
+            env.(fv) <- saved
+          end
+      end
   | L.Send { dst; buf = b; offset; count; _ } ->
       let bb = buf ctx b in
       let fdst = compile_int ctx dst in
-      let foffs = List.map (compile_int ctx) offset in
+      let foffs =
+        offset_fn bb (Array.of_list (List.map (compile_int ctx) offset))
+      in
       let fcount = compile_int ctx count in
       let rs = ctx.rank_slot in
       fun env ->
-        let payload =
-          Array.sub bb.Buffers.data (flat_offset bb foffs env) (fcount env)
-        in
+        let payload = Array.sub bb.Buffers.data (foffs env) (fcount env) in
         Mutex.lock ctx.chan_mutex;
         let key = (env.(rs), fdst env) in
         let q =
@@ -286,7 +476,9 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
   | L.Recv { src; buf = b; offset; count; _ } ->
       let bb = buf ctx b in
       let fsrc = compile_int ctx src in
-      let foffs = List.map (compile_int ctx) offset in
+      let foffs =
+        offset_fn bb (Array.of_list (List.map (compile_int ctx) offset))
+      in
       let fcount = compile_int ctx count in
       let rs = ctx.rank_slot in
       fun env ->
@@ -298,7 +490,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
             Mutex.unlock ctx.chan_mutex;
             if Array.length payload <> fcount env then
               failwith "Exec: message size mismatch";
-            Array.blit payload 0 bb.Buffers.data (flat_offset bb foffs env)
+            Array.blit payload 0 bb.Buffers.data (foffs env)
               (Array.length payload)
         | _ ->
             Mutex.unlock ctx.chan_mutex;
@@ -310,7 +502,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
           failwith "Exec: memcpy size mismatch";
         Array.blit s.Buffers.data 0 d.Buffers.data 0 (Buffers.size s)
 
-let compile ~params ~buffers stmt =
+let compile ?(parallel = `Pool) ~params ~buffers stmt =
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -319,6 +511,10 @@ let compile ~params ~buffers stmt =
       channels = Hashtbl.create 16;
       chan_mutex = Mutex.create ();
       rank_slot = 0;
+      par_mode = parallel;
+      pending = Hashtbl.create 8;
+      loop_stack = [];
+      par_depth = 0;
     }
   in
   let rank_slot = slot ctx "__rank" in
@@ -329,7 +525,7 @@ let compile ~params ~buffers stmt =
   (* size the register file after compilation discovered all names *)
   let regs0 = Array.make (max 1 ctx.nslots) 0 in
   List.iter (fun (p, v) -> regs0.(Hashtbl.find ctx.slots p) <- v) params;
-  { body; regs0; bufs = ctx.cbufs }
+  { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt }
 
 let run c = c.body (Array.copy c.regs0)
 
@@ -338,7 +534,8 @@ let buffer c name =
   | Some b -> b
   | None -> failwith (Printf.sprintf "Exec: unknown buffer %s" name)
 
+let meta c = c.cmeta
+
 let time_run c =
-  let t0 = Unix.gettimeofday () in
-  run c;
-  Unix.gettimeofday () -. t0
+  let (), dt = Clock.time (fun () -> run c) in
+  dt

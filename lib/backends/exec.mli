@@ -3,9 +3,20 @@
     Where the paper lowers its AST to LLVM IR (§V-A), this backend compiles
     the loop IR once into nested OCaml closures — eliminating the
     interpreter's dispatch overhead — and executes [Parallel]-tagged loops
-    on real cores with OCaml 5 domains.  It is the wall-clock backend: the
-    reference {!Interp} stays the semantics oracle, and the two are checked
-    against each other in the test-suite.
+    on real cores.  It is the wall-clock backend: the reference {!Interp}
+    stays the semantics oracle, and the two are checked against each other
+    in the test-suite.
+
+    Parallel loops run on the persistent {!Pool} of domains (chunked ranges,
+    work stealing); nested parallel loops — statically detected via the loop
+    metadata, or dynamically via {!Pool.in_worker} — run sequentially on
+    their worker instead of oversubscribing.
+
+    Addressing is hoisted: strides are precomputed per access, affine index
+    expressions fold to register/coefficient pairs, and per-dimension bounds
+    checks move to the entry of the innermost loop whose variable they
+    involve (the two corners of the range are checked once; non-affine
+    indices and failed corner checks fall back to per-access checks).
 
     GPU-tagged loops run as ordinary loops (a functional grid simulation);
     distributed loops run rank-by-rank with in-memory channels, exactly as
@@ -13,7 +24,13 @@
 
 type compiled
 
+type par_strategy = [ `Pool | `Spawn | `Seq ]
+(** How [Parallel]-tagged loops execute: on the persistent domain pool
+    (default), with a fresh [Domain.spawn]/[join] per loop entry (the seed
+    strategy, kept as a benchmark baseline), or sequentially. *)
+
 val compile :
+  ?parallel:par_strategy ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
@@ -22,10 +39,13 @@ val compile :
     to reuse). @raise Failure on constructs the executor does not support. *)
 
 val run : compiled -> unit
-(** Execute. Parallel loops use [Domain.spawn] when more than one core is
-    available. *)
+(** Execute.  With the default [`Pool] strategy, parallel loops use the
+    domain pool when {!Pool.num_workers} is more than one. *)
 
 val buffer : compiled -> string -> Buffers.t
 
+val meta : compiled -> Tiramisu_codegen.Loop_ir.loop_meta
+(** Static loop metadata of the compiled program. *)
+
 val time_run : compiled -> float
-(** Wall-clock seconds of one execution. *)
+(** Wall-clock (monotonic) seconds of one execution. *)

@@ -120,7 +120,7 @@ and eval_f t (e : L.expr) : float =
       | "log", [ a ] -> log a
       | "sin", [ a ] -> sin a
       | "cos", [ a ] -> cos a
-      | "floor", [ a ] -> Float.round (a -. 0.5)
+      | "floor", [ a ] -> Float.floor a
       | "pow", [ a; b ] -> Float.pow a b
       | "fmin", [ a; b ] -> Float.min a b
       | "fmax", [ a; b ] -> Float.max a b
@@ -141,21 +141,9 @@ and eval_f t (e : L.expr) : float =
 
 let flat_offset buf idx =
   (* Offset of a starting element given (possibly shorter) leading indices. *)
-  let dims = buf.Buffers.dims in
+  let strides = Buffers.strides buf in
   let acc = ref 0 in
-  Array.iteri
-    (fun k i ->
-      ignore k;
-      ignore i)
-    dims;
-  List.iteri
-    (fun k i ->
-      let stride = ref 1 in
-      for d = k + 1 to Array.length dims - 1 do
-        stride := !stride * dims.(d)
-      done;
-      acc := !acc + (i * !stride))
-    idx;
+  List.iteri (fun k i -> acc := !acc + (i * strides.(k))) idx;
   !acc
 
 let rec exec t (s : L.stmt) : unit =

@@ -1,0 +1,40 @@
+(** Process-lifetime domain pool for [Parallel]-tagged loops.
+
+    Workers are spawned once (lazily, on the first {!parallel_for}) and kept
+    for the life of the process, replacing the seed executor's per-loop-entry
+    [Domain.spawn]/[Domain.join].  Ranges are split into ~4 chunks per worker
+    and distributed over per-worker deques; idle workers steal from the front
+    of other deques, which load-balances the irregular extents of triangular
+    domains and partial tiles.  The caller of {!parallel_for} participates as
+    a worker while it waits.
+
+    Pool size resolution, first match wins: {!set_num_workers}, the
+    [TIRAMISU_NUM_DOMAINS] environment variable, then
+    [Domain.recommended_domain_count ()].  With one worker, {!parallel_for}
+    degenerates to an inline sequential call with no synchronization. *)
+
+val num_workers : unit -> int
+(** Resolved pool size (total parallelism, the calling domain included).
+    Does not force pool creation. *)
+
+val set_num_workers : int -> unit
+(** Override the pool size.  Stops the current workers (if any); the next
+    {!parallel_for} re-creates the pool at the new size.
+    @raise Invalid_argument if the size is < 1. *)
+
+val in_worker : unit -> bool
+(** True while executing inside a pool task (on any domain, the helping
+    caller included).  Nested [parallel_for]s use this to run inline instead
+    of oversubscribing. *)
+
+val parallel_for : ?chunk:int -> int -> int -> body:(int -> int -> unit) -> unit
+(** [parallel_for lo hi ~body] runs [body clo chi] over disjoint inclusive
+    sub-ranges covering [lo..hi] exactly once, possibly concurrently on
+    several domains.  Empty when [hi < lo].  [body] must be safe to run
+    concurrently on disjoint ranges.  [?chunk] forces the chunk size.
+    The first exception raised by any chunk is re-raised in the caller
+    (remaining chunks still run). *)
+
+val shutdown : unit -> unit
+(** Stop and join the workers.  Called automatically [at_exit]; a later
+    {!parallel_for} re-creates the pool. *)

@@ -203,6 +203,56 @@ let rec simplify_stmt s =
                      offset = List.map simplify_expr r.offset;
                      count = simplify_expr r.count }
 
+(* ---------- static loop metadata ---------- *)
+
+(* Shape summary of a lowered loop nest, computed once per program.  The
+   executing backends use it to plan the runtime (e.g. compile statically
+   nested Parallel loops sequentially instead of oversubscribing the domain
+   pool), and the benchmark harness records it next to its timings. *)
+type loop_meta = {
+  n_loops : int;
+  n_parallel : int;          (* Parallel-tagged loops *)
+  n_nested_parallel : int;   (* Parallel loops inside another Parallel loop *)
+  max_depth : int;           (* deepest loop nesting *)
+  innermost : string list;   (* vars of loops containing no other loop *)
+}
+
+let analyze_loops stmt =
+  let meta =
+    ref { n_loops = 0; n_parallel = 0; n_nested_parallel = 0; max_depth = 0;
+          innermost = [] }
+  in
+  (* returns whether [s] contains a loop *)
+  let rec go depth in_par s =
+    match s with
+    | Block l -> List.fold_left (fun acc s -> go depth in_par s || acc) false l
+    | For { var; tag; body; _ } ->
+        let m = !meta in
+        meta :=
+          { m with
+            n_loops = m.n_loops + 1;
+            n_parallel = (m.n_parallel + if tag = Parallel then 1 else 0);
+            n_nested_parallel =
+              (m.n_nested_parallel
+               + if tag = Parallel && in_par then 1 else 0);
+            max_depth = max m.max_depth (depth + 1) };
+        let inner = go (depth + 1) (in_par || tag = Parallel) body in
+        if not inner then begin
+          let m = !meta in
+          meta := { m with innermost = var :: m.innermost }
+        end;
+        true
+    | If (_, t, e) ->
+        let a = go depth in_par t in
+        let b = match e with Some e -> go depth in_par e | None -> false in
+        a || b
+    | Alloc { body; _ } -> go depth in_par body
+    | Store _ | Barrier | Comment _ | Send _ | Recv _ | Memcpy _ -> false
+  in
+  ignore (go 0 false stmt);
+  let m = !meta in
+  { m with innermost = List.rev m.innermost }
+
 (* ---------- pretty printing (paper-style pseudocode) ---------- *)
 
 let binop_str = function

@@ -72,9 +72,9 @@ let check ~fn ~params ~inputs ~output ~expect ?(eps = 1e-3) () =
    with Exit -> ());
   match !bad with None -> Ok () | Some m -> Error m
 
-let run_native ~fn ~params ~inputs =
-  (* Closure-compiled execution (the fast backend); same contract as
-     {!run}. *)
+let prepare_native ?(parallel = `Pool) ~fn ~params ~inputs () =
+  (* Lower and compile without running — the wall-clock benchmarks compile
+     once and time [B.Exec.run] over many repetitions. *)
   let lowered = Lower.lower fn in
   let buffers =
     List.map
@@ -86,8 +86,13 @@ let run_native ~fn ~params ~inputs =
     (fun (name, fill) ->
       match List.find_opt (fun b -> b.B.Buffers.name = name) buffers with
       | Some b -> B.Buffers.fill b fill
-      | None -> invalid_arg ("run_native: unknown input " ^ name))
+      | None -> invalid_arg ("prepare_native: unknown input " ^ name))
     inputs;
-  let compiled = B.Exec.compile ~params ~buffers lowered.Lower.ast in
+  B.Exec.compile ~parallel ~params ~buffers lowered.Lower.ast
+
+let run_native ?parallel ~fn ~params ~inputs () =
+  (* Closure-compiled execution (the fast backend); same contract as
+     {!run}. *)
+  let compiled = prepare_native ?parallel ~fn ~params ~inputs () in
   B.Exec.run compiled;
   compiled

@@ -41,10 +41,22 @@ val check :
   (unit, string) result
 (** Run and compare the named output buffer element-wise against [expect]. *)
 
-val run_native :
+val prepare_native :
+  ?parallel:B.Exec.par_strategy ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->
+  unit ->
+  B.Exec.compiled
+(** Lower, allocate and fill buffers, and compile — without running.  The
+    wall-clock benchmarks compile once and time [B.Exec.run] repeatedly. *)
+
+val run_native :
+  ?parallel:B.Exec.par_strategy ->
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  unit ->
   B.Exec.compiled
 (** Closure-compiled execution with real multicore parallelism (OCaml 5
-    domains); the fast counterpart of {!run}. *)
+    domains on the persistent pool); the fast counterpart of {!run}. *)

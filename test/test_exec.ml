@@ -22,7 +22,7 @@ let agree ?(params = [ ("N", n); ("M", m) ]) ?(inputs = [ ("img", img3) ])
       let interp = Runner.run ~fn:f1 ~params ~inputs in
       let f2 = build () in
       sched f2;
-      let native = Runner.run_native ~fn:f2 ~params ~inputs in
+      let native = Runner.run_native ~fn:f2 ~params ~inputs () in
       List.iter
         (fun out ->
           let a = B.Interp.buffer interp out in
@@ -90,9 +90,9 @@ let tests =
         in
         let f1, _, _ = Linalg.sgemm () in
         let thunk = Runner.prepare ~fn:f1 ~params ~inputs in
-        let t0 = Unix.gettimeofday () in
+        let t0 = B.Clock.now_s () in
         ignore (thunk ());
-        let interp_t = Unix.gettimeofday () -. t0 in
+        let interp_t = B.Clock.now_s () -. t0 in
         let f2, _, _ = Linalg.sgemm () in
         let lowered = Tiramisu_core.Lower.lower f2 in
         let buffers =
