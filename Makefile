@@ -1,0 +1,26 @@
+# Convenience targets; dune is the real build system.
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark sweep (rewrites BENCH_*.json).
+bench:
+	dune exec bench/main.exe
+
+# The pre-commit gate: tier-1 (build + tests) plus a 1-rep smoke run of the
+# exec-strategy bench, which exercises the kernel specializer, the domain
+# pool and the demotion heuristic end-to-end without touching BENCH_exec.json.
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- exec-smoke
+
+clean:
+	dune clean

@@ -5,15 +5,25 @@
 
    The interesting cases are kernels whose [Parallel] loop is entered many
    times per run (inner-parallel blur, unfused nb): there the per-entry
-   spawn/join cost of the seed strategy dominates and the pool wins. *)
+   spawn/join cost of the seed strategy dominates and the pool wins.  The
+   [specialized] column counts innermost loops compiled through the kernel
+   specializer (strength-reduced cursors, unroll/vector drivers, scalar
+   promotion); [pool_fallbacks] counts Parallel loops demoted to sequential
+   by the work-size heuristic (threshold recorded in the JSON header).
+
+   Per-strategy timings report mean, median and min over the reps: the
+   median is robust to scheduler noise, the min approximates the
+   noise-free run.  Speedup ratios use medians.
+
+   Smoke mode ([run ~smoke:true ()], CLI "exec-smoke") runs 1 rep on tiny
+   sizes and skips the JSON so the tier-1 gate can exercise the perf paths
+   without clobbering the published numbers. *)
 
 open Tiramisu_kernels
 open Tiramisu_core
 open Tiramisu
 module B = Tiramisu_backends
 module L = Tiramisu_codegen.Loop_ir
-
-let reps = 15
 
 (* The container may expose a single core; force a real pool so the
    strategies differ (TIRAMISU_NUM_DOMAINS still wins if set). *)
@@ -44,12 +54,15 @@ type case = {
   c_sched : Tiramisu_core.Ir.fn -> unit;
 }
 
-let cases =
+let cases ~smoke =
+  let blur_n, blur_m = if smoke then (32, 32) else (96, 64) in
+  let nb_n = if smoke then 48 else 192 in
+  let gemm_s = if smoke then 16 else 64 in
   [
     {
       c_name = "blur_inner_parallel";
-      c_size = "N=96 M=64 t=8";
-      c_params = [ ("N", 96); ("M", 64) ];
+      c_size = Printf.sprintf "N=%d M=%d t=8" blur_n blur_m;
+      c_params = [ ("N", blur_n); ("M", blur_m) ];
       c_inputs = [ ("img", img3) ];
       c_build =
         (fun () ->
@@ -59,8 +72,8 @@ let cases =
     };
     {
       c_name = "nb_unfused";
-      c_size = "N=192 M=192";
-      c_params = [ ("N", 192); ("M", 192) ];
+      c_size = Printf.sprintf "N=%d M=%d" nb_n nb_n;
+      c_params = [ ("N", nb_n); ("M", nb_n) ];
       c_inputs = [ ("img", img3) ];
       c_build =
         (fun () ->
@@ -70,8 +83,8 @@ let cases =
     };
     {
       c_name = "sgemm_tuned";
-      c_size = "S=64";
-      c_params = [ ("S", 64) ];
+      c_size = Printf.sprintf "S=%d" gemm_s;
+      c_params = [ ("S", gemm_s) ];
       c_inputs =
         [ ("A", fun i -> float_of_int (((i.(0) * 7) + (i.(1) * 3)) mod 11));
           ("B", fun i -> float_of_int (((i.(0) * 5) + i.(1)) mod 9));
@@ -84,18 +97,36 @@ let cases =
     };
   ]
 
+type stats = { s_mean : float; s_median : float; s_min : float }
+
+let stats_of (samples : float array) =
+  let n = Array.length samples in
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let median =
+    if n mod 2 = 1 then sorted.(n / 2)
+    else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
+  in
+  {
+    s_mean = Array.fold_left ( +. ) 0.0 samples /. float_of_int n;
+    s_median = median;
+    s_min = sorted.(0);
+  }
+
 type row = {
   r_case : case;
   r_meta : L.loop_meta;
+  r_spec : int;       (* innermost loops compiled specialized *)
+  r_fallback : int;   (* Parallel loops demoted under `Pool *)
   r_interp_ms : float;
-  r_seq_ms : float;
-  r_spawn_ms : float;
-  r_pool_ms : float;
+  r_seq : stats;
+  r_spawn : stats;
+  r_pool : stats;
 }
 
-(* Mean wall-clock per Exec.run over [reps] repetitions (one warmup run,
-   which also surfaces any bounds failure before we start timing). *)
-let time_exec case strategy =
+(* Per-rep wall-clock samples of Exec.run (one warmup run, which also
+   surfaces any bounds failure before we start timing). *)
+let time_exec ~reps case strategy =
   let fn = case.c_build () in
   case.c_sched fn;
   let c =
@@ -103,64 +134,85 @@ let time_exec case strategy =
       ~inputs:case.c_inputs ()
   in
   B.Exec.run c;
-  let (), total =
-    Common.time_ms (fun () ->
-        for _ = 1 to reps do
-          B.Exec.run c
-        done)
+  let samples =
+    Array.init reps (fun _ ->
+        let (), ms = Common.time_ms (fun () -> B.Exec.run c) in
+        ms)
   in
-  (c, total /. float_of_int reps)
+  (c, stats_of samples)
 
-let bench_case case =
+let bench_case ~reps case =
   let fn = case.c_build () in
   case.c_sched fn;
   let (_ : B.Interp.t), interp_ms =
     Common.time_ms (fun () ->
         Runner.run ~fn ~params:case.c_params ~inputs:case.c_inputs)
   in
-  let c, seq_ms = time_exec case `Seq in
-  let _, spawn_ms = time_exec case `Spawn in
-  let _, pool_ms = time_exec case `Pool in
+  let c, seq = time_exec ~reps case `Seq in
+  let _, spawn = time_exec ~reps case `Spawn in
+  let cp, pool = time_exec ~reps case `Pool in
   {
     r_case = case;
     r_meta = B.Exec.meta c;
+    r_spec = B.Exec.spec_count c;
+    r_fallback = B.Exec.pool_fallbacks cp;
     r_interp_ms = interp_ms;
-    r_seq_ms = seq_ms;
-    r_spawn_ms = spawn_ms;
-    r_pool_ms = pool_ms;
+    r_seq = seq;
+    r_spawn = spawn;
+    r_pool = pool;
   }
 
-let json_of_row r =
+let json_of_row ~reps r =
   let m = r.r_meta in
   Printf.sprintf
     {|    { "kernel": "%s", "size": "%s", "reps": %d,
-      "loop_meta": { "n_loops": %d, "n_parallel": %d, "n_nested_parallel": %d, "max_depth": %d },
-      "interp_ms": %.4f, "exec_seq_ms": %.4f, "exec_spawn_ms": %.4f, "exec_pool_ms": %.4f,
+      "loop_meta": { "n_loops": %d, "n_parallel": %d, "n_nested_parallel": %d, "max_depth": %d, "n_specializable": %d },
+      "specialized": %d, "pool_fallbacks": %d,
+      "interp_ms": %.4f,
+      "exec_seq_ms": %.4f, "exec_seq_median_ms": %.4f, "exec_seq_min_ms": %.4f,
+      "exec_spawn_ms": %.4f, "exec_spawn_median_ms": %.4f, "exec_spawn_min_ms": %.4f,
+      "exec_pool_ms": %.4f, "exec_pool_median_ms": %.4f, "exec_pool_min_ms": %.4f,
       "speedup_exec_vs_interp": %.2f, "speedup_pool_vs_spawn": %.2f, "speedup_pool_vs_seq": %.2f }|}
     r.r_case.c_name r.r_case.c_size reps m.L.n_loops m.L.n_parallel
-    m.L.n_nested_parallel m.L.max_depth r.r_interp_ms r.r_seq_ms r.r_spawn_ms
-    r.r_pool_ms
-    (r.r_interp_ms /. r.r_seq_ms)
-    (r.r_spawn_ms /. r.r_pool_ms)
-    (r.r_seq_ms /. r.r_pool_ms)
+    m.L.n_nested_parallel m.L.max_depth m.L.n_specializable r.r_spec
+    r.r_fallback r.r_interp_ms r.r_seq.s_mean r.r_seq.s_median r.r_seq.s_min
+    r.r_spawn.s_mean r.r_spawn.s_median r.r_spawn.s_min r.r_pool.s_mean
+    r.r_pool.s_median r.r_pool.s_min
+    (r.r_interp_ms /. r.r_seq.s_median)
+    (r.r_spawn.s_median /. r.r_pool.s_median)
+    (r.r_seq.s_median /. r.r_pool.s_median)
 
-let run () =
+let run ?(smoke = false) () =
+  let reps = if smoke then 1 else 15 in
   let w = workers () in
-  Common.pf "\nExec strategies (workers=%d, reps=%d)\n" w reps;
-  Common.pf "%-22s %-16s %10s %10s %10s %10s %12s\n" "kernel" "size"
-    "interp ms" "seq ms" "spawn ms" "pool ms" "pool/spawn";
-  let rows = List.map bench_case cases in
+  let min_work = B.Pool.min_work () in
+  Common.pf "\nExec strategies (workers=%d, reps=%d, pool_min_work=%d%s)\n" w
+    reps min_work
+    (if smoke then ", smoke" else "");
+  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %12s\n" "kernel" "size"
+    "interp ms" "seq ms" "spawn ms" "pool ms" "spec" "pool/spawn";
+  let rows = List.map (bench_case ~reps) (cases ~smoke) in
   List.iter
     (fun r ->
-      Common.pf "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %11.2fx\n"
-        r.r_case.c_name r.r_case.c_size r.r_interp_ms r.r_seq_ms r.r_spawn_ms
-        r.r_pool_ms
-        (r.r_spawn_ms /. r.r_pool_ms))
+      Common.pf "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %11.2fx\n"
+        r.r_case.c_name r.r_case.c_size r.r_interp_ms r.r_seq.s_median
+        r.r_spawn.s_median r.r_pool.s_median r.r_spec
+        (r.r_spawn.s_median /. r.r_pool.s_median))
     rows;
-  let oc = open_out "BENCH_exec.json" in
-  Printf.fprintf oc
-    "{\n  \"bench\": \"exec\",\n  \"workers\": %d,\n  \"kernels\": [\n%s\n  ]\n}\n"
-    w
-    (String.concat ",\n" (List.map json_of_row rows));
-  close_out oc;
-  Common.pf "wrote BENCH_exec.json\n"
+  if smoke then Common.pf "smoke mode: BENCH_exec.json left untouched\n"
+  else begin
+    let oc = open_out "BENCH_exec.json" in
+    Printf.fprintf oc
+      "{\n\
+      \  \"bench\": \"exec\",\n\
+      \  \"workers\": %d,\n\
+      \  \"pool_min_work\": %d,\n\
+      \  \"kernels\": [\n\
+       %s\n\
+      \  ]\n\
+       }\n"
+      w min_work
+      (String.concat ",\n" (List.map (json_of_row ~reps) rows));
+    close_out oc;
+    Common.pf "wrote BENCH_exec.json\n"
+  end

@@ -3,6 +3,8 @@
    subset of: fig1 table1 fig5 fig6 fig7 micro. *)
 
 let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec" ]
+(* "exec-smoke" is invocable but not part of the default sweep: it is the
+   tier-1 fast path (1 rep, tiny sizes, no JSON). *)
 
 let () =
   let requested =
@@ -18,6 +20,7 @@ let () =
       | "fig7" -> Fig7.run ()
       | "micro" -> Micro.run ()
       | "exec" -> Exec_bench.run ()
+      | "exec-smoke" -> Exec_bench.run ~smoke:true ()
       | other ->
           Printf.eprintf "unknown benchmark %s (available: %s)\n" other
             (String.concat " " all);

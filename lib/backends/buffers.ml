@@ -52,13 +52,17 @@ let fill b f =
   let rank = Array.length b.dims in
   let idx = Array.make rank 0 in
   let n = size b in
+  (* incremental odometer over the coordinates: bump the last dimension and
+     ripple the carry, instead of mod/div-decoding every flat index *)
   for flat = 0 to n - 1 do
-    let r = ref flat in
-    for k = rank - 1 downto 0 do
-      idx.(k) <- !r mod b.dims.(k);
-      r := !r / b.dims.(k)
-    done;
-    b.data.(flat) <- f idx
+    b.data.(flat) <- f idx;
+    let k = ref (rank - 1) in
+    let carry = ref true in
+    while !carry && !k >= 0 do
+      idx.(!k) <- idx.(!k) + 1;
+      if idx.(!k) = b.dims.(!k) then idx.(!k) <- 0 else carry := false;
+      decr k
+    done
   done
 
 let copy b = { b with data = Array.copy b.data }

@@ -436,7 +436,15 @@ let rec walk st (s : L.stmt) : cost =
         let e = float_of_int extent in
         match tag with
         | L.Seq ->
-            scale e c ++ { zero with c_overhead = e *. m.M.loop_overhead }
+            (* Specializable innermost loops (straight-line affine stores)
+               compile to strength-reduced drivers with no per-iteration
+               dispatch, so most of the loop overhead disappears. *)
+            let oh =
+              if L.spec_candidate (L.For { var; lo; hi; tag; body }) then
+                m.M.loop_overhead *. 0.25
+              else m.M.loop_overhead
+            in
+            scale e c ++ { zero with c_overhead = e *. oh }
         | L.Unrolled ->
             scale e c ++ { zero with c_overhead = e *. m.M.loop_overhead *. 0.15 }
         | L.Vectorized w ->

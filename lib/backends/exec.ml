@@ -28,6 +28,8 @@ type compiled = {
   regs0 : int array;             (* initial register file (params bound) *)
   bufs : (string, Buffers.t) Hashtbl.t;
   cmeta : L.loop_meta;
+  c_spec : int;                  (* innermost loops compiled specialized *)
+  c_fallback : int;              (* Parallel loops demoted by the work bound *)
 }
 
 type ctx = {
@@ -43,6 +45,12 @@ type ctx = {
     (* per loop-var corner checks collected while compiling its body *)
   mutable loop_stack : string list;  (* enclosing loop vars, innermost first *)
   mutable par_depth : int;           (* enclosing Parallel loops *)
+  (* compile-time state of the kernel specializer and the pool heuristic *)
+  est_vars : (string, int) Hashtbl.t;
+    (* params and enclosing-loop midpoints, for static work estimates *)
+  pool_min_work : int;               (* Pool.min_work (), sampled once *)
+  mutable n_spec : int;              (* specialized innermost loops *)
+  mutable n_fallback : int;          (* Parallel loops demoted to Seq *)
 }
 
 let slot ctx name =
@@ -75,40 +83,10 @@ let buf ctx name =
   | Some b -> b
   | None -> failwith (Printf.sprintf "Exec: unknown buffer %s" name)
 
-(* Σ coeff·var + const view of an index expression; None if not affine. *)
-let affine_terms (e : L.expr) : ((string * int) list * int) option =
-  let merge t1 t2 =
-    List.fold_left
-      (fun acc (v, c) ->
-        match List.assoc_opt v acc with
-        | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc
-        | None -> (v, c) :: acc)
-      t1 t2
-  in
-  let neg ts = List.map (fun (v, k) -> (v, -k)) ts in
-  let rec go e =
-    match e with
-    | L.Int n -> Some ([], n)
-    | L.Var v -> Some ([ (v, 1) ], 0)
-    | L.Neg a -> Option.map (fun (ts, c) -> (neg ts, -c)) (go a)
-    | L.Bin (L.Add, a, b) -> (
-        match (go a, go b) with
-        | Some (t1, c1), Some (t2, c2) -> Some (merge t1 t2, c1 + c2)
-        | _ -> None)
-    | L.Bin (L.Sub, a, b) -> (
-        match (go a, go b) with
-        | Some (t1, c1), Some (t2, c2) -> Some (merge t1 (neg t2), c1 - c2)
-        | _ -> None)
-    | L.Bin (L.Mul, a, b) -> (
-        match (go a, go b) with
-        | Some ([], k), Some (ts, c) | Some (ts, c), Some ([], k) ->
-            Some (List.map (fun (v, q) -> (v, q * k)) ts, c * k)
-        | _ -> None)
-    | _ -> None
-  in
-  Option.map
-    (fun (ts, c) -> (List.filter (fun (_, k) -> k <> 0) ts, c))
-    (go e)
+(* Σ coeff·var + const view of an index expression; None if not affine.
+   Lives in {!Loop_ir} so the classifier, the cost model and this executor
+   agree on what "affine" means. *)
+let affine_terms = L.affine_terms
 
 let rec compile_int ctx (e : L.expr) : int array -> int =
   match e with
@@ -343,6 +321,473 @@ let offset_fn (b : Buffers.t) (fidx : (int array -> int) array) =
     Array.iteri (fun k f -> acc := !acc + (f env * strides.(k))) fidx;
     !acc
 
+(* ==================== static work estimate ==================== *)
+
+let rec est_int ctx (e : L.expr) : int =
+  match e with
+  | L.Int n -> n
+  | L.Float f -> int_of_float f
+  | L.Var v -> (
+      match Hashtbl.find_opt ctx.est_vars v with Some x -> x | None -> 0)
+  | L.Neg a -> -est_int ctx a
+  | L.Cast (_, a) -> est_int ctx a
+  | L.Load _ | L.Call _ -> 0
+  | L.Select (_, a, _) -> est_int ctx a
+  | L.Bin (op, a, b) -> (
+      let x = est_int ctx a and y = est_int ctx b in
+      match op with
+      | L.Add -> x + y
+      | L.Sub -> x - y
+      | L.Mul -> x * y
+      | L.Div -> if y = 0 then 0 else x / y
+      | L.FloorDiv -> if y = 0 then 0 else Tiramisu_support.Ints.fdiv x y
+      | L.Mod -> if y = 0 then 0 else Tiramisu_support.Ints.emod x y
+      | L.MinOp -> min x y
+      | L.MaxOp -> max x y)
+
+(* Per-entry work estimate of a statement (roughly: executed stores plus
+   loop iterations), used by the pool fallback heuristic.  Parameters are
+   bound to their concrete values at compile time; enclosing loop variables
+   are approximated by their midpoints (maintained by {!compile_stmt}). *)
+let rec est_work ctx (s : L.stmt) : int =
+  match s with
+  | L.Block l -> List.fold_left (fun acc s -> acc + est_work ctx s) 0 l
+  | L.Comment _ | L.Barrier -> 0
+  | L.Store _ -> 1
+  | L.Send _ | L.Recv _ | L.Memcpy _ -> 8
+  | L.If (_, t, e) ->
+      max (est_work ctx t)
+        (match e with Some e -> est_work ctx e | None -> 0)
+  | L.Alloc { body; _ } -> 8 + est_work ctx body
+  | L.For { var; lo; hi; body; _ } ->
+      let lo = est_int ctx lo and hi = est_int ctx hi in
+      let extent = max 0 (hi - lo + 1) in
+      if extent = 0 then 0
+      else begin
+        let saved = Hashtbl.find_opt ctx.est_vars var in
+        Hashtbl.replace ctx.est_vars var (lo + ((extent - 1) / 2));
+        let w = est_work ctx body in
+        (match saved with
+        | Some x -> Hashtbl.replace ctx.est_vars var x
+        | None -> Hashtbl.remove ctx.est_vars var);
+        extent * (1 + w)
+      end
+
+(* ==================== kernel specializer ==================== *)
+
+(* Innermost loops whose body is a straight-line sequence of [Store]s of
+   arithmetic over affine [Load]s (the {!Loop_ir.spec_candidate} shape)
+   compile to tight specialized drivers instead of the generic closure
+   chain:
+
+   - **strength-reduced addressing** — each access's flat offset is affine
+     in the loop variables, so its value at loop entry is computed once
+     (the base) and bumped by a constant step per iteration; no
+     per-iteration multi-variable affine evaluation, no per-access bounds
+     checks inside the loop;
+   - **entry corner checks** — every access dimension is checked at the two
+     corners of [lo, hi] (affine indices are monotone in the loop
+     variable); if any check fails, this entry falls back to the generic
+     closure path, whose per-access checks raise at exactly the faulting
+     iteration;
+   - **scalar promotion** — loads invariant in the loop variable from
+     buffers the loop does not store into are read once at entry; a single
+     store whose address is invariant and whose same-buffer loads all alias
+     it exactly becomes a register accumulator written back at exit (the
+     gemm k-loop);
+   - **schedule tags** — [Unrolled] runs an unroll-by-{!unroll_factor}
+     driver; [Vectorized s] runs a width-[s] lane-blocked driver (lanes
+     evaluated into a float array, then stored as a block) with a scalar
+     epilogue for partial blocks.  Lane blocking is only used when no load
+     reads a stored buffer, so loop-carried reuse keeps the interpreter's
+     iteration order. *)
+
+exception Not_special
+
+(* Runtime state of one specialized loop entry.  Allocated per entry when
+   the loop sits (statically) under a Parallel loop, so concurrent chunks
+   never share cursors; reused across entries otherwise. *)
+type sstate = {
+  scur : int array;       (* flat cursor per access *)
+  spv : float array;      (* hoisted vars, promoted loads, accumulator *)
+  mutable siv : int;      (* current value of the loop variable *)
+}
+
+type saccess = {
+  sa_data : float array;
+  sa_base : int array -> int;  (* env -> flat offset at v = 0 *)
+  sa_step : int;               (* flat-offset step per unit of v *)
+  sa_check : int array -> int -> int -> bool;
+    (* env lo hi: every dimension in bounds across the whole range *)
+}
+
+let unroll_factor = 4
+
+let build_access ctx v bname (idx : L.expr list) : saccess =
+  let b =
+    match Hashtbl.find_opt ctx.cbufs bname with
+    | Some b -> b
+    | None -> raise Not_special (* e.g. __trace pseudo-buffers *)
+  in
+  let dims = b.Buffers.dims in
+  let rank = Array.length dims in
+  if List.length idx <> rank then raise Not_special;
+  let strides = Buffers.strides_of dims in
+  let base_const = ref 0 in
+  let base_terms = ref [] in
+  let step = ref 0 in
+  let checks = ref [] in
+  List.iteri
+    (fun k e ->
+      match affine_terms e with
+      | None -> raise Not_special
+      | Some (ts, c) ->
+          let stride = strides.(k) and dk = dims.(k) in
+          let sv = match List.assoc_opt v ts with Some a -> a | None -> 0 in
+          let others = List.filter (fun (u, _) -> u <> v) ts in
+          let oslots =
+            Array.of_list (List.map (fun (u, _) -> slot ctx u) others)
+          in
+          let ocoeffs = Array.of_list (List.map snd others) in
+          step := !step + (sv * stride);
+          base_const := !base_const + (c * stride);
+          Array.iteri
+            (fun t s ->
+              base_terms := (s, ocoeffs.(t) * stride) :: !base_terms)
+            oslots;
+          checks :=
+            (fun env lo hi ->
+              let rest = ref c in
+              for t = 0 to Array.length oslots - 1 do
+                rest := !rest + (ocoeffs.(t) * env.(oslots.(t)))
+              done;
+              let x0 = (sv * lo) + !rest and x1 = (sv * hi) + !rest in
+              min x0 x1 >= 0 && max x0 x1 < dk)
+            :: !checks)
+    idx;
+  let cst = !base_const in
+  let base =
+    match Array.of_list !base_terms with
+    | [||] -> fun _ -> cst
+    | [| (s0, c0) |] -> fun env -> cst + (c0 * env.(s0))
+    | [| (s0, c0); (s1, c1) |] ->
+        fun env -> cst + (c0 * env.(s0)) + (c1 * env.(s1))
+    | terms ->
+        fun env ->
+          Array.fold_left (fun acc (s, c) -> acc + (c * env.(s))) cst terms
+  in
+  let checks = Array.of_list !checks in
+  let ndims = Array.length checks in
+  let check env lo hi =
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < ndims do
+      ok := checks.(!i) env lo hi;
+      incr i
+    done;
+    !ok
+  in
+  { sa_data = b.Buffers.data; sa_base = base; sa_step = !step;
+    sa_check = check }
+
+(* Loads of a spec-shaped value, in evaluation order (indices are affine,
+   so they contain no nested loads). *)
+let rec spec_loads (e : L.expr) acc =
+  match e with
+  | L.Int _ | L.Float _ | L.Var _ -> acc
+  | L.Load (b, idx) -> (b, idx) :: acc
+  | L.Neg a | L.Cast (_, a) -> spec_loads a acc
+  | L.Bin (_, a, b) -> spec_loads b (spec_loads a acc)
+  | L.Call (_, args) -> List.fold_left (fun acc a -> spec_loads a acc) acc args
+  | L.Select _ -> raise Not_special
+
+(* [attempt_specialize ctx ~var ~tag body] returns [Some try_run] when the
+   loop body matches the specializable shape.  [try_run env lo hi] performs
+   the entry corner checks; on success it executes the whole loop and
+   returns [true], otherwise it returns [false] and the caller runs the
+   generic path. *)
+let attempt_specialize ctx ~var ~tag (body : L.stmt) :
+    (int array -> int -> int -> bool) option =
+  match L.spec_stores body with
+  | None | Some [] -> None
+  | Some stores -> (
+      try
+        let stored_bufs = List.map (fun (b, _, _) -> b) stores in
+        (* distinct accesses, numbered in discovery order; identical
+           (buffer, indices) pairs share one cursor *)
+        let acc_tbl : (string * L.expr list, int * saccess) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let acc_index bname idx =
+          let key = (bname, idx) in
+          match Hashtbl.find_opt acc_tbl key with
+          | Some ia -> ia
+          | None ->
+              let a = build_access ctx var bname idx in
+              let ia = (Hashtbl.length acc_tbl, a) in
+              Hashtbl.add acc_tbl key ia;
+              ia
+        in
+        (* scalar pool: hoisted outer vars, promoted loads, accumulator *)
+        let n_pv = ref 0 in
+        let new_pv () =
+          let p = !n_pv in
+          incr n_pv;
+          p
+        in
+        let hoists = ref [] in
+        let hoist_tbl : (string, int) Hashtbl.t = Hashtbl.create 4 in
+        let promos = ref [] in
+        let promo_tbl : (int, int) Hashtbl.t = Hashtbl.create 4 in
+        let all_loads =
+          List.concat_map (fun (_, _, v) -> spec_loads v []) stores
+        in
+        let loads_stored =
+          List.exists (fun (b, _) -> List.mem b stored_bufs) all_loads
+        in
+        (* Accumulator promotion: a single store with a v-invariant address
+           whose same-buffer loads all alias it exactly. *)
+        let accum =
+          match stores with
+          | [ (sb, sidx, _) ] ->
+              let _, sa = acc_index sb sidx in
+              sa.sa_step = 0
+              && List.for_all
+                   (fun (b, i) -> b <> sb || i = sidx)
+                   all_loads
+          | _ -> false
+        in
+        let acc_slot = if accum then Some (new_pv ()) else None in
+        let rec cval (e : L.expr) : sstate -> float =
+          match e with
+          | L.Int n ->
+              let x = float_of_int n in
+              fun _ -> x
+          | L.Float f -> fun _ -> f
+          | L.Var u when u = var -> fun st -> float_of_int st.siv
+          | L.Var u ->
+              let p =
+                match Hashtbl.find_opt hoist_tbl u with
+                | Some p -> p
+                | None ->
+                    let p = new_pv () in
+                    Hashtbl.add hoist_tbl u p;
+                    hoists := (p, slot ctx u) :: !hoists;
+                    p
+              in
+              fun st -> st.spv.(p)
+          | L.Load (bname, idx) -> (
+              match (acc_slot, stores) with
+              | Some p, [ (sb, sidx, _) ] when bname = sb && idx = sidx ->
+                  fun st -> st.spv.(p)
+              | _ ->
+                  let i, a = acc_index bname idx in
+                  if a.sa_step = 0 && not (List.mem bname stored_bufs) then begin
+                    let p =
+                      match Hashtbl.find_opt promo_tbl i with
+                      | Some p -> p
+                      | None ->
+                          let p = new_pv () in
+                          Hashtbl.add promo_tbl i p;
+                          promos := (p, i) :: !promos;
+                          p
+                    in
+                    fun st -> st.spv.(p)
+                  end
+                  else begin
+                    let data = a.sa_data in
+                    fun st -> data.(st.scur.(i))
+                  end)
+          | L.Neg a ->
+              let f = cval a in
+              fun st -> -.f st
+          | L.Cast (L.I32, a) ->
+              let f = cval a in
+              fun st -> Float.of_int (int_of_float (f st))
+          | L.Cast (_, a) -> cval a
+          | L.Select _ -> raise Not_special
+          | L.Call (name, args) -> (
+              let fargs = List.map cval args in
+              match (name, fargs) with
+              | "abs", [ a ] -> fun st -> Float.abs (a st)
+              | "sqrt", [ a ] -> fun st -> sqrt (a st)
+              | "exp", [ a ] -> fun st -> exp (a st)
+              | "log", [ a ] -> fun st -> log (a st)
+              | "sin", [ a ] -> fun st -> sin (a st)
+              | "cos", [ a ] -> fun st -> cos (a st)
+              | "floor", [ a ] -> fun st -> Float.floor (a st)
+              | "pow", [ a; b ] -> fun st -> Float.pow (a st) (b st)
+              | "fmin", [ a; b ] -> fun st -> Float.min (a st) (b st)
+              | "fmax", [ a; b ] -> fun st -> Float.max (a st) (b st)
+              | "clamp", [ x; lo; hi ] ->
+                  fun st -> Float.min (Float.max (x st) (lo st)) (hi st)
+              | _ -> raise Not_special)
+          | L.Bin (op, a, b) -> (
+              let fa = cval a and fb = cval b in
+              match op with
+              | L.Add -> fun st -> fa st +. fb st
+              | L.Sub -> fun st -> fa st -. fb st
+              | L.Mul -> fun st -> fa st *. fb st
+              | L.Div -> fun st -> fa st /. fb st
+              | L.FloorDiv ->
+                  fun st ->
+                    Float.of_int
+                      (Tiramisu_support.Ints.fdiv
+                         (int_of_float (fa st))
+                         (int_of_float (fb st)))
+              | L.Mod ->
+                  fun st ->
+                    Float.of_int
+                      (Tiramisu_support.Ints.emod
+                         (int_of_float (fa st))
+                         (int_of_float (fb st)))
+              | L.MinOp -> fun st -> Float.min (fa st) (fb st)
+              | L.MaxOp -> fun st -> Float.max (fa st) (fb st))
+        in
+        (* compile stores in order: (access index, access, value) *)
+        let compiled_stores =
+          List.map
+            (fun (sb, sidx, sval) ->
+              let i, a = acc_index sb sidx in
+              (i, a, cval sval))
+            stores
+        in
+        let ops =
+          Array.of_list
+            (List.map
+               (fun (i, a, fv) ->
+                 match acc_slot with
+                 | Some p -> fun st -> st.spv.(p) <- fv st
+                 | None ->
+                     let data = a.sa_data in
+                     fun st -> data.(st.scur.(i)) <- fv st)
+               compiled_stores)
+        in
+        (* finalize the access table into dense arrays *)
+        let nacc = Hashtbl.length acc_tbl in
+        let dummy =
+          { sa_data = [||]; sa_base = (fun _ -> 0); sa_step = 0;
+            sa_check = (fun _ _ _ -> true) }
+        in
+        let accs = Array.make nacc dummy in
+        Hashtbl.iter (fun _ (i, a) -> accs.(i) <- a) acc_tbl;
+        let steps = Array.map (fun a -> a.sa_step) accs in
+        let checks = Array.map (fun a -> a.sa_check) accs in
+        let nchecks = Array.length checks in
+        let bump st =
+          for k = 0 to nacc - 1 do
+            st.scur.(k) <- st.scur.(k) + steps.(k)
+          done;
+          st.siv <- st.siv + 1
+        in
+        let iter =
+          match ops with
+          | [| op |] ->
+              fun st ->
+                op st;
+                bump st
+          | ops ->
+              fun st ->
+                Array.iter (fun op -> op st) ops;
+                bump st
+        in
+        let drive =
+          match (tag, compiled_stores) with
+          | L.Vectorized w, [ (i0, a0, fv0) ]
+            when w > 1 && acc_slot = None && not loads_stored ->
+              (* lane-blocked: evaluate w lanes into a vector register,
+                 then store the block; scalar epilogue for the remainder *)
+              let step0 = a0.sa_step and data0 = a0.sa_data in
+              fun st lo hi ->
+                let lanes = Array.make w 0.0 in
+                let i = ref lo in
+                while !i + w - 1 <= hi do
+                  let out0 = st.scur.(i0) in
+                  for j = 0 to w - 1 do
+                    lanes.(j) <- fv0 st;
+                    bump st
+                  done;
+                  for j = 0 to w - 1 do
+                    data0.(out0 + (j * step0)) <- lanes.(j)
+                  done;
+                  i := !i + w
+                done;
+                while !i <= hi do
+                  iter st;
+                  incr i
+                done
+          | L.Unrolled, _ ->
+              fun st lo hi ->
+                let i = ref lo in
+                while !i + (unroll_factor - 1) <= hi do
+                  iter st;
+                  iter st;
+                  iter st;
+                  iter st;
+                  i := !i + unroll_factor
+                done;
+                while !i <= hi do
+                  iter st;
+                  incr i
+                done
+          | _ ->
+              fun st lo hi ->
+                for _ = lo to hi do
+                  iter st
+                done
+        in
+        let acc_init, acc_flush =
+          match (acc_slot, compiled_stores, stores) with
+          | Some p, [ (i0, a0, _) ], [ (sb, sidx, _) ] ->
+              let data0 = a0.sa_data in
+              let needs_load =
+                List.exists (fun (b, i) -> b = sb && i = sidx) all_loads
+              in
+              ( (if needs_load then
+                   fun st -> st.spv.(p) <- data0.(st.scur.(i0))
+                 else fun _ -> ()),
+                fun st -> data0.(st.scur.(i0)) <- st.spv.(p) )
+          | _ -> ((fun _ -> ()), fun _ -> ())
+        in
+        let hoists = Array.of_list !hoists in
+        let promos = Array.of_list !promos in
+        let npv = max 1 !n_pv in
+        (* Scratch state is per-domain: an innermost loop never re-enters
+           itself on one domain (no recursion), so each domain can reuse
+           one record across entries — no per-entry allocation, and pool
+           chunks on different domains never share cursors. *)
+        let st_key =
+          Domain.DLS.new_key (fun () ->
+              { scur = Array.make nacc 0; spv = Array.make npv 0.0; siv = 0 })
+        in
+        Some
+          (fun env lo hi ->
+            let ok = ref true in
+            let i = ref 0 in
+            while !ok && !i < nchecks do
+              ok := checks.(!i) env lo hi;
+              incr i
+            done;
+            if not !ok then false
+            else begin
+              let st = Domain.DLS.get st_key in
+              st.siv <- lo;
+              for k = 0 to nacc - 1 do
+                st.scur.(k) <- accs.(k).sa_base env + (steps.(k) * lo)
+              done;
+              Array.iter
+                (fun (p, s) -> st.spv.(p) <- float_of_int env.(s))
+                hoists;
+              Array.iter
+                (fun (p, k) -> st.spv.(p) <- accs.(k).sa_data.(st.scur.(k)))
+                promos;
+              acc_init st;
+              drive st lo hi;
+              acc_flush st;
+              true
+            end)
+      with Not_special -> None)
+
 let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
   match s with
   | L.Block l ->
@@ -370,12 +815,55 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
       let s = slot ctx var in
       let flo = compile_int ctx lo and fhi = compile_int ctx hi in
       (* Statically nested Parallel loops run sequentially inside their
-         chunk: the pool already owns the machine at the outer level. *)
+         chunk: the pool already owns the machine at the outer level.
+         Pool-scheduled loops additionally fall back to sequential when
+         forking cannot pay off: either the OS grants this process a single
+         CPU (a pool only time-slices then), or the static per-chunk work
+         estimate is below the fork/join break-even point (Pool.min_work):
+         chunking tiny loops across domains costs more in task hand-off than
+         each chunk earns back.  TIRAMISU_POOL_MIN_WORK=0 disables both. *)
+      let demoted =
+        tag = L.Parallel && ctx.par_mode = `Pool && ctx.par_depth = 0
+        && ctx.pool_min_work > 0
+        && (Pool.effective_parallelism () <= 1
+           ||
+           let est_lo = est_int ctx lo and est_hi = est_int ctx hi in
+           let extent = max 0 (est_hi - est_lo + 1) in
+           let chunk =
+             max 1 (extent / (Pool.num_workers () * Pool.chunks_per_worker))
+           in
+           let saved = Hashtbl.find_opt ctx.est_vars var in
+           Hashtbl.replace ctx.est_vars var
+             (est_lo + (max 0 (extent - 1) / 2));
+           let body_est = est_work ctx body in
+           (match saved with
+           | Some x -> Hashtbl.replace ctx.est_vars var x
+           | None -> Hashtbl.remove ctx.est_vars var);
+           chunk * (1 + body_est) < ctx.pool_min_work)
+      in
+      if demoted then ctx.n_fallback <- ctx.n_fallback + 1;
       let parallel =
         tag = L.Parallel && ctx.par_mode <> `Seq && ctx.par_depth = 0
+        && not demoted
       in
+      (* Attempt kernel specialization before compiling the generic body:
+         innermost Seq/Unrolled/Vectorized loops over store sequences get a
+         strength-reduced driver; the generic closure stays as the fallback
+         for entries whose corner checks fail. *)
+      let spec =
+        match tag with
+        | L.Seq | L.Unrolled | L.Vectorized _ ->
+            attempt_specialize ctx ~var ~tag body
+        | _ -> None
+      in
+      if spec <> None then ctx.n_spec <- ctx.n_spec + 1;
       if tag = L.Parallel then ctx.par_depth <- ctx.par_depth + 1;
       ctx.loop_stack <- var :: ctx.loop_stack;
+      (* midpoint binding so nested est_work calls see this loop's extent *)
+      let saved_est = Hashtbl.find_opt ctx.est_vars var in
+      let est_lo = est_int ctx lo and est_hi = est_int ctx hi in
+      Hashtbl.replace ctx.est_vars var
+        (est_lo + (max 0 (est_hi - est_lo) / 2));
       let saved_pending = Hashtbl.find_opt ctx.pending var in
       let my_pending = ref [] in
       Hashtbl.replace ctx.pending var my_pending;
@@ -384,6 +872,9 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
       (match saved_pending with
       | Some r -> Hashtbl.replace ctx.pending var r
       | None -> Hashtbl.remove ctx.pending var);
+      (match saved_est with
+      | Some x -> Hashtbl.replace ctx.est_vars var x
+      | None -> Hashtbl.remove ctx.est_vars var);
       ctx.loop_stack <- List.tl ctx.loop_stack;
       if tag = L.Parallel then ctx.par_depth <- ctx.par_depth - 1;
       let rs = ctx.rank_slot in
@@ -430,15 +921,12 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
                   List.iter Domain.join workers
                 end
       in
-      if Array.length checks = 0 then (fun env ->
-        let lo = flo env and hi = fhi env in
-        if hi >= lo then run env lo hi)
-      else begin
-        let fv = flag_slot ctx var in
-        let nchecks = Array.length checks in
-        fun env ->
-          let lo = flo env and hi = fhi env in
-          if hi >= lo then begin
+      let checked_run =
+        if Array.length checks = 0 then run
+        else begin
+          let fv = flag_slot ctx var in
+          let nchecks = Array.length checks in
+          fun env lo hi ->
             let ok = ref true in
             let i = ref 0 in
             while !ok && !i < nchecks do
@@ -449,8 +937,18 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
             env.(fv) <- (if !ok then 1 else 0);
             run env lo hi;
             env.(fv) <- saved
-          end
-      end
+        end
+      in
+      (match spec with
+      | Some try_run ->
+          fun env ->
+            let lo = flo env and hi = fhi env in
+            if hi >= lo then
+              if not (try_run env lo hi) then checked_run env lo hi
+      | None ->
+          fun env ->
+            let lo = flo env and hi = fhi env in
+            if hi >= lo then checked_run env lo hi)
   | L.Send { dst; buf = b; offset; count; _ } ->
       let bb = buf ctx b in
       let fdst = compile_int ctx dst in
@@ -503,6 +1001,16 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
         Array.blit s.Buffers.data 0 d.Buffers.data 0 (Buffers.size s)
 
 let compile ?(parallel = `Pool) ~params ~buffers stmt =
+  (* Parameters are known here, so narrow bounds/indices/guards with
+     interval analysis, then re-run unroll expansion (narrowing often turns
+     dynamic [Unrolled] bounds static) and the statement simplifier (which
+     deletes loops narrowing proved empty, e.g. vector epilogues of exact
+     tiles). *)
+  let stmt =
+    L.simplify_stmt
+      (Tiramisu_codegen.Passes.unroll_expand
+         (Tiramisu_codegen.Passes.narrow ~params stmt))
+  in
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -515,19 +1023,30 @@ let compile ?(parallel = `Pool) ~params ~buffers stmt =
       pending = Hashtbl.create 8;
       loop_stack = [];
       par_depth = 0;
+      est_vars = Hashtbl.create 16;
+      pool_min_work = Pool.min_work ();
+      n_spec = 0;
+      n_fallback = 0;
     }
   in
   let rank_slot = slot ctx "__rank" in
   assert (rank_slot = 0);
   List.iter (fun b -> Hashtbl.replace ctx.cbufs b.Buffers.name b) buffers;
-  List.iter (fun (p, _) -> ignore (slot ctx p)) params;
+  List.iter
+    (fun (p, v) ->
+      ignore (slot ctx p);
+      Hashtbl.replace ctx.est_vars p v)
+    params;
   let body = compile_stmt ctx stmt in
   (* size the register file after compilation discovered all names *)
   let regs0 = Array.make (max 1 ctx.nslots) 0 in
   List.iter (fun (p, v) -> regs0.(Hashtbl.find ctx.slots p) <- v) params;
-  { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt }
+  { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt;
+    c_spec = ctx.n_spec; c_fallback = ctx.n_fallback }
 
 let run c = c.body (Array.copy c.regs0)
+let spec_count c = c.c_spec
+let pool_fallbacks c = c.c_fallback
 
 let buffer c name =
   match Hashtbl.find_opt c.bufs name with

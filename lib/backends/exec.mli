@@ -18,6 +18,17 @@
     involve (the two corners of the range are checked once; non-affine
     indices and failed corner checks fall back to per-access checks).
 
+    Innermost loops whose body is a straight-line sequence of stores of
+    arithmetic over affine loads are additionally {e specialized}: flat
+    offsets are strength-reduced to per-iteration cursor bumps, [Unrolled]
+    and [Vectorized] tags select unrolled / lane-blocked drivers (with a
+    scalar epilogue for partial blocks), and loop-invariant loads are
+    promoted to scalars read once at entry ({!spec_count} reports how many
+    loops took this path).  Under the [`Pool] strategy, [Parallel] loops are
+    demoted to sequential when forking cannot pay off — the process has a
+    single CPU ({!Pool.effective_parallelism} is 1), or the static per-chunk
+    work estimate is below {!Pool.min_work} ({!pool_fallbacks}).
+
     GPU-tagged loops run as ordinary loops (a functional grid simulation);
     distributed loops run rank-by-rank with in-memory channels, exactly as
     in {!Interp}. *)
@@ -49,3 +60,15 @@ val meta : compiled -> Tiramisu_codegen.Loop_ir.loop_meta
 
 val time_run : compiled -> float
 (** Wall-clock (monotonic) seconds of one execution. *)
+
+val spec_count : compiled -> int
+(** Number of innermost loops compiled through the kernel specializer
+    (strength-reduced addressing, unroll/vector drivers, scalar promotion).
+    Entries whose corner bounds checks fail still fall back to the generic
+    closures at run time; this counts compile-time decisions. *)
+
+val pool_fallbacks : compiled -> int
+(** Number of [Parallel] loops demoted to sequential by the demotion
+    heuristic (single effective CPU, or static per-chunk work estimate below
+    {!Pool.min_work}).  Always 0 for the [`Spawn] and [`Seq] strategies, and
+    when [TIRAMISU_POOL_MIN_WORK=0]. *)

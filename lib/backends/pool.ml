@@ -223,6 +223,31 @@ let set_num_workers n =
 
 let () = at_exit shutdown
 
+(* ---------- work-size fallback threshold ---------- *)
+
+(* Below roughly this many estimated work units (≈ executed statements)
+   per chunk, a parallel loop is cheaper to run sequentially than to chunk
+   across the pool: task hand-off, the per-chunk register-file copy, and
+   the wakeup broadcast cost a few microseconds each, and with the
+   specialized innermost drivers a work unit is only a handful of
+   nanoseconds.  Used by the compiled backend's static demotion
+   heuristic. *)
+let default_min_work = 25_000
+
+let min_work () =
+  match Sys.getenv_opt "TIRAMISU_POOL_MIN_WORK" with
+  | None -> default_min_work
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | _ -> default_min_work)
+
+(* How many domains can actually run at once: the configured pool size
+   capped by the CPUs the OS grants this process.  A pool of 4 workers on a
+   single-CPU container time-slices, it does not parallelize. *)
+let effective_parallelism () =
+  min (num_workers ()) (Domain.recommended_domain_count ())
+
 (* ---------- parallel_for ---------- *)
 
 let chunks_per_worker = 4

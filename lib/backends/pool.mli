@@ -27,6 +27,28 @@ val in_worker : unit -> bool
     caller included).  Nested [parallel_for]s use this to run inline instead
     of oversubscribing. *)
 
+val chunks_per_worker : int
+(** Target number of chunks dealt per worker by {!parallel_for}'s default
+    chunking (exposed so the compiled backend's demotion heuristic can
+    estimate per-chunk work). *)
+
+val default_min_work : int
+(** Default value of {!min_work}: the break-even per-chunk work estimate
+    below which forking a loop across the pool costs more than it earns. *)
+
+val min_work : unit -> int
+(** Work-size threshold (in estimated work units, roughly executed
+    statements per chunk) below which the compiled backend demotes a
+    [Parallel] loop to sequential under the pool strategy.  Defaults to
+    {!default_min_work}; overridable via the [TIRAMISU_POOL_MIN_WORK]
+    environment variable (0 disables demotion entirely). *)
+
+val effective_parallelism : unit -> int
+(** The parallelism the pool can actually realize: {!num_workers} capped by
+    [Domain.recommended_domain_count ()].  A pool sized larger than the CPUs
+    the OS grants this process time-slices instead of parallelizing, so the
+    compiled backend demotes all pool loops when this is 1. *)
+
 val parallel_for : ?chunk:int -> int -> int -> body:(int -> int -> unit) -> unit
 (** [parallel_for lo hi ~body] runs [body clo chi] over disjoint inclusive
     sub-ranges covering [lo..hi] exactly once, possibly concurrently on

@@ -98,7 +98,7 @@ let rec stmt ctx (s : L.stmt) : unit =
   | L.For { var; lo; hi; tag; body } ->
       (match tag with
       | L.Parallel -> line ctx "#pragma omp parallel for"
-      | L.Vectorized _ -> line ctx "#pragma omp simd"
+      | L.Vectorized w -> line ctx "#pragma omp simd simdlen(%d)" w
       | L.Unrolled -> line ctx "#pragma unroll"
       | L.Distributed ->
           line ctx "// distributed: each rank executes one iteration";

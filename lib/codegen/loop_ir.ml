@@ -118,9 +118,10 @@ let rec simplify_expr e =
   | Cast (t, a) -> Cast (t, simplify_expr a)
   | Call (f, args) -> Call (f, List.map simplify_expr args)
   | Select (c, a, b) -> (
-      match simplify_cond c with
-      | True -> simplify_expr a
-      | c' -> Select (c', simplify_expr a, simplify_expr b))
+      match (simplify_cond c, simplify_expr a, simplify_expr b) with
+      | True, a', _ -> a'
+      | _, a', b' when a' = b' -> a' (* conditions are pure *)
+      | c', a', b' -> Select (c', a', b'))
   | Bin (op, a, b) -> (
       let a = simplify_expr a and b = simplify_expr b in
       match (op, a, b) with
@@ -183,9 +184,14 @@ let rec simplify_stmt s =
       match List.filter (fun s -> s <> Block []) (List.map simplify_stmt l) with
       | [ s ] -> s
       | l -> Block l)
-  | For f ->
-      For { f with lo = simplify_expr f.lo; hi = simplify_expr f.hi;
-            body = simplify_stmt f.body }
+  | For f -> (
+      let lo = simplify_expr f.lo and hi = simplify_expr f.hi in
+      match (lo, hi) with
+      | Int a, Int b when b < a ->
+          (* statically empty range, e.g. the elided epilogue of a vector
+             loop whose extent divides the width *)
+          Block []
+      | _ -> For { f with lo; hi; body = simplify_stmt f.body })
   | If (c, t, e) -> (
       let t = simplify_stmt t and e = Option.map simplify_stmt e in
       match simplify_cond c with
@@ -203,6 +209,102 @@ let rec simplify_stmt s =
                      offset = List.map simplify_expr r.offset;
                      count = simplify_expr r.count }
 
+(* ---------- affine index analysis ---------- *)
+
+(* Σ coeff·var + const view of an index expression; None if not affine.
+   Shared by the compiled backend's addressing (stride folding, corner
+   bounds checks, kernel specialization) and the cost model. *)
+let affine_terms (e : expr) : ((string * int) list * int) option =
+  let merge t1 t2 =
+    List.fold_left
+      (fun acc (v, c) ->
+        match List.assoc_opt v acc with
+        | Some c0 -> (v, c0 + c) :: List.remove_assoc v acc
+        | None -> (v, c) :: acc)
+      t1 t2
+  in
+  let neg ts = List.map (fun (v, k) -> (v, -k)) ts in
+  let rec go e =
+    match e with
+    | Int n -> Some ([], n)
+    | Var v -> Some ([ (v, 1) ], 0)
+    | Neg a -> Option.map (fun (ts, c) -> (neg ts, -c)) (go a)
+    | Bin (Add, a, b) -> (
+        match (go a, go b) with
+        | Some (t1, c1), Some (t2, c2) -> Some (merge t1 t2, c1 + c2)
+        | _ -> None)
+    | Bin (Sub, a, b) -> (
+        match (go a, go b) with
+        | Some (t1, c1), Some (t2, c2) -> Some (merge t1 (neg t2), c1 - c2)
+        | _ -> None)
+    | Bin (Mul, a, b) -> (
+        match (go a, go b) with
+        | Some ([], k), Some (ts, c) | Some (ts, c), Some ([], k) ->
+            Some (List.map (fun (v, q) -> (v, q * k)) ts, c * k)
+        | _ -> None)
+    | _ -> None
+  in
+  Option.map
+    (fun (ts, c) -> (List.filter (fun (_, k) -> k <> 0) ts, c))
+    (go e)
+
+let affine e = affine_terms e <> None
+
+(* ---------- kernel-specialization classifier (structural part) ---------- *)
+
+(* The compiled backend specializes innermost loops whose body is a
+   comment-free sequence of [Store]s of arithmetic expressions over affine
+   [Load]s: addressing is strength-reduced to incremental flat-offset bumps,
+   loop-invariant loads are promoted to scalars, and [Unrolled]/[Vectorized]
+   tags select unrolled / lane-blocked drivers.  This predicate is the
+   *structural* half of the contract (the executor additionally requires the
+   buffers to exist with matching rank and the entry corner checks to pass);
+   it is shared with {!analyze_loops} and the cost model. *)
+
+(* [Some stores] when [s] is a straight-line sequence of stores (comments
+   skipped); [None] when it contains control flow, nested loops, or
+   communication. *)
+let rec spec_stores (s : stmt) : (string * expr list * expr) list option =
+  match s with
+  | Store (b, idx, v) -> Some [ (b, idx, v) ]
+  | Comment _ -> Some []
+  | Block l ->
+      List.fold_left
+        (fun acc s ->
+          match (acc, spec_stores s) with
+          | Some a, Some b -> Some (a @ b)
+          | _ -> None)
+        (Some []) l
+  | _ -> None
+
+(* Value grammar the specialized evaluator replicates bit-for-bit: float
+   arithmetic, casts, known intrinsics and affine loads.  [Select] is
+   excluded (its integer condition would reintroduce per-iteration affine
+   evaluation). *)
+let rec spec_value_ok (e : expr) : bool =
+  match e with
+  | Int _ | Float _ | Var _ -> true
+  | Load (_, idx) -> List.for_all affine idx
+  | Neg a | Cast (_, a) -> spec_value_ok a
+  | Bin (_, a, b) -> spec_value_ok a && spec_value_ok b
+  | Call
+      ( ("abs" | "sqrt" | "exp" | "log" | "sin" | "cos" | "floor" | "pow"
+        | "fmin" | "fmax" | "clamp"),
+        args ) ->
+      List.for_all spec_value_ok args
+  | Call _ | Select _ -> false
+
+let spec_candidate (s : stmt) : bool =
+  match s with
+  | For { tag = Seq | Unrolled | Vectorized _; body; _ } -> (
+      match spec_stores body with
+      | Some (_ :: _ as stores) ->
+          List.for_all
+            (fun (_, idx, v) -> List.for_all affine idx && spec_value_ok v)
+            stores
+      | _ -> false)
+  | _ -> false
+
 (* ---------- static loop metadata ---------- *)
 
 (* Shape summary of a lowered loop nest, computed once per program.  The
@@ -215,12 +317,13 @@ type loop_meta = {
   n_nested_parallel : int;   (* Parallel loops inside another Parallel loop *)
   max_depth : int;           (* deepest loop nesting *)
   innermost : string list;   (* vars of loops containing no other loop *)
+  n_specializable : int;     (* innermost loops matching {!spec_candidate} *)
 }
 
 let analyze_loops stmt =
   let meta =
     ref { n_loops = 0; n_parallel = 0; n_nested_parallel = 0; max_depth = 0;
-          innermost = [] }
+          innermost = []; n_specializable = 0 }
   in
   (* returns whether [s] contains a loop *)
   let rec go depth in_par s =
@@ -235,7 +338,9 @@ let analyze_loops stmt =
             n_nested_parallel =
               (m.n_nested_parallel
                + if tag = Parallel && in_par then 1 else 0);
-            max_depth = max m.max_depth (depth + 1) };
+            max_depth = max m.max_depth (depth + 1);
+            n_specializable =
+              (m.n_specializable + if spec_candidate s then 1 else 0) };
         let inner = go (depth + 1) (in_par || tag = Parallel) body in
         if not inner then begin
           let m = !meta in

@@ -89,12 +89,18 @@ let rec vector_legalize (s : L.stmt) : L.stmt =
               { var = vb; lo = L.Int 0; hi = L.(simplify_expr (full -! int 1));
                 tag = L.Seq; body = vec_body }
           in
-          let epilogue =
-            L.For
-              { var = f.var; lo = L.(f.lo +! (int w *! full)); hi = f.hi;
-                tag = L.Seq; body }
-          in
-          L.Block [ main; epilogue ])
+          match extent with
+          | L.Int n when n mod w = 0 ->
+              (* statically divisible extent: every block is full, so the
+                 scalar epilogue would be empty — elide it *)
+              main
+          | _ ->
+              let epilogue =
+                L.For
+                  { var = f.var; lo = L.(f.lo +! (int w *! full)); hi = f.hi;
+                    tag = L.Seq; body }
+              in
+              L.Block [ main; epilogue ])
   | L.Block l -> L.Block (List.map vector_legalize l)
   | L.For f -> L.For { f with body = vector_legalize f.body }
   | L.If (c, t, e) ->
@@ -131,3 +137,225 @@ let rec unroll_expand ?(max_body = 64) (s : L.stmt) : L.stmt =
   | _ -> s
 
 let legalize s = L.simplify_stmt (unroll_expand (vector_legalize s))
+
+(* ---------- interval-based bound narrowing ---------- *)
+
+(* Once parameter values are known (the compiled backend knows them at
+   [Exec.compile] time), interval analysis over loop ranges collapses most
+   of the [min]/[max]/[floord] scaffolding the polyhedral AST generator
+   emits for partial tiles: a bound like [min(floord(S-1-8*k0, 2), 3)] with
+   [S = 64] and [k0 in 0..7] is the constant 3.  Downstream this turns
+   dynamic bounds static (so [unroll_expand] fires and vector epilogues
+   become provably empty), makes indices affine (so the executor's kernel
+   specializer accepts them), and deletes guards that always hold.
+
+   Soundness: every rewrite replaces an expression with one provably equal
+   on all executions, using only the variable ranges established by the
+   enclosing (already-narrowed) loop bounds; semantics — including
+   out-of-bounds failures — are preserved.  Intervals are [(lo, hi)] with
+   [None] for unbounded sides; [Float]/[Load]/[Call]/[Cast] expressions are
+   opaque ([None, None]), so only genuinely integer-valued subexpressions
+   ever fold. *)
+
+let narrow ~(params : (string * int) list) (s : L.stmt) : L.stmt =
+  let env : (string, int option * int option) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (p, v) -> Hashtbl.replace env p (Some v, Some v)) params;
+  let unknown = (None, None) in
+  let lift2 f a b =
+    match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+  in
+  let le a b = match (a, b) with Some x, Some y -> x <= y | _ -> false in
+  let lt a b = match (a, b) with Some x, Some y -> x < y | _ -> false in
+  (* point-collapse, else local constant folding *)
+  let finish e (iv : int option * int option) =
+    match iv with
+    | Some a, Some b when a = b -> (L.Int a, iv)
+    | _ -> (L.simplify_expr e, iv)
+  in
+  let rec norm (e : L.expr) : L.expr * (int option * int option) =
+    match e with
+    | L.Int n -> (e, (Some n, Some n))
+    | L.Float _ -> (e, unknown)
+    | L.Var v -> (
+        match Hashtbl.find_opt env v with
+        | Some ((Some a, Some b) as iv) when a = b -> (L.Int a, iv)
+        | Some iv -> (e, iv)
+        | None -> (e, unknown))
+    | L.Load (b, idx) ->
+        (L.Load (b, List.map (fun e -> fst (norm e)) idx), unknown)
+    | L.Call (f, args) ->
+        (L.Call (f, List.map (fun e -> fst (norm e)) args), unknown)
+    | L.Cast (t, a) -> (L.Cast (t, fst (norm a)), unknown)
+    | L.Neg a ->
+        let a', (lo, hi) = norm a in
+        finish (L.Neg a')
+          (Option.map (fun x -> -x) hi, Option.map (fun x -> -x) lo)
+    | L.Select (c, a, b) -> (
+        let c', truth = norm_cond c in
+        let a', ia = norm a and b', ib = norm b in
+        match truth with
+        | Some true -> (a', ia)
+        | Some false -> (b', ib)
+        | None ->
+            if a' = b' then (a', ia)
+            else
+              let hull =
+                ( (match (fst ia, fst ib) with
+                  | Some x, Some y -> Some (min x y)
+                  | _ -> None),
+                  match (snd ia, snd ib) with
+                  | Some x, Some y -> Some (max x y)
+                  | _ -> None )
+              in
+              (L.Select (c', a', b'), hull))
+    | L.Bin (op, a, b) -> (
+        let a', ((alo, ahi) as ia) = norm a in
+        let b', ((blo, bhi) as ib) = norm b in
+        match op with
+        (* one side provably dominated: the min/max IS the other side *)
+        | L.MaxOp when le ahi blo -> (b', ib)
+        | L.MaxOp when le bhi alo -> (a', ia)
+        | L.MinOp when le ahi blo -> (a', ia)
+        | L.MinOp when le bhi alo -> (b', ib)
+        | _ ->
+            let iv =
+              match op with
+              | L.Add -> (lift2 ( + ) alo blo, lift2 ( + ) ahi bhi)
+              | L.Sub -> (lift2 ( - ) alo bhi, lift2 ( - ) ahi blo)
+              | L.Mul -> (
+                  match (alo, ahi, blo, bhi) with
+                  | Some p, Some q, Some r, Some s ->
+                      let xs = [ p * r; p * s; q * r; q * s ] in
+                      ( Some (List.fold_left min max_int xs),
+                        Some (List.fold_left max min_int xs) )
+                  | _ -> unknown)
+              | L.MinOp ->
+                  ( lift2 min alo blo,
+                    match (ahi, bhi) with
+                    | Some x, Some y -> Some (min x y)
+                    | (Some _ as s), None | None, (Some _ as s) -> s
+                    | None, None -> None )
+              | L.MaxOp ->
+                  ( (match (alo, blo) with
+                    | Some x, Some y -> Some (max x y)
+                    | (Some _ as s), None | None, (Some _ as s) -> s
+                    | None, None -> None),
+                    lift2 max ahi bhi )
+              | L.FloorDiv -> (
+                  match b' with
+                  | L.Int d when d > 0 ->
+                      ( Option.map (fun x -> Tiramisu_support.Ints.fdiv x d) alo,
+                        Option.map (fun x -> Tiramisu_support.Ints.fdiv x d) ahi
+                      )
+                  | _ -> unknown)
+              | L.Mod -> (
+                  match b' with
+                  | L.Int d when d > 0 -> (Some 0, Some (d - 1))
+                  | _ -> unknown)
+              | L.Div -> unknown (* float division in value contexts *)
+            in
+            finish (L.Bin (op, a', b')) iv)
+  and norm_cond (c : L.cond) : L.cond * bool option =
+    match c with
+    | L.True -> (c, Some true)
+    | L.Cmp (op, a, b) ->
+        let a', (alo, ahi) = norm a and b', (blo, bhi) = norm b in
+        let truth =
+          match op with
+          | L.LtOp ->
+              if lt ahi blo then Some true
+              else if le bhi alo then Some false
+              else None
+          | L.LeOp ->
+              if le ahi blo then Some true
+              else if lt bhi alo then Some false
+              else None
+          | L.GtOp ->
+              if lt bhi alo then Some true
+              else if le ahi blo then Some false
+              else None
+          | L.GeOp ->
+              if le bhi alo then Some true
+              else if lt ahi blo then Some false
+              else None
+          | L.EqOp ->
+              if lt ahi blo || lt bhi alo then Some false
+              else (
+                match (alo, ahi, blo, bhi) with
+                | Some p, Some q, Some r, Some s when p = q && r = s && p = r
+                  ->
+                    Some true
+                | _ -> None)
+          | L.NeOp ->
+              if lt ahi blo || lt bhi alo then Some true
+              else (
+                match (alo, ahi, blo, bhi) with
+                | Some p, Some q, Some r, Some s when p = q && r = s && p = r
+                  ->
+                    Some false
+                | _ -> None)
+        in
+        (L.Cmp (op, a', b'), truth)
+    | L.And (a, b) -> (
+        let a', ta = norm_cond a and b', tb = norm_cond b in
+        match (ta, tb) with
+        | Some true, _ -> (b', tb)
+        | _, Some true -> (a', ta)
+        | Some false, _ | _, Some false -> (L.And (a', b'), Some false)
+        | _ -> (L.And (a', b'), None))
+    | L.Or (a, b) -> (
+        let a', ta = norm_cond a and b', tb = norm_cond b in
+        match (ta, tb) with
+        | Some false, _ -> (b', tb)
+        | _, Some false -> (a', ta)
+        | Some true, _ | _, Some true -> (L.Or (a', b'), Some true)
+        | _ -> (L.Or (a', b'), None))
+    | L.Not a ->
+        let a', t = norm_cond a in
+        (L.Not a', Option.map not t)
+  in
+  let rec walk (s : L.stmt) : L.stmt =
+    match s with
+    | L.Block l -> L.Block (List.map walk l)
+    | L.Comment _ | L.Barrier | L.Memcpy _ -> s
+    | L.Store (b, idx, v) ->
+        L.Store (b, List.map (fun e -> fst (norm e)) idx, fst (norm v))
+    | L.If (c, t, e) -> (
+        let c', truth = norm_cond c in
+        match truth with
+        | Some true -> walk t
+        | Some false -> (
+            match e with Some e -> walk e | None -> L.Block [])
+        | None -> L.If (c', walk t, Option.map walk e))
+    | L.For { var; lo; hi; tag; body } -> (
+        let lo', (llo, _) = norm lo in
+        let hi', (_, hhi) = norm hi in
+        match (lo', hi') with
+        | L.Int a, L.Int b when b < a -> L.Block []
+        | _ ->
+            let saved = Hashtbl.find_opt env var in
+            Hashtbl.replace env var (llo, hhi);
+            let body' = walk body in
+            (match saved with
+            | Some iv -> Hashtbl.replace env var iv
+            | None -> Hashtbl.remove env var);
+            L.For { var; lo = lo'; hi = hi'; tag; body = body' })
+    | L.Alloc a ->
+        L.Alloc
+          { a with
+            dims = List.map (fun e -> fst (norm e)) a.dims;
+            body = walk a.body }
+    | L.Send sd ->
+        L.Send
+          { sd with
+            dst = fst (norm sd.dst);
+            offset = List.map (fun e -> fst (norm e)) sd.offset;
+            count = fst (norm sd.count) }
+    | L.Recv r ->
+        L.Recv
+          { r with
+            src = fst (norm r.src);
+            offset = List.map (fun e -> fst (norm e)) r.offset;
+            count = fst (norm r.count) }
+  in
+  walk s

@@ -14,3 +14,12 @@ val legalize : Loop_ir.stmt -> Loop_ir.stmt
 
 val subst_var : string -> Loop_ir.expr -> Loop_ir.stmt -> Loop_ir.stmt
 (** Substitute a loop variable in a statement (exposed for tests). *)
+
+val narrow : params:(string * int) list -> Loop_ir.stmt -> Loop_ir.stmt
+(** Interval-based bound narrowing with known parameter values: propagates
+    loop-variable ranges top-down and collapses [min]/[max]/[floord]
+    expressions (in bounds, indices and guards) that the ranges decide,
+    deletes provably-empty loops and always/never-taken guards.  Purely a
+    strengthening of constant folding: the rewritten program computes the
+    same values and fails the same bounds checks as the original.  Used by
+    the compiled backend, whose parameters are fixed at compile time. *)
