@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench fuzz check clean
 
 all: build
 
@@ -14,13 +14,21 @@ test:
 bench:
 	dune exec bench/main.exe
 
+# Differential fuzzing: 500 seeded random programs + schedules, every
+# backend configuration diffed bit-exactly against the interpreter
+# (exit 1 + shrunk OCaml-literal repro on divergence).
+fuzz:
+	dune exec bin/fuzz.exe -- -count 500
+
 # The pre-commit gate: tier-1 (build + tests) plus a 1-rep smoke run of the
 # exec-strategy bench, which exercises the kernel specializer, the domain
-# pool and the demotion heuristic end-to-end without touching BENCH_exec.json.
+# pool and the demotion heuristic end-to-end without touching BENCH_exec.json,
+# plus the 500-case differential fuzz sweep.
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- exec-smoke
+	$(MAKE) fuzz
 
 clean:
 	dune clean

@@ -141,7 +141,27 @@ let time_exec ~reps case strategy =
   in
   (c, stats_of samples)
 
+(* The specialization/demotion counters are snapshotted per compile (atomic
+   during compilation, frozen in the compiled value): recompiling the same
+   case must report identical numbers, and the strategies that never demote
+   must report zero fallbacks.  Benchmarks compile each strategy separately,
+   so accumulating or shared counters would silently corrupt the
+   [specialized]/[pool_fallbacks] columns — fail fast instead. *)
+let assert_counters case =
+  let compile strategy =
+    let fn = case.c_build () in
+    case.c_sched fn;
+    Runner.prepare_native ~parallel:strategy ~fn ~params:case.c_params
+      ~inputs:case.c_inputs ()
+  in
+  let p1 = compile `Pool and p2 = compile `Pool in
+  assert (B.Exec.spec_count p1 = B.Exec.spec_count p2);
+  assert (B.Exec.pool_fallbacks p1 = B.Exec.pool_fallbacks p2);
+  assert (B.Exec.pool_fallbacks (compile `Seq) = 0);
+  assert (B.Exec.pool_fallbacks (compile `Spawn) = 0)
+
 let bench_case ~reps case =
+  assert_counters case;
   let fn = case.c_build () in
   case.c_sched fn;
   let (_ : B.Interp.t), interp_ms =

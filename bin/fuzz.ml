@@ -1,0 +1,32 @@
+(* Differential fuzzer CLI: `dune exec bin/fuzz.exe -- -count 500`.
+
+   Exit status 0 when every case passes (oracle-rejected cases cannot occur
+   for generated cases — the generator only emits vetted schedules); 1 when
+   any configuration diverged, printing the shrunk case as an OCaml literal
+   ready to paste into test/test_fuzz.ml's replay corpus. *)
+
+module F = Tiramisu_fuzz
+
+let () =
+  let seed = ref 0 and count = ref 500 and verbose = ref false in
+  let no_shrink = ref false in
+  Arg.parse
+    [
+      ("-seed", Arg.Set_int seed, "base seed (default 0)");
+      ("-count", Arg.Set_int count, "number of cases (default 500)");
+      ("-v", Arg.Set verbose, "print every case outcome");
+      ("-no-shrink", Arg.Set no_shrink, "report failures unshrunk");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "fuzz [-seed N] [-count N] [-v]";
+  (* A fixed small pool keeps parallel-strategy runs deterministic in
+     resource usage across machines. *)
+  Tiramisu_backends.Pool.set_num_workers 4;
+  let t0 = Unix.gettimeofday () in
+  let r =
+    F.Fuzz.campaign ~verbose:!verbose ~shrink:(not !no_shrink) ~seed:!seed
+      ~count:!count ()
+  in
+  F.Fuzz.print_report r;
+  Printf.printf "elapsed: %.1fs\n" (Unix.gettimeofday () -. t0);
+  if r.F.Fuzz.failures <> [] then exit 1

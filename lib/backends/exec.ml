@@ -49,8 +49,9 @@ type ctx = {
   est_vars : (string, int) Hashtbl.t;
     (* params and enclosing-loop midpoints, for static work estimates *)
   pool_min_work : int;               (* Pool.min_work (), sampled once *)
-  mutable n_spec : int;              (* specialized innermost loops *)
-  mutable n_fallback : int;          (* Parallel loops demoted to Seq *)
+  spec_enabled : bool;               (* kernel specializer on/off *)
+  n_spec : int Atomic.t;             (* specialized innermost loops *)
+  n_fallback : int Atomic.t;         (* Parallel loops demoted to Seq *)
 }
 
 let slot ctx name =
@@ -841,7 +842,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
            | None -> Hashtbl.remove ctx.est_vars var);
            chunk * (1 + body_est) < ctx.pool_min_work)
       in
-      if demoted then ctx.n_fallback <- ctx.n_fallback + 1;
+      if demoted then Atomic.incr ctx.n_fallback;
       let parallel =
         tag = L.Parallel && ctx.par_mode <> `Seq && ctx.par_depth = 0
         && not demoted
@@ -851,12 +852,14 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
          strength-reduced driver; the generic closure stays as the fallback
          for entries whose corner checks fail. *)
       let spec =
-        match tag with
-        | L.Seq | L.Unrolled | L.Vectorized _ ->
-            attempt_specialize ctx ~var ~tag body
-        | _ -> None
+        if not ctx.spec_enabled then None
+        else
+          match tag with
+          | L.Seq | L.Unrolled | L.Vectorized _ ->
+              attempt_specialize ctx ~var ~tag body
+          | _ -> None
       in
-      if spec <> None then ctx.n_spec <- ctx.n_spec + 1;
+      if spec <> None then Atomic.incr ctx.n_spec;
       if tag = L.Parallel then ctx.par_depth <- ctx.par_depth + 1;
       ctx.loop_stack <- var :: ctx.loop_stack;
       (* midpoint binding so nested est_work calls see this loop's extent *)
@@ -918,7 +921,21 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
                             let upto = min hi (from + chunk - 1) in
                             seq_run env' from upto))
                   in
-                  List.iter Domain.join workers
+                  (* Join every domain even when one raises — a raising join
+                     must not leave its siblings unjoined (leaked domains
+                     block process exit) — then re-raise the first failure
+                     with its backtrace. *)
+                  let first = ref None in
+                  List.iter
+                    (fun d ->
+                      try Domain.join d
+                      with e ->
+                        if !first = None then
+                          first := Some (e, Printexc.get_raw_backtrace ()))
+                    workers;
+                  match !first with
+                  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+                  | None -> ()
                 end
       in
       let checked_run =
@@ -1000,17 +1017,18 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
           failwith "Exec: memcpy size mismatch";
         Array.blit s.Buffers.data 0 d.Buffers.data 0 (Buffers.size s)
 
-let compile ?(parallel = `Pool) ~params ~buffers stmt =
+let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true) ~params
+    ~buffers stmt =
   (* Parameters are known here, so narrow bounds/indices/guards with
      interval analysis, then re-run unroll expansion (narrowing often turns
      dynamic [Unrolled] bounds static) and the statement simplifier (which
      deletes loops narrowing proved empty, e.g. vector epilogues of exact
-     tiles). *)
+     tiles).  [narrow:false] keeps the lowered statement as-is — the
+     differential fuzzer runs both settings against each other. *)
   let stmt =
-    L.simplify_stmt
-      (Tiramisu_codegen.Passes.unroll_expand
-         (Tiramisu_codegen.Passes.narrow ~params stmt))
+    if narrow then Tiramisu_codegen.Passes.narrow ~params stmt else stmt
   in
+  let stmt = L.simplify_stmt (Tiramisu_codegen.Passes.unroll_expand stmt) in
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -1025,8 +1043,9 @@ let compile ?(parallel = `Pool) ~params ~buffers stmt =
       par_depth = 0;
       est_vars = Hashtbl.create 16;
       pool_min_work = Pool.min_work ();
-      n_spec = 0;
-      n_fallback = 0;
+      spec_enabled = specialize;
+      n_spec = Atomic.make 0;
+      n_fallback = Atomic.make 0;
     }
   in
   let rank_slot = slot ctx "__rank" in
@@ -1041,8 +1060,12 @@ let compile ?(parallel = `Pool) ~params ~buffers stmt =
   (* size the register file after compilation discovered all names *)
   let regs0 = Array.make (max 1 ctx.nslots) 0 in
   List.iter (fun (p, v) -> regs0.(Hashtbl.find ctx.slots p) <- v) params;
+  (* Snapshot the per-compile counters into the result: every [compiled]
+     value reports its own numbers, never a process-wide accumulation, so
+     repeated compiles in one process (the fuzzer, the benchmarks) stay
+     independent. *)
   { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt;
-    c_spec = ctx.n_spec; c_fallback = ctx.n_fallback }
+    c_spec = Atomic.get ctx.n_spec; c_fallback = Atomic.get ctx.n_fallback }
 
 let run c = c.body (Array.copy c.regs0)
 let spec_count c = c.c_spec

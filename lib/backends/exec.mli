@@ -42,12 +42,19 @@ type par_strategy = [ `Pool | `Spawn | `Seq ]
 
 val compile :
   ?parallel:par_strategy ->
+  ?specialize:bool ->
+  ?narrow:bool ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
   compiled
 (** Compile once; buffers are captured by reference (re-fill between runs
-    to reuse). @raise Failure on constructs the executor does not support. *)
+    to reuse).  The three knobs are orthogonal, so the differential fuzzer
+    can cross strategies with optimization settings: [specialize] (default
+    [true]) gates the kernel specializer, [narrow] (default [true]) gates
+    the {!Tiramisu_codegen.Passes.narrow} bound-narrowing pre-pass; with
+    both off the executor is the plain hoisted-addressing closure compiler.
+    @raise Failure on constructs the executor does not support. *)
 
 val run : compiled -> unit
 (** Execute.  With the default [`Pool] strategy, parallel loops use the
@@ -65,10 +72,13 @@ val spec_count : compiled -> int
 (** Number of innermost loops compiled through the kernel specializer
     (strength-reduced addressing, unroll/vector drivers, scalar promotion).
     Entries whose corner bounds checks fail still fall back to the generic
-    closures at run time; this counts compile-time decisions. *)
+    closures at run time; this counts compile-time decisions.  The count is
+    per-[compiled] value — repeated compiles in one process each report
+    their own number, nothing accumulates across compiles. *)
 
 val pool_fallbacks : compiled -> int
 (** Number of [Parallel] loops demoted to sequential by the demotion
     heuristic (single effective CPU, or static per-chunk work estimate below
     {!Pool.min_work}).  Always 0 for the [`Spawn] and [`Seq] strategies, and
-    when [TIRAMISU_POOL_MIN_WORK=0]. *)
+    when [TIRAMISU_POOL_MIN_WORK=0].  Per-[compiled] value, like
+    {!spec_count}. *)

@@ -74,7 +74,7 @@ end
 
 type job = {
   mutable pending : int; (* chunks not yet finished *)
-  mutable failed : exn option;
+  mutable failed : (exn * Printexc.raw_backtrace) option;
   jmu : Mutex.t;
   jcv : Condition.t;
 }
@@ -95,15 +95,27 @@ let worker_flag = Domain.DLS.new_key (fun () -> ref false)
 let in_worker () = !(Domain.DLS.get worker_flag)
 
 let exec_task t =
-  (try t.t_run t.t_lo t.t_hi
-   with e ->
-     Mutex.lock t.t_job.jmu;
-     if t.t_job.failed = None then t.t_job.failed <- Some e;
-     Mutex.unlock t.t_job.jmu);
-  Mutex.lock t.t_job.jmu;
-  t.t_job.pending <- t.t_job.pending - 1;
-  if t.t_job.pending = 0 then Condition.broadcast t.t_job.jcv;
-  Mutex.unlock t.t_job.jmu
+  let j = t.t_job in
+  (* Once a sibling chunk failed, the job's result is its exception: skip
+     the remaining in-flight chunks instead of running them (a bounds
+     failure in one chunk must not let the others keep mutating buffers),
+     but still decrement [pending] so the caller's wait terminates. *)
+  Mutex.lock j.jmu;
+  let cancelled = j.failed <> None in
+  Mutex.unlock j.jmu;
+  (if not cancelled then
+     try t.t_run t.t_lo t.t_hi
+     with e ->
+       (* First failure wins; keep its backtrace so the caller re-raises
+          the original exception, not a context-free copy. *)
+       let bt = Printexc.get_raw_backtrace () in
+       Mutex.lock j.jmu;
+       if j.failed = None then j.failed <- Some (e, bt);
+       Mutex.unlock j.jmu);
+  Mutex.lock j.jmu;
+  j.pending <- j.pending - 1;
+  if j.pending = 0 then Condition.broadcast j.jcv;
+  Mutex.unlock j.jmu
 
 (* Own deque back first, then sweep the others front-first. *)
 let try_claim p me =
@@ -309,7 +321,10 @@ let parallel_for ?chunk lo hi ~body =
                 done;
                 Mutex.unlock job.jmu
         in
-        help ();
-        flag := false;
-        match job.failed with Some e -> raise e | None -> ()
+        (* The flag reset must survive an exception: leaving it set would
+           make every later parallel_for on this domain run inline. *)
+        Fun.protect ~finally:(fun () -> flag := false) help;
+        match job.failed with
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+        | None -> ()
       end

@@ -54,8 +54,13 @@ val parallel_for : ?chunk:int -> int -> int -> body:(int -> int -> unit) -> unit
     sub-ranges covering [lo..hi] exactly once, possibly concurrently on
     several domains.  Empty when [hi < lo].  [body] must be safe to run
     concurrently on disjoint ranges.  [?chunk] forces the chunk size.
-    The first exception raised by any chunk is re-raised in the caller
-    (remaining chunks still run). *)
+
+    Exceptions: the first exception raised by any chunk is re-raised in the
+    caller with its original backtrace; chunks of the failed job that have
+    not started yet are cancelled (drained without running), so a bounds
+    failure stops the loop's remaining work instead of letting it keep
+    mutating buffers.  The pool itself stays usable — a later
+    [parallel_for] runs normally. *)
 
 val shutdown : unit -> unit
 (** Stop and join the workers.  Called automatically [at_exit]; a later

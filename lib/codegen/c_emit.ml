@@ -1,8 +1,14 @@
 module L = Loop_ir
 
+(* FloorDiv, Mod, MinOp and MaxOp are emitted as helper calls (floord /
+   emod / min / max) by [expr], never through this infix table: C's native
+   [/] and [%] truncate toward zero, while the interpreter and the compiled
+   backend use floor division and the matching floored modulo
+   ({!Tiramisu_support.Ints.fdiv}/[emod]) — they differ on negative
+   operands, e.g. [-5 mod 3] is 1 floored but -2 truncated. *)
 let binop = function
   | L.Add -> "+" | L.Sub -> "-" | L.Mul -> "*" | L.Div -> "/"
-  | L.FloorDiv -> "/*floord*/" | L.Mod -> "%" | L.MinOp -> "" | L.MaxOp -> ""
+  | L.FloorDiv | L.Mod | L.MinOp | L.MaxOp -> assert false
 
 let cmpop = function
   | L.EqOp -> "==" | L.NeOp -> "!=" | L.LtOp -> "<" | L.LeOp -> "<="
@@ -31,6 +37,8 @@ let rec expr ctx (e : L.expr) : string =
       Printf.sprintf "max(%s, %s)" (expr ctx a) (expr ctx b)
   | L.Bin (L.FloorDiv, a, b) ->
       Printf.sprintf "floord(%s, %s)" (expr ctx a) (expr ctx b)
+  | L.Bin (L.Mod, a, b) ->
+      Printf.sprintf "emod(%s, %s)" (expr ctx a) (expr ctx b)
   | L.Bin (op, a, b) ->
       Printf.sprintf "(%s %s %s)" (expr ctx a) (binop op) (expr ctx b)
   | L.Select (c, a, b) ->
@@ -97,9 +105,6 @@ let rec stmt ctx (s : L.stmt) : unit =
           line ctx "}")
   | L.For { var; lo; hi; tag; body } ->
       (match tag with
-      | L.Parallel -> line ctx "#pragma omp parallel for"
-      | L.Vectorized w -> line ctx "#pragma omp simd simdlen(%d)" w
-      | L.Unrolled -> line ctx "#pragma unroll"
       | L.Distributed ->
           line ctx "// distributed: each rank executes one iteration";
           line ctx "// int %s = rank; if (%s < %s || %s > %s) skip;" var var
@@ -110,7 +115,17 @@ let rec stmt ctx (s : L.stmt) : unit =
       | L.Gpu_thread a ->
           line ctx "// CUDA: %s = threadIdx.%c in [%s, %s]" var "xyz".[a]
             (expr ctx lo) (expr ctx hi)
-      | L.Seq -> ());
+      | L.Parallel | L.Vectorized _ | L.Unrolled | L.Seq -> ());
+      (* A loop pragma binds to the next [for] statement in C, so it must
+         be the immediately preceding emitted line — nothing (a guard [if],
+         a comment, another statement) may come between them.  Emitting the
+         pragma and the for-line back-to-back here is the only place loop
+         pragmas are produced. *)
+      (match tag with
+      | L.Parallel -> line ctx "#pragma omp parallel for"
+      | L.Vectorized w -> line ctx "#pragma omp simd simdlen(%d)" w
+      | L.Unrolled -> line ctx "#pragma unroll"
+      | _ -> ());
       line ctx "for (int %s = %s; %s <= %s; %s++) {" var (expr ctx lo) var
         (expr ctx hi) var;
       ctx.indent <- ctx.indent + 1;
@@ -163,6 +178,11 @@ let emit_function ~name ~params ~buffers body =
   line ctx
     "static inline int floord(int a, int b) { int q = a / b, r = a %% b; \
      return (r != 0 && ((r < 0) != (b < 0))) ? q - 1 : q; }";
+  (* Floored modulo, matching Ints.emod = a - b * floord(a, b): the result
+     has the divisor's sign, where C's %% truncates (dividend's sign). *)
+  line ctx
+    "static inline int emod(int a, int b) { int r = a %% b; \
+     return (r != 0 && ((r < 0) != (b < 0))) ? r + b : r; }";
   line ctx "";
   let args =
     List.map (fun p -> Printf.sprintf "int %s" p) params

@@ -242,6 +242,7 @@ let is_empty_dep d = List.for_all Poly.is_empty d.rel
 type violation = {
   dep : dep;
   level : int;
+  carried : bool;
 }
 
 (* Materialized time description of a computation: list of (column name or
@@ -254,7 +255,67 @@ let time_desc (c : computation) =
       | Dyn -> `Col d.d_col)
     c.sched.dims
 
-let check_dep_legality ~params (d : dep) =
+module LT = Tiramisu_codegen.Loop_ir
+
+(* Tags under which a loop's iterations are not executed in increasing
+   order: a dependence carried at such a level races even though the
+   time-space mapping orders it correctly.  [Unrolled] expansion preserves
+   sequential order and stays legal. *)
+let relaxes_order = function LT.Seq | LT.Unrolled -> false | _ -> true
+
+(* The hardware tag the *generated loop* at each time level carries, per
+   computation.  This mirrors Ast_gen's merging: statements descend the
+   time dims together, splitting into separate subtrees only at levels
+   where every member is a distinct static constant; at a dynamic level
+   the whole group shares one loop, whose tag is the join of the members'
+   tags.  So a Parallel tag contributed by any fused computation applies
+   to every statement under that loop — which is exactly what a
+   per-endpoint tag check would miss. *)
+let effective_tags fn =
+  let comps =
+    List.filter (fun (c : computation) -> c.kind = Regular && not c.inlined) fn.comps
+  in
+  let nt =
+    List.fold_left (fun acc c -> max acc (List.length c.sched.dims)) 0 comps
+  in
+  let pad l z = Array.of_list (l @ List.init (nt - List.length l) (fun _ -> z)) in
+  let info =
+    List.map
+      (fun (c : computation) ->
+        ( c.comp_name,
+          pad (time_desc c) (`Const 0),
+          pad (List.map (fun d -> d.d_tag) c.sched.dims) LT.Seq ))
+      comps
+  in
+  let eff = Hashtbl.create 16 in
+  List.iter (fun (n, _, _) -> Hashtbl.replace eff n (Array.make nt LT.Seq)) info;
+  let rec go group level =
+    if level < nt && group <> [] then
+      let static (_, desc, _) =
+        match desc.(level) with `Const v -> Some v | `Col _ -> None
+      in
+      if List.for_all (fun m -> static m <> None) group then
+        List.sort_uniq compare (List.filter_map static group)
+        |> List.iter (fun v ->
+               go (List.filter (fun m -> static m = Some v) group) (level + 1))
+      else begin
+        let t =
+          List.fold_left
+            (fun acc (_, _, tags) ->
+              if relaxes_order tags.(level) then tags.(level) else acc)
+            LT.Seq group
+        in
+        List.iter (fun (n, _, _) -> (Hashtbl.find eff n).(level) <- t) group;
+        go group (level + 1)
+      end
+  in
+  go info 0;
+  fun name level ->
+    match Hashtbl.find_opt eff name with
+    | Some arr when level < Array.length arr -> arr.(level)
+    | _ -> LT.Seq
+
+let check_dep_legality ?(tags = fun _ _ -> LT.Seq) ~params (d : dep) =
   let src = d.src and dst = d.dst in
   let s_desc = time_desc src and d_desc = time_desc dst in
   let t = max (List.length s_desc) (List.length d_desc) in
@@ -299,31 +360,36 @@ let check_dep_legality ~params (d : dep) =
      source not strictly before = exists k with prefix equal and ts_k >
      td_k, or all equal. *)
   let violations = ref [] in
+  let satisfiable cstrs =
+    List.exists
+      (fun rp ->
+        let lifted =
+          Poly.insert_vars rp ~at:(np + nsi + ndi)
+            ~count:(total - np - nsi - ndi)
+        in
+        not (Poly.is_empty (Poly.intersect (List.fold_left add base cstrs) lifted)))
+      d.rel
+  in
   for k = 0 to t - 1 do
-    let any =
-      List.exists
-        (fun rp ->
-          let lifted =
-            Poly.insert_vars rp ~at:(np + nsi + ndi)
-              ~count:(total - np - nsi - ndi)
-          in
-          let sys =
-            Poly.intersect
-              (List.fold_left add base
-                 (List.concat
-                    (List.init k (fun m ->
-                         [
-                           Cstr.Eq
-                             ( Aff.var (List.nth ts m),
-                               Aff.var (List.nth td m) );
-                         ]))
-                 @ [ Cstr.Gt (Aff.var (List.nth ts k), Aff.var (List.nth td k)) ]))
-              lifted
-          in
-          not (Poly.is_empty sys))
-        d.rel
+    let prefix_eq =
+      List.init k (fun m ->
+          Cstr.Eq (Aff.var (List.nth ts m), Aff.var (List.nth td m)))
     in
-    if any then violations := { dep = d; level = k } :: !violations
+    if
+      satisfiable
+        (prefix_eq @ [ Cstr.Gt (Aff.var (List.nth ts k), Aff.var (List.nth td k)) ])
+    then violations := { dep = d; level = k; carried = false } :: !violations
+    else if
+      (* The mapping orders the dependence at level k — but if the
+         generated loop there runs its iterations out of order (parallel,
+         vector lanes, gpu, distributed), a dependence *carried* at k
+         still races.  Carried = some instance pair first separates at k. *)
+      (relaxes_order (tags d.src.comp_name k)
+      || relaxes_order (tags d.dst.comp_name k))
+      && satisfiable
+           (prefix_eq
+           @ [ Cstr.Lt (Aff.var (List.nth ts k), Aff.var (List.nth td k)) ])
+    then violations := { dep = d; level = k; carried = true } :: !violations
   done;
   (* Simultaneity: all time dims equal. *)
   let any_eq =
@@ -343,7 +409,7 @@ let check_dep_legality ~params (d : dep) =
         not (Poly.is_empty sys))
       d.rel
   in
-  if any_eq then violations := { dep = d; level = t } :: !violations;
+  if any_eq then violations := { dep = d; level = t; carried = false } :: !violations;
   List.rev !violations
 
 let check_legality fn =
@@ -353,7 +419,8 @@ let check_legality fn =
       (fun d -> d.src.computed_at = None && d.dst.computed_at = None)
       deps
   in
-  List.concat_map (check_dep_legality ~params:fn.params) deps
+  let tags = effective_tags fn in
+  List.concat_map (check_dep_legality ~tags ~params:fn.params) deps
 
 let compute_at_covered fn (p : computation) =
   match p.computed_at with
@@ -447,4 +514,32 @@ let pp_dep ppf d =
     d.src.comp_name d.dst.comp_name (List.length d.rel)
 
 let pp_violation ppf v =
-  Format.fprintf ppf "%a violated at level %d" pp_dep v.dep v.level
+  if v.carried then
+    Format.fprintf ppf "%a carried by an order-relaxing (parallel/vector) loop at level %d"
+      pp_dep v.dep v.level
+  else Format.fprintf ppf "%a violated at level %d" pp_dep v.dep v.level
+
+(* The one-call legality oracle: flow-dependence preservation under the
+   current schedules plus coverage of every [compute_at] producer.  This is
+   what the differential fuzzer runs before executing a randomly scheduled
+   pipeline — an [Error] means the schedule must not be executed. *)
+let legal_under_schedule fn =
+  let viols = check_legality fn in
+  let uncovered =
+    List.filter
+      (fun (c : computation) ->
+        c.computed_at <> None && not (compute_at_covered fn c))
+      fn.comps
+  in
+  if viols = [] && uncovered = [] then Ok ()
+  else
+    let b = Buffer.create 128 in
+    List.iter
+      (fun v -> Buffer.add_string b (Format.asprintf "%a; " pp_violation v))
+      viols;
+    List.iter
+      (fun (c : computation) ->
+        Buffer.add_string b
+          (Printf.sprintf "compute_at producer %s not covered; " c.comp_name))
+      uncovered;
+    Error (Buffer.contents b)

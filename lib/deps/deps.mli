@@ -38,18 +38,37 @@ val is_empty_dep : dep -> bool
 
 type violation = {
   dep : dep;
-  level : int;  (** time dimension at which the order is reversed *)
+  level : int;  (** time dimension at which the order breaks *)
+  carried : bool;
+      (** [false]: the mapping reverses (or collapses) the order at
+          [level].  [true]: the mapping orders the dependence at [level],
+          but the generated loop there is tagged order-relaxing (parallel,
+          vectorized, gpu, distributed), so the carried dependence races. *)
 }
 
 val check_legality : Tiramisu_core.Ir.fn -> violation list
-(** Empty list = the current schedules preserve every flow dependence.
-    Computations under [compute_at] are validated separately by
-    {!compute_at_covered} and skipped here. *)
+(** Empty list = the current schedules preserve every flow dependence, and
+    no flow dependence is carried by a loop whose hardware tag relaxes
+    execution order.  Tag legality mirrors code generation's loop sharing:
+    computations fused into one generated loop share its tag, so a
+    [Parallel] tag contributed by any of them is checked against the
+    dependences of all of them.  Computations under [compute_at] are
+    validated separately by {!compute_at_covered} and skipped here. *)
 
 val compute_at_covered : Tiramisu_core.Ir.fn -> Tiramisu_core.Ir.computation -> bool
 (** For a producer scheduled with [compute_at]: does every consumer read hit
     an instance computed in the same or an earlier tile?  (Overlapped tiling
     makes this true by construction; this is the verification.) *)
+
+val legal_under_schedule : Tiramisu_core.Ir.fn -> (unit, string) result
+(** The one-call schedule-legality oracle: [Ok ()] iff {!check_legality}
+    reports no violation and every [compute_at] producer passes
+    {!compute_at_covered}.  [Error msg] describes every violated dependence
+    (kind, endpoints, time level).  This is the check the differential
+    fuzzer runs on each randomly generated schedule before execution.  It
+    validates both the time-space mapping and the hardware tags: a
+    dependence carried by a parallelized or vectorized loop is reported
+    even though the mapping itself orders it correctly. *)
 
 val has_cycle : Tiramisu_core.Ir.fn -> bool
 (** Does the computation-level dataflow graph contain a cycle?  Tiramisu

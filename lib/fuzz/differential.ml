@@ -1,0 +1,188 @@
+(* Differential execution of one fuzz case.
+
+   The reference is the *unscheduled* program run on the interpreter — the
+   Layer-I semantics with the default (declaration-order) schedule.  The
+   case passes when:
+
+     1. the schedule is accepted by the legality oracle
+        (Deps.legal_under_schedule);
+     2. the scheduled program, still on the interpreter, computes the same
+        bits (a legal schedule must be semantics-preserving; generated
+        programs use exact integer-valued floats so bit equality is the
+        right notion);
+     3. every compiled-executor configuration computes the same bits as
+        the scheduled interpreter run.  The configurations cross the
+        parallel strategy with the optimization knobs:
+        Seq x {specialize, narrow} (all four), plus Pool and Spawn (full
+        optimization) when the schedule parallelizes anything.
+
+   Each configuration gets freshly created and filled buffers, so runs
+   cannot contaminate each other. *)
+
+open Tiramisu_core
+module B = Tiramisu_backends
+
+type outcome =
+  | Pass
+  | Rejected of string  (** the legality oracle refused the schedule *)
+  | Fail of string  (** divergence or crash: a real bug *)
+
+exception Stop of outcome
+
+let make_buffers fn ~params ~fills =
+  Lower.buffer_extents fn ~params
+  |> List.map (fun ((b : Ir.buffer), dims) ->
+         let buf = B.Buffers.create b.Ir.buf_name dims in
+         (match List.assoc_opt b.Ir.buf_name fills with
+         | Some f -> B.Buffers.fill buf f
+         | None -> ());
+         buf)
+
+let bits_equal (a : B.Buffers.t) (b : B.Buffers.t) =
+  Array.length a.B.Buffers.data = Array.length b.B.Buffers.data
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun i x ->
+      if Int64.bits_of_float x <> Int64.bits_of_float b.B.Buffers.data.(i) then
+        ok := false)
+    a.B.Buffers.data;
+  !ok
+
+let first_diff (a : B.Buffers.t) (b : B.Buffers.t) =
+  let n = min (Array.length a.B.Buffers.data) (Array.length b.B.Buffers.data) in
+  let r = ref (Printf.sprintf "(sizes %d vs %d)"
+                 (Array.length a.B.Buffers.data) (Array.length b.B.Buffers.data))
+  in
+  (try
+     for i = 0 to n - 1 do
+       if
+         Int64.bits_of_float a.B.Buffers.data.(i)
+         <> Int64.bits_of_float b.B.Buffers.data.(i)
+       then (
+         r :=
+           Printf.sprintf "[%d]: %.17g vs %.17g" i a.B.Buffers.data.(i)
+             b.B.Buffers.data.(i);
+         raise Exit)
+     done
+   with Exit -> ());
+  !r
+
+let find_buf name bufs = List.find (fun b -> b.B.Buffers.name = name) bufs
+
+(* Run the loop IR on the interpreter over fresh buffers; return them. *)
+let interp_run ~params ~fills fn ast =
+  let bufs = make_buffers fn ~params ~fills in
+  let t = B.Interp.create ~params ~buffers:bufs () in
+  B.Interp.run t ast;
+  bufs
+
+let exec_configs case =
+  let base =
+    [
+      ("seq", `Seq, true, true);
+      ("seq,nospec", `Seq, false, true);
+      ("seq,nonarrow", `Seq, true, false);
+      ("seq,nospec,nonarrow", `Seq, false, false);
+    ]
+  in
+  if Case.has_parallel case then
+    base @ [ ("pool", `Pool, true, true); ("spawn", `Spawn, true, true) ]
+  else base
+
+let run_case_unguarded (case : Case.t) : outcome =
+  try
+    (* Reference: unscheduled program on the interpreter. *)
+    let b0 = Case.build ~with_steps:false case in
+    let ast0 = (Lower.lower b0.Case.fn).Lower.ast in
+    let ref_bufs =
+      interp_run ~params:b0.Case.params ~fills:b0.Case.fills b0.Case.fn ast0
+    in
+    (* Scheduled build + oracle. *)
+    let b1 =
+      try Case.build case with
+      | Limits.Timeout as t -> raise t
+      | e ->
+          raise
+            (Stop (Rejected ("schedule failed to apply: " ^ Printexc.to_string e)))
+    in
+    (match Tiramisu_deps.Deps.legal_under_schedule b1.Case.fn with
+    | Error e -> raise (Stop (Rejected e))
+    | Ok () -> ());
+    let ast1 =
+      try (Lower.lower b1.Case.fn).Lower.ast with
+      | Limits.Timeout as t -> raise t
+      | e ->
+          raise
+            (Stop
+               (Fail ("lowering a legal schedule raised: " ^ Printexc.to_string e)))
+    in
+    let sched_bufs =
+      try interp_run ~params:b1.Case.params ~fills:b1.Case.fills b1.Case.fn ast1
+      with
+      | Limits.Timeout as t -> raise t
+      | e ->
+          raise (Stop (Fail ("interp(scheduled) raised: " ^ Printexc.to_string e)))
+    in
+    List.iter
+      (fun out ->
+        let r = find_buf out ref_bufs and s = find_buf out sched_bufs in
+        if not (bits_equal r s) then
+          raise
+            (Stop
+               (Fail
+                  (Printf.sprintf "schedule changed semantics: %s %s" out
+                     (first_diff r s)))))
+      b1.Case.outputs;
+    (* Compiled executor, every configuration, vs the scheduled interp. *)
+    List.iter
+      (fun (tag, par, spec, narrow) ->
+        let bufs =
+          try
+            let bufs =
+              make_buffers b1.Case.fn ~params:b1.Case.params ~fills:b1.Case.fills
+            in
+            let c =
+              B.Exec.compile ~parallel:par ~specialize:spec ~narrow
+                ~params:b1.Case.params ~buffers:bufs ast1
+            in
+            B.Exec.run c;
+            bufs
+          with
+          | Limits.Timeout as t -> raise t
+          | e ->
+              raise
+                (Stop
+                   (Fail
+                      (Printf.sprintf "exec(%s) raised: %s" tag
+                         (Printexc.to_string e))))
+        in
+        List.iter
+          (fun out ->
+            let s = find_buf out sched_bufs and x = find_buf out bufs in
+            if not (bits_equal s x) then
+              raise
+                (Stop
+                   (Fail
+                      (Printf.sprintf "exec(%s) diverges from interp: %s %s" tag
+                         out (first_diff s x)))))
+          b1.Case.outputs)
+      (exec_configs case);
+    Pass
+  with
+  | Stop o -> o
+  | Limits.Timeout as t -> raise t
+  | e -> Fail ("reference run raised: " ^ Printexc.to_string e)
+
+(* Corpus replays skip generator vetting, so the polyhedral blowup guard
+   has to live here too: a case the machinery cannot decide in time is
+   reported as rejected, never allowed to wedge the campaign. *)
+let run_case (case : Case.t) : outcome =
+  match Limits.with_time_limit 30 (fun () -> run_case_unguarded case) with
+  | Some o -> o
+  | None -> Rejected "timed out (polyhedral blowup guard)"
+
+let outcome_str = function
+  | Pass -> "pass"
+  | Rejected m -> "rejected: " ^ m
+  | Fail m -> "FAIL: " ^ m

@@ -1,0 +1,63 @@
+(* Campaign driver: seed -> generate -> differential -> (on failure)
+   shrink.  Deterministic: seed s always produces the same case, so a
+   failure report's seed and shrunk literal are both replayable. *)
+
+type report = {
+  mutable passed : int;
+  mutable rejected : int;
+      (** oracle-rejected cases; generator-vetted cases should never land
+          here, replayed corpus entries may *)
+  mutable failures : (int * Case.t * string) list;
+      (** seed, shrunk case, divergence message *)
+  gstats : Generator.stats;
+}
+
+let gen_seed ?stats seed =
+  let rng = Random.State.make [| 0x7e57; seed |] in
+  Generator.gen ?stats rng
+
+let run_seed ?stats seed =
+  let case = gen_seed ?stats seed in
+  (case, Differential.run_case case)
+
+let still_fails case =
+  match Differential.run_case case with Differential.Fail _ -> true | _ -> false
+
+let campaign ?(verbose = false) ?(shrink = true) ~seed ~count () =
+  let gstats = Generator.mk_stats () in
+  let r = { passed = 0; rejected = 0; failures = []; gstats } in
+  for s = seed to seed + count - 1 do
+    let case = gen_seed ~stats:gstats s in
+    if verbose then
+      Printf.printf "seed %d: generated\n%s\n%!" s (Case.to_literal case);
+    let oc = Differential.run_case case in
+    (match oc with
+    | Differential.Pass -> r.passed <- r.passed + 1
+    | Differential.Rejected _ -> r.rejected <- r.rejected + 1
+    | Differential.Fail msg ->
+        let small = if shrink then Shrink.shrink still_fails case else case in
+        let msg =
+          match Differential.run_case small with
+          | Differential.Fail m -> m
+          | _ -> msg
+        in
+        r.failures <- (s, small, msg) :: r.failures);
+    if verbose then
+      Printf.printf "seed %d: %s\n%!" s (Differential.outcome_str oc)
+  done;
+  r.failures <- List.rev r.failures;
+  r
+
+let print_report r =
+  Printf.printf
+    "fuzz: %d passed, %d rejected, %d failed | steps: %d accepted, %d \
+     oracle-rejected, %d errored\n"
+    r.passed r.rejected
+    (List.length r.failures)
+    r.gstats.Generator.steps_accepted r.gstats.Generator.steps_illegal
+    r.gstats.Generator.steps_errored;
+  List.iter
+    (fun (seed, case, msg) ->
+      Printf.printf "\n--- seed %d: %s\nshrunk case:\n%s\n" seed msg
+        (Case.to_literal case))
+    r.failures

@@ -1,0 +1,472 @@
+(* Differential fuzzing harness: replay corpus, legality-oracle checks,
+   and directed regressions for the backend fixes that rode along with it
+   (floored div/mod, pool exception propagation, specializer epilogues,
+   pragma placement, per-compile counters).
+
+   Corpus entries are Case.t literals — shrunk outputs of the fuzzer in
+   the very format `bin/fuzz.exe` prints on failure — so a future
+   divergence lands here as a one-paste regression. *)
+
+open Tiramisu_fuzz
+open Case
+module L = Tiramisu_codegen.Loop_ir
+module B = Tiramisu_backends
+
+let outcome = Alcotest.testable (Fmt.of_to_string Differential.outcome_str) ( = )
+
+let check_pass name case =
+  Alcotest.check outcome name Differential.Pass (Differential.run_case case)
+
+let check_rejected name case =
+  match Differential.run_case case with
+  | Differential.Rejected _ -> ()
+  | o ->
+      Alcotest.failf "%s: expected the oracle to reject, got %s" name
+        (Differential.outcome_str o)
+
+(* ---------- replay corpus ---------- *)
+
+(* Split + skew + negative shift drive floord/emod through negative
+   operands in the backward schedule substitution (the div/mod semantics
+   fix); shrunk from a fuzzer find against a truncating-division mutant. *)
+let corpus_neg_floord =
+  { extents = [ Lit 5 ];
+    n_value = 0;
+    inputs = [ ("a0", 1) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 1; rc_red = None;
+          rc_expr = Bin (Add, In ("a0", [ (0, -2) ]), In ("a0", [ (0, 1) ])) } ];
+    steps = [ Split ("c0", "i", 4);
+      Skew ("c0", "i1", "i0", 2);
+      Shift ("c0", "i1", -3) ] }
+
+(* Interchanged split halves of a single-iteration loop: the inner loop
+   bound depends on floord of a negative numerator (shrunk fuzzer find). *)
+let corpus_split_one =
+  { extents = [ Lit 1 ];
+    n_value = 0;
+    inputs = [];
+    comps = [ { rc_name = "c0"; rc_rank = 1; rc_red = None; rc_expr = Const 1 } ];
+    steps = [ Split ("c0", "i", 3); Interchange ("c0", "i0", "i1") ] }
+
+(* Size-0 dimension: empty lane blocks must not touch memory. *)
+let corpus_zero_extent =
+  { extents = [ Lit 0; Lit 3 ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = None;
+          rc_expr = In ("a0", [ (0, 0); (1, -1) ]) } ];
+    steps = [ Vectorize ("c0", "j", 4) ] }
+
+(* One iteration under unroll-by-4: remainder-only driver. *)
+let corpus_one_unroll =
+  { extents = [ Lit 1 ];
+    n_value = 0;
+    inputs = [ ("a0", 1) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 1; rc_red = None;
+          rc_expr = In ("a0", [ (0, 2) ]) } ];
+    steps = [ Unroll ("c0", "i", 4) ] }
+
+(* Remainder 0: the unrolled driver must not run a stray epilogue. *)
+let corpus_exact_unroll =
+  { extents = [ Lit 8 ];
+    n_value = 0;
+    inputs = [ ("a0", 1) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 1; rc_red = None;
+          rc_expr = Bin (Mul, In ("a0", [ (0, 0) ]), Const 3) } ];
+    steps = [ Unroll ("c0", "i", 4) ] }
+
+(* 17 = 4 lane blocks + a 1-iteration scalar epilogue, parallelized. *)
+let corpus_vector_epilogue =
+  { extents = [ Lit 17 ];
+    n_value = 0;
+    inputs = [ ("a0", 1) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 1; rc_red = None;
+          rc_expr = Bin (Sub, In ("a0", [ (0, 1) ]), In ("a0", [ (0, -1) ])) } ];
+    steps = [ Split ("c0", "i", 8);
+      Parallelize ("c0", "i0");
+      Vectorize ("c0", "i1", 4) ] }
+
+(* Reduction (sgemm idiom) consumed downstream, with the free dim
+   parallelized and the reduction dim unrolled. *)
+let corpus_reduction =
+  { extents = [ Lit 3; Lit 4 ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = Some 3;
+          rc_expr = In ("a0", [ (0, 0); (2, -1) ]) };
+        { rc_name = "c1"; rc_rank = 2; rc_red = None; rc_expr = Prod "c0" } ];
+    steps = [ Parallelize ("c0_upd", "i"); Unroll ("c0_upd", "r", 2) ] }
+
+(* Symbolic extent N: tiling a parametric loop exercises Passes.narrow's
+   symbolic min/max bounds, at N = 5 and at the N = 0 boundary. *)
+let corpus_nparam n =
+  { extents = [ NParam; Lit 2 ];
+    n_value = n;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = None;
+          rc_expr = Bin (Add, In ("a0", [ (0, -2); (1, 2) ]), Const 4) } ];
+    steps = [ Tile ("c0", "i", "j", 2, 2); Parallelize ("c0", "i0") ] }
+
+let replay_corpus () =
+  check_pass "neg floord/emod" corpus_neg_floord;
+  check_pass "split of 1 iteration" corpus_split_one;
+  check_pass "zero extent" corpus_zero_extent;
+  check_pass "one iteration unrolled" corpus_one_unroll;
+  check_pass "exact unroll remainder 0" corpus_exact_unroll;
+  check_pass "vector epilogue" corpus_vector_epilogue;
+  check_pass "reduction" corpus_reduction;
+  check_pass "symbolic N = 5" (corpus_nparam 5);
+  check_pass "symbolic N = 0" (corpus_nparam 0)
+
+(* ---------- legality oracle ---------- *)
+
+(* Ordering a producer after its consumer must be rejected. *)
+let oracle_rejects_inverted_order () =
+  check_rejected "consumer before producer"
+    { extents = [ Lit 4 ];
+      n_value = 0;
+      inputs = [ ("a0", 1) ];
+      comps =
+        [ { rc_name = "c0"; rc_rank = 1; rc_red = None;
+            rc_expr = In ("a0", [ (0, 0) ]) };
+          { rc_name = "c1"; rc_rank = 1; rc_red = None; rc_expr = Prod "c0" } ];
+      steps = [ Fuse ("c0", "c1", "root") ] }
+
+(* Reversing the reduction dim inverts the in-place accumulation's
+   self-dependence. *)
+let oracle_rejects_reversed_reduction () =
+  check_rejected "reversed reduction dim"
+    { extents = [ Lit 3 ];
+      n_value = 0;
+      inputs = [ ("a0", 1) ];
+      comps =
+        [ { rc_name = "c0"; rc_rank = 1; rc_red = Some 3;
+            rc_expr = In ("a0", [ (1, 0) ]) } ];
+      steps = [ Reverse ("c0_upd", "r") ] }
+
+(* The same reduction under legal steps passes, so the rejection above is
+   the schedule's fault, not the program's. *)
+let oracle_accepts_legal_reduction () =
+  check_pass "legal reduction schedule"
+    { extents = [ Lit 3 ];
+      n_value = 0;
+      inputs = [ ("a0", 1) ];
+      comps =
+        [ { rc_name = "c0"; rc_rank = 1; rc_red = Some 3;
+            rc_expr = In ("a0", [ (1, 0) ]) } ];
+      steps = [ Unroll ("c0_upd", "r", 2); Shift ("c0_upd", "i", 1) ] }
+
+(* Fuzzer-found races (shrunk from sweep seeds 3320 and 1188): the
+   time-space mapping orders these dependences correctly, but the shared
+   fused loop is parallelized — by a *third* computation's tag in the
+   first case — while vectorize's separation makes the producer write all
+   its points at fused iteration 0, so the consumer at iteration i > 0
+   reads across iterations of a parallel loop.  Sequential backends and
+   the work-size-demoted pool masked it; `Spawn lost the race.  The
+   oracle must reject the tag, not just the mapping. *)
+let oracle_rejects_parallel_carried () =
+  let racy =
+    { extents = [ Lit 2 ];
+      n_value = 3;
+      inputs = [ ("a0", 1) ];
+      comps =
+        [ { rc_name = "c0"; rc_rank = 1; rc_red = None; rc_expr = Const 6 };
+          { rc_name = "c1"; rc_rank = 1; rc_red = None; rc_expr = Prod "c0" };
+          { rc_name = "c2"; rc_rank = 1; rc_red = None; rc_expr = Const 1 } ];
+      steps =
+        [ Fuse ("c1", "c0", "i");
+          Vectorize ("c0", "i", 4);
+          Parallelize ("c2", "i");
+          Fuse ("c2", "c1", "i") ] }
+  in
+  check_rejected "dep carried by a third comp's parallel tag" racy;
+  (* Same fusion without the parallel tag is ordered by the mapping. *)
+  check_pass "same fusion untagged"
+    { racy with
+      steps =
+        [ Fuse ("c1", "c0", "i");
+          Vectorize ("c0", "i", 4);
+          Fuse ("c2", "c1", "i") ] };
+  check_rejected "dep carried under split + parallel fusion"
+    { extents = [ Lit 1; Lit 1; Lit 2 ];
+      n_value = 5;
+      inputs = [];
+      comps =
+        [ { rc_name = "c0"; rc_rank = 3; rc_red = None; rc_expr = Const 1 };
+          { rc_name = "c1"; rc_rank = 3; rc_red = None; rc_expr = Prod "c0" } ];
+      steps =
+        [ Fuse ("c1", "c0", "l");
+          Parallelize ("c0", "j");
+          Split ("c0", "i", 4) ] }
+
+(* ---------- directed: floored div/mod (loop-IR level) ---------- *)
+
+let bits_equal (a : B.Buffers.t) (b : B.Buffers.t) =
+  Array.length a.B.Buffers.data = Array.length b.B.Buffers.data
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a.B.Buffers.data b.B.Buffers.data
+
+(* Interp vs every Exec configuration on a hand-built loop IR stmt. *)
+let differential_stmt ?(strategies = [ `Seq ]) ~shapes ~fills stmt outs =
+  let mk () =
+    List.map
+      (fun (name, dims) ->
+        let b = B.Buffers.create name (Array.of_list dims) in
+        (match List.assoc_opt name fills with
+        | Some f -> B.Buffers.fill b f
+        | None -> ());
+        b)
+      shapes
+  in
+  let t = B.Interp.create ~params:[] ~buffers:(mk ()) () in
+  B.Interp.run t stmt;
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun (spec, narrow) ->
+          let c =
+            B.Exec.compile ~parallel:strategy ~specialize:spec ~narrow
+              ~params:[] ~buffers:(mk ()) stmt
+          in
+          B.Exec.run c;
+          List.iter
+            (fun o ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s bit-identical (spec=%b narrow=%b)" o spec
+                   narrow)
+                true
+                (bits_equal (B.Interp.buffer t o) (B.Exec.buffer c o)))
+            outs)
+        [ (true, true); (false, true); (true, false); (false, false) ])
+    strategies
+
+(* i - 5 over i in [0, 9] gives negative numerators for both / and mod:
+   floored semantics must agree between the interpreter and the executor
+   (and differ from C's truncation, which the emod/floord helpers paper
+   over in the C emitter). *)
+let floored_div_mod_negative () =
+  let num = L.(Bin (Sub, Var "i", Int 5)) in
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 9; tag = L.Seq;
+        body =
+          L.Block
+            [
+              L.Store ("q", [ L.Var "i" ], L.(Bin (FloorDiv, num, Int 3)));
+              L.Store ("m", [ L.Var "i" ], L.(Bin (Mod, num, Int 3)));
+              L.Store ("qn", [ L.Var "i" ], L.(Bin (FloorDiv, num, Int (-3))));
+              L.Store ("mn", [ L.Var "i" ], L.(Bin (Mod, num, Int (-3))));
+            ] }
+  in
+  differential_stmt stmt
+    [ "q"; "m"; "qn"; "mn" ]
+    ~shapes:[ ("q", [ 10 ]); ("m", [ 10 ]); ("qn", [ 10 ]); ("mn", [ 10 ]) ]
+    ~fills:[];
+  (* Pin the convention itself: floored, result takes the divisor's sign. *)
+  let module I = Tiramisu_support.Ints in
+  Alcotest.(check int) "fdiv (-5) 3" (-2) (I.fdiv (-5) 3);
+  Alcotest.(check int) "emod (-5) 3" 1 (I.emod (-5) 3);
+  Alcotest.(check int) "fdiv 5 (-3)" (-2) (I.fdiv 5 (-3));
+  Alcotest.(check int) "emod 5 (-3)" (-1) (I.emod 5 (-3))
+
+(* The C emitter must route % through the emod helper (and define it). *)
+let c_emits_emod () =
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int (-4); hi = L.Int 4; tag = L.Seq;
+        body =
+          L.Store
+            ( "out",
+              [ L.Var "i" ],
+              L.(Bin (Add, Bin (Mod, Var "i", Int 3),
+                      Bin (FloorDiv, Var "i", Int 3))) ) }
+  in
+  let src =
+    Tiramisu_codegen.C_emit.emit_function ~name:"k" ~params:[]
+      ~buffers:[ ("out", [| 9 |]) ] stmt
+  in
+  let contains s sub = Astring.String.is_infix ~affix:sub s in
+  Alcotest.(check bool) "emod helper defined" true
+    (contains src "static inline int emod");
+  Alcotest.(check bool) "mod emitted as emod call" true
+    (contains src "emod(i, 3)");
+  Alcotest.(check bool) "floordiv emitted as floord call" true
+    (contains src "floord(i, 3)");
+  Alcotest.(check bool) "no raw %% emitted in the body" false
+    (contains src "i % 3")
+
+(* ---------- directed: pragma placement ---------- *)
+
+(* Every #pragma line must be immediately followed by its for-line — never
+   separated by a guard if, a comment, or another statement. *)
+let pragma_adjacency () =
+  let inner tag =
+    L.For
+      { var = "j"; lo = L.Int 0; hi = L.Var "m"; tag;
+        body = L.Store ("out", [ L.Var "j" ], L.Float 1.0) }
+  in
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 7; tag = L.Parallel;
+        body =
+          L.Block
+            [
+              L.Comment "guarded vector loop";
+              L.If
+                ( L.Cmp (L.GeOp, L.Var "m", L.Int 0),
+                  L.Block [ inner (L.Vectorized 4); inner L.Unrolled ],
+                  None );
+            ] }
+  in
+  let src =
+    Tiramisu_codegen.C_emit.emit_function ~name:"k" ~params:[ "m" ]
+      ~buffers:[ ("out", [| 64 |]) ] stmt
+  in
+  let lines =
+    List.map String.trim (String.split_on_char '\n' src)
+  in
+  let rec check = function
+    | p :: next :: rest ->
+        if Astring.String.is_prefix ~affix:"#pragma" p then
+          Alcotest.(check bool)
+            (Printf.sprintf "pragma %S binds to a for-line (got %S)" p next)
+            true
+            (Astring.String.is_prefix ~affix:"for (" next);
+        check (next :: rest)
+    | _ -> ()
+  in
+  check lines;
+  Alcotest.(check int) "all three pragmas emitted" 3
+    (List.length
+       (List.filter (Astring.String.is_prefix ~affix:"#pragma") lines))
+
+(* ---------- directed: pool exception propagation ---------- *)
+
+let pool_exception_propagates () =
+  B.Pool.set_num_workers 4;
+  (match
+     B.Pool.parallel_for 0 10_000 ~body:(fun lo _hi ->
+         if lo >= 0 then failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the worker failure to surface"
+  | exception Failure m ->
+      Alcotest.(check string) "original exception surfaces" "boom" m);
+  (* The pool survives the failed job: later loops run normally. *)
+  let sum = Atomic.make 0 in
+  B.Pool.parallel_for 1 100 ~body:(fun lo hi ->
+      let s = ref 0 in
+      for i = lo to hi do
+        s := !s + i
+      done;
+      ignore (Atomic.fetch_and_add sum !s));
+  Alcotest.(check int) "pool usable after a failure" 5050 (Atomic.get sum)
+
+(* An out-of-bounds store inside a Parallel loop must surface as the
+   original Invalid_argument through both runtime strategies. *)
+let exec_parallel_exceptions () =
+  B.Pool.set_num_workers 4;
+  Unix.putenv "TIRAMISU_POOL_MIN_WORK" "0";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "TIRAMISU_POOL_MIN_WORK" "")
+    (fun () ->
+      let stmt =
+        L.For
+          { var = "i"; lo = L.Int 0; hi = L.Int 999; tag = L.Parallel;
+            body = L.Store ("out", [ L.Var "i" ], L.Float 1.0) }
+      in
+      List.iter
+        (fun (name, strategy) ->
+          let out = B.Buffers.create "out" [| 10 |] in
+          let c =
+            B.Exec.compile ~parallel:strategy ~params:[] ~buffers:[ out ] stmt
+          in
+          match B.Exec.run c with
+          | () -> Alcotest.failf "%s: expected Invalid_argument" name
+          | exception Invalid_argument _ -> ())
+        [ ("pool", `Pool); ("spawn", `Spawn) ])
+
+(* ---------- directed: per-compile counters ---------- *)
+
+let counters_per_compile () =
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 3; tag = L.Parallel;
+        body =
+          L.For
+            { var = "j"; lo = L.Int 0; hi = L.Int 63; tag = L.Unrolled;
+              body =
+                L.Store
+                  ( "out",
+                    [ L.Var "i"; L.Var "j" ],
+                    L.(Bin (Mul, Load ("a", [ Var "i"; Var "j" ]), Float 2.0))
+                  ) } }
+  in
+  let mk () =
+    [ B.Buffers.create "a" [| 4; 64 |]; B.Buffers.create "out" [| 4; 64 |] ]
+  in
+  let compile strategy =
+    B.Exec.compile ~parallel:strategy ~params:[] ~buffers:(mk ()) stmt
+  in
+  let c1 = compile `Pool and c2 = compile `Pool in
+  Alcotest.(check int) "spec_count identical across recompiles"
+    (B.Exec.spec_count c1) (B.Exec.spec_count c2);
+  Alcotest.(check int) "pool_fallbacks identical across recompiles"
+    (B.Exec.pool_fallbacks c1)
+    (B.Exec.pool_fallbacks c2);
+  Alcotest.(check int) "no pool fallbacks under Seq" 0
+    (B.Exec.pool_fallbacks (compile `Seq));
+  Alcotest.(check int) "no pool fallbacks under Spawn" 0
+    (B.Exec.pool_fallbacks (compile `Spawn));
+  let c_off =
+    B.Exec.compile ~parallel:`Seq ~specialize:false ~params:[]
+      ~buffers:(mk ()) stmt
+  in
+  Alcotest.(check int) "specializer off means zero specialized loops" 0
+    (B.Exec.spec_count c_off)
+
+(* ---------- property: random seeds all pass ---------- *)
+
+let prop_random_seeds =
+  QCheck.Test.make ~count:40 ~name:"fuzz seeds pass differentially"
+    (QCheck.make QCheck.Gen.(int_range 10_000 99_999))
+    (fun seed ->
+      match Fuzz.run_seed seed with
+      | _, Differential.Pass -> true
+      | _, o ->
+          QCheck.Test.fail_reportf "seed %d: %s" seed
+            (Differential.outcome_str o))
+
+let tests =
+  [
+    Alcotest.test_case "replay corpus" `Quick replay_corpus;
+    Alcotest.test_case "oracle rejects inverted order" `Quick
+      oracle_rejects_inverted_order;
+    Alcotest.test_case "oracle rejects reversed reduction" `Quick
+      oracle_rejects_reversed_reduction;
+    Alcotest.test_case "oracle accepts legal reduction schedule" `Quick
+      oracle_accepts_legal_reduction;
+    Alcotest.test_case "oracle rejects parallel-carried dependences" `Quick
+      oracle_rejects_parallel_carried;
+    Alcotest.test_case "floored div/mod on negative operands" `Quick
+      floored_div_mod_negative;
+    Alcotest.test_case "C emitter uses emod/floord helpers" `Quick c_emits_emod;
+    Alcotest.test_case "pragmas bind to their for-line" `Quick pragma_adjacency;
+    Alcotest.test_case "pool propagates worker exceptions" `Quick
+      pool_exception_propagates;
+    Alcotest.test_case "exec surfaces exceptions from parallel loops" `Quick
+      exec_parallel_exceptions;
+    Alcotest.test_case "counters are per-compile" `Quick counters_per_compile;
+    QCheck_alcotest.to_alcotest prop_random_seeds;
+  ]
+
+let () =
+  B.Pool.set_num_workers 4;
+  Alcotest.run "fuzz" [ ("differential-fuzz", tests) ]
