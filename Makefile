@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench fuzz check clean
+.PHONY: all build test bench fuzz check pipeline-smoke clean
 
 all: build
 
@@ -20,14 +20,23 @@ bench:
 fuzz:
 	dune exec bin/fuzz.exe -- -count 500
 
+# Compile the three bench kernels through the pipeline pass manager,
+# validate the per-pass trace JSON shape against bench/pass_trace.golden
+# (regenerate with TIRAMISU_UPDATE_GOLDEN=1), and assert the warm-cache
+# recompile of each kernel reports a hit.
+pipeline-smoke:
+	dune exec bench/main.exe -- pipeline-smoke
+
 # The pre-commit gate: tier-1 (build + tests) plus a 1-rep smoke run of the
 # exec-strategy bench, which exercises the kernel specializer, the domain
 # pool and the demotion heuristic end-to-end without touching BENCH_exec.json,
-# plus the 500-case differential fuzz sweep.
+# the pipeline/compile-cache smoke gate, plus the 500-case differential fuzz
+# sweep.
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- exec-smoke
+	$(MAKE) pipeline-smoke
 	$(MAKE) fuzz
 
 clean:

@@ -24,6 +24,7 @@ open Tiramisu_core
 open Tiramisu
 module B = Tiramisu_backends
 module L = Tiramisu_codegen.Loop_ir
+module P = Tiramisu_pipeline.Pipeline
 
 (* The container may expose a single core; force a real pool so the
    strategies differ (TIRAMISU_NUM_DOMAINS still wins if set). *)
@@ -122,7 +123,63 @@ type row = {
   r_seq : stats;
   r_spawn : stats;
   r_pool : stats;
+  r_cold_ms : float;  (* median cold compile of the lowered stmt *)
+  r_hit_ms : float;   (* median warm-cache rebuild of the same stmt *)
 }
+
+(* Cold-vs-warm compile of the same (stmt, params, knobs) triple through
+   the pipeline's compile cache.  A warm rebuild must be a genuine [Hit]
+   and at least 10x faster than a cold compile — the property that makes
+   repeated compiles in fuzz replay and autoscheduler candidate search
+   near-free. *)
+let cache_bench case =
+  let fn = case.c_build () in
+  case.c_sched fn;
+  let lowered = P.lower fn in
+  let extents = P.extents_of_fn fn ~params:case.c_params in
+  let build () =
+    P.build_stmt ~params:case.c_params ~extents ~inputs:case.c_inputs
+      lowered.Lower.ast
+  in
+  let cold =
+    Array.init 3 (fun _ ->
+        P.clear_cache ();
+        let art, ms = Common.time_ms build in
+        assert (art.P.cache = P.Miss);
+        ms)
+  in
+  ignore (build ());
+  let hit =
+    Array.init 20 (fun _ ->
+        let art, ms = Common.time_ms build in
+        if art.P.cache <> P.Hit then
+          failwith (case.c_name ^ ": warm-cache rebuild was not a cache hit");
+        ms)
+  in
+  (* A hit is a pure in-memory lookup + blit, so timer/scheduler noise is
+     strictly additive: min is the faithful estimator, where a median over
+     a handful of microsecond-scale samples is hostage to one descheduled
+     run. Cold compiles do real work, so the median is kept there. *)
+  let cold_ms = (stats_of cold).s_median
+  and hit_ms = (stats_of hit).s_min in
+  if cold_ms < 10.0 *. hit_ms then
+    failwith
+      (Printf.sprintf
+         "%s: warm-cache recompile only %.1fx faster than cold (cold %.4f \
+          ms, hit %.4f ms); expected >= 10x"
+         case.c_name (cold_ms /. hit_ms) cold_ms hit_ms);
+  (cold_ms, hit_ms)
+
+(* One traced build per kernel (cold, so every pass actually runs). *)
+let trace_case case =
+  let fn = case.c_build () in
+  case.c_sched fn;
+  P.clear_cache ();
+  let tracer = P.make_tracer ~name:case.c_name () in
+  ignore
+    (Runner.build_native ~tracer ~fn ~params:case.c_params
+       ~inputs:case.c_inputs ());
+  P.trace_of tracer
 
 (* Per-rep wall-clock samples of Exec.run (one warmup run, which also
    surfaces any bounds failure before we start timing). *)
@@ -171,6 +228,7 @@ let bench_case ~reps case =
   let c, seq = time_exec ~reps case `Seq in
   let _, spawn = time_exec ~reps case `Spawn in
   let cp, pool = time_exec ~reps case `Pool in
+  let cold_ms, hit_ms = cache_bench case in
   {
     r_case = case;
     r_meta = B.Exec.meta c;
@@ -180,6 +238,8 @@ let bench_case ~reps case =
     r_seq = seq;
     r_spawn = spawn;
     r_pool = pool;
+    r_cold_ms = cold_ms;
+    r_hit_ms = hit_ms;
   }
 
 let json_of_row ~reps r =
@@ -192,12 +252,14 @@ let json_of_row ~reps r =
       "exec_seq_ms": %.4f, "exec_seq_median_ms": %.4f, "exec_seq_min_ms": %.4f,
       "exec_spawn_ms": %.4f, "exec_spawn_median_ms": %.4f, "exec_spawn_min_ms": %.4f,
       "exec_pool_ms": %.4f, "exec_pool_median_ms": %.4f, "exec_pool_min_ms": %.4f,
+      "compile_cold_ms": %.4f, "cache_hit_ms": %.4f, "cache_speedup": %.1f,
       "speedup_exec_vs_interp": %.2f, "speedup_pool_vs_spawn": %.2f, "speedup_pool_vs_seq": %.2f }|}
     r.r_case.c_name r.r_case.c_size reps m.L.n_loops m.L.n_parallel
     m.L.n_nested_parallel m.L.max_depth m.L.n_specializable r.r_spec
     r.r_fallback r.r_interp_ms r.r_seq.s_mean r.r_seq.s_median r.r_seq.s_min
     r.r_spawn.s_mean r.r_spawn.s_median r.r_spawn.s_min r.r_pool.s_mean
-    r.r_pool.s_median r.r_pool.s_min
+    r.r_pool.s_median r.r_pool.s_min r.r_cold_ms r.r_hit_ms
+    (r.r_cold_ms /. r.r_hit_ms)
     (r.r_interp_ms /. r.r_seq.s_median)
     (r.r_spawn.s_median /. r.r_pool.s_median)
     (r.r_seq.s_median /. r.r_pool.s_median)
@@ -209,15 +271,17 @@ let run ?(smoke = false) () =
   Common.pf "\nExec strategies (workers=%d, reps=%d, pool_min_work=%d%s)\n" w
     reps min_work
     (if smoke then ", smoke" else "");
-  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %12s\n" "kernel" "size"
-    "interp ms" "seq ms" "spawn ms" "pool ms" "spec" "pool/spawn";
+  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %12s %10s\n" "kernel" "size"
+    "interp ms" "seq ms" "spawn ms" "pool ms" "spec" "pool/spawn" "hit ms";
   let rows = List.map (bench_case ~reps) (cases ~smoke) in
   List.iter
     (fun r ->
-      Common.pf "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %11.2fx\n"
+      Common.pf
+        "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %11.2fx %10.4f\n"
         r.r_case.c_name r.r_case.c_size r.r_interp_ms r.r_seq.s_median
         r.r_spawn.s_median r.r_pool.s_median r.r_spec
-        (r.r_spawn.s_median /. r.r_pool.s_median))
+        (r.r_spawn.s_median /. r.r_pool.s_median)
+        r.r_hit_ms)
     rows;
   if smoke then Common.pf "smoke mode: BENCH_exec.json left untouched\n"
   else begin
@@ -234,5 +298,10 @@ let run ?(smoke = false) () =
       w min_work
       (String.concat ",\n" (List.map (json_of_row ~reps) rows));
     close_out oc;
-    Common.pf "wrote BENCH_exec.json\n"
+    Common.pf "wrote BENCH_exec.json\n";
+    (* Per-pass pipeline trace for every bench kernel, next to the timing
+       numbers. *)
+    P.write_traces "BENCH_pass_trace.json"
+      (List.map trace_case (cases ~smoke));
+    Common.pf "wrote BENCH_pass_trace.json\n"
   end

@@ -1,0 +1,123 @@
+(* Pipeline smoke gate: compile the three exec-bench kernels through the
+   pass-manager API, validate the emitted trace JSON shape against a golden
+   file, and assert that a warm-cache recompile of each kernel reports a
+   hit.  Part of `make check`.
+
+   Numbers in the JSON (timings, loop counts) vary per machine, so both
+   sides are normalized — every digit run collapses to `N` — before the
+   comparison; what the golden pins down is the schema: pass names and
+   order, field names, verify/cache statuses.  Regenerate with
+   TIRAMISU_UPDATE_GOLDEN=1 after an intentional schema change. *)
+
+module P = Tiramisu_pipeline.Pipeline
+
+let golden_path = "bench/pass_trace.golden"
+
+let normalize s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c >= '0' && c <= '9' then begin
+      Buffer.add_char buf 'N';
+      while
+        !i < n
+        &&
+        let c = s.[!i] in
+        (c >= '0' && c <= '9') || c = '.'
+      do
+        incr i
+      done
+    end
+    else begin
+      Buffer.add_char buf c;
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys -> if String.equal x y then go (i + 1) (xs, ys)
+                          else Some (i, x, y)
+    | [], [] -> None
+    | x :: _, [] -> Some (i, x, "<missing>")
+    | [], y :: _ -> Some (i, "<missing>", y)
+  in
+  go 1 (la, lb)
+
+let run () =
+  P.clear_cache ();
+  let traces =
+    List.map
+      (fun (case : Exec_bench.case) ->
+        let build tag =
+          let fn = case.Exec_bench.c_build () in
+          case.Exec_bench.c_sched fn;
+          let tracer =
+            P.make_tracer ~name:(case.Exec_bench.c_name ^ tag) ()
+          in
+          let art =
+            Tiramisu_kernels.Runner.build_native ~tracer ~fn
+              ~params:case.Exec_bench.c_params
+              ~inputs:case.Exec_bench.c_inputs ()
+          in
+          (art, tracer)
+        in
+        let cold, tracer = build "" in
+        if cold.P.cache <> P.Miss then
+          failwith (case.Exec_bench.c_name ^ ": expected a cold-cache miss");
+        (* A second build re-lowers to a structurally-equal statement; the
+           cache must recognize it through the structural hash. *)
+        let warm, _ = build "#warm" in
+        if warm.P.cache <> P.Hit then
+          failwith
+            (case.Exec_bench.c_name
+           ^ ": warm-cache recompile did not report a hit");
+        P.trace_of tracer)
+      (Exec_bench.cases ~smoke:true)
+  in
+  let json =
+    "[\n" ^ String.concat ",\n" (List.map P.json_of_trace traces) ^ "\n]\n"
+  in
+  let got = normalize json in
+  if Sys.getenv_opt "TIRAMISU_UPDATE_GOLDEN" <> None then begin
+    let oc = open_out golden_path in
+    output_string oc got;
+    close_out oc;
+    Common.pf "pipeline-smoke: updated %s\n" golden_path
+  end
+  else begin
+    let want =
+      try normalize (read_file golden_path)
+      with Sys_error e ->
+        failwith ("pipeline-smoke: cannot read golden file: " ^ e)
+    in
+    if not (String.equal got want) then begin
+      (match first_diff_line want got with
+      | Some (line, w, g) ->
+          Printf.eprintf
+            "pipeline-smoke: trace JSON diverges from %s at line %d\n\
+            \  golden: %s\n\
+            \  got:    %s\n"
+            golden_path line w g
+      | None -> ());
+      Printf.eprintf
+        "pipeline-smoke: regenerate with TIRAMISU_UPDATE_GOLDEN=1 if the \
+         schema change is intentional\n";
+      exit 1
+    end;
+    Common.pf
+      "pipeline-smoke: %d kernels compiled, trace schema matches golden, \
+       warm-cache hits confirmed\n"
+      (List.length traces)
+  end

@@ -27,21 +27,21 @@ let tiramisu_cpu () =
   probe (fun () ->
       let f, _ = K.Image.cvt_color () in
       K.Schedules.cpu_cvt_color f;
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_gpu () =
   probe (fun () ->
       let f, _ = K.Image.cvt_color () in
       K.Schedules.gpu_cvt_color f;
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_dist () =
   probe (fun () ->
       let f, _ = K.Image.cvt_color () in
       K.Schedules.dist_cvt_color f ~n:64 ~m:64 ~nodes:4;
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_dist_gpu () =
@@ -52,7 +52,7 @@ let tiramisu_dist_gpu () =
       Tiramisu.split g "i" 16 "i0" "i1";
       Tiramisu.distribute g "i0";
       Tiramisu.tile_gpu g "i1" "j" 8 8 "ib" "jb" "it" "jt";
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_skew () =
@@ -62,19 +62,19 @@ let tiramisu_skew () =
       let j = Tiramisu.var "j" (Aff.const 0) (Aff.var "N") in
       let c = Tiramisu.comp f "s" [ i; j ] (Expr.int 1) in
       Tiramisu.skew c "i" "j" 2;
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_cyclic () =
   probe (fun () ->
       let f, _, _ = K.Image.edge_detector () in
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_nonrect () =
   probe (fun () ->
       let f, _ = K.Image.ticket2373 () in
-      ignore (Lower.lower f);
+      ignore (Tiramisu_pipeline.Pipeline.lower f);
       true)
 
 let tiramisu_exact_deps () =

@@ -14,6 +14,7 @@ open Cmdliner
 open Tiramisu_kernels
 module B = Tiramisu_backends
 module A = Tiramisu_autosched.Autosched
+module P = Tiramisu_pipeline.Pipeline
 
 type kernel = {
   k_name : string;
@@ -218,6 +219,42 @@ let paper_arg =
 let native_arg =
   Arg.(value & flag & info [ "native" ] ~doc:"Closure-compiled executor.")
 
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace-passes" ]
+        ~doc:
+          "Print the pipeline pass trace (per-pass wall-clock time and \
+           loop-metadata deltas) after compiling.")
+
+let dump_after_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Print the loop IR after the named pipeline pass (one of: lower, \
+           legalize, alloc-scope, narrow, simplify).")
+
+(* A tracer when either observation flag is set, [None] otherwise. *)
+let cli_tracer ~trace ~dump_after ~name =
+  if (not trace) && dump_after = None then None
+  else
+    let on_after =
+      Option.map
+        (fun want pass s ->
+          if String.equal pass want then
+            Printf.printf "=== after %s ===\n%s\n" pass
+              (Tiramisu_codegen.Loop_ir.to_string s))
+        dump_after
+    in
+    Some (P.make_tracer ?on_after ~name ())
+
+let report_tracer ~trace tracer =
+  match tracer with
+  | Some tr when trace -> Format.printf "%a" P.print_trace (P.trace_of tr)
+  | _ -> ()
+
 let list_cmd =
   let doc = "List the built-in kernels and their schedule variants." in
   Cmd.v (Cmd.info "list" ~doc)
@@ -240,10 +277,11 @@ let show_cmd =
 
 let cc_cmd =
   let doc = "Emit C source for a kernel." in
-  let run name sched paper =
+  let run name sched paper trace dump_after =
     let k = find_kernel name in
     let f = scheduled k sched in
-    let lowered = Tiramisu_core.Lower.lower f in
+    let tracer = cli_tracer ~trace ~dump_after ~name:k.k_name in
+    let lowered = P.lower ?tracer f in
     let params = if paper then k.params_paper else k.params_small in
     let buffers =
       List.map
@@ -254,34 +292,46 @@ let cc_cmd =
     print_string
       (Tiramisu_codegen.C_emit.emit_function ~name:k.k_name
          ~params:(List.map fst params) ~buffers
-         lowered.Tiramisu_core.Lower.ast)
+         lowered.Tiramisu_core.Lower.ast);
+    report_tracer ~trace tracer
   in
   Cmd.v (Cmd.info "cc" ~doc)
-    Term.(const run $ kernel_arg $ sched_arg $ paper_arg)
+    Term.(
+      const run $ kernel_arg $ sched_arg $ paper_arg $ trace_arg
+      $ dump_after_arg)
 
 let run_cmd =
   let doc = "Execute a kernel (small size) and report counters / time." in
-  let run name sched native =
+  let run name sched native trace dump_after =
     let k = find_kernel name in
     let f = scheduled k sched in
+    let tracer = cli_tracer ~trace ~dump_after ~name:k.k_name in
+    let params = k.params_small in
     if native then begin
       let t0 = Tiramisu_backends.Clock.now_ms () in
-      ignore
-        (Runner.run_native ~fn:f ~params:k.params_small ~inputs:k.inputs ());
+      let art = Runner.build_native ?tracer ~fn:f ~params ~inputs:k.inputs () in
+      B.Exec.run art.P.exec;
       Printf.printf "native execution ok in %.3f ms\n"
         (Tiramisu_backends.Clock.now_ms () -. t0)
     end
     else begin
-      let interp = Runner.run ~fn:f ~params:k.params_small ~inputs:k.inputs in
+      let lowered = P.lower ?tracer f in
+      let interp =
+        Runner.interp_of ~params ~extents:(P.extents_of_fn f ~params)
+          ~inputs:k.inputs lowered.Tiramisu_core.Lower.ast
+      in
       let c = B.Interp.counters interp in
       Printf.printf
         "executed: %d stores, %d loads, %d flops, %d messages (%d bytes)\n"
         c.B.Interp.stores c.B.Interp.loads c.B.Interp.flops
         c.B.Interp.messages c.B.Interp.bytes_sent
-    end
+    end;
+    report_tracer ~trace tracer
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ kernel_arg $ sched_arg $ native_arg)
+    Term.(
+      const run $ kernel_arg $ sched_arg $ native_arg $ trace_arg
+      $ dump_after_arg)
 
 let model_cmd =
   let doc = "Machine-model estimate (Xeon E5-2680v3 / Tesla K40)." in
@@ -319,7 +369,7 @@ let compile_cmd =
   let emit_c_arg =
     Arg.(value & flag & info [ "emit-c" ] ~doc:"Emit C instead of pseudocode.")
   in
-  let run file emit_c =
+  let run file emit_c trace dump_after =
     match Tiramisu_frontend.Frontend.parse_file file with
     | exception Tiramisu_frontend.Frontend.Parse_error msg ->
         Printf.eprintf "%s: %s\n" file msg;
@@ -333,17 +383,31 @@ let compile_cmd =
                 Format.eprintf "VIOLATION: %a@."
                   Tiramisu_deps.Deps.pp_violation v)
               vs);
-        if emit_c then begin
-          let lowered = Tiramisu_core.Lower.lower f in
-          print_string
-            (Tiramisu_codegen.C_emit.emit_function
-               ~name:f.Tiramisu_core.Ir.fn_name
-               ~params:f.Tiramisu_core.Ir.params ~buffers:[]
-               lowered.Tiramisu_core.Lower.ast)
-        end
-        else print_endline (Tiramisu_core.Lower.pseudocode f)
+        let tracer =
+          cli_tracer ~trace ~dump_after ~name:f.Tiramisu_core.Ir.fn_name
+        in
+        (match
+           if emit_c then begin
+             let lowered = P.lower ?tracer f in
+             print_string
+               (Tiramisu_codegen.C_emit.emit_function
+                  ~name:f.Tiramisu_core.Ir.fn_name
+                  ~params:f.Tiramisu_core.Ir.params ~buffers:[]
+                  lowered.Tiramisu_core.Lower.ast)
+           end
+           else if trace || dump_after <> None then
+             (* pseudocode lowers internally; trace the pipeline run. *)
+             ignore (P.lower ?tracer f)
+         with
+        | () -> ()
+        | exception P.Error e ->
+            Printf.eprintf "%s\n" (P.error_to_string e);
+            exit 1);
+        if not emit_c then print_endline (Tiramisu_core.Lower.pseudocode f);
+        report_tracer ~trace tracer
   in
-  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ file_arg $ emit_c_arg)
+  Cmd.v (Cmd.info "compile" ~doc)
+    Term.(const run $ file_arg $ emit_c_arg $ trace_arg $ dump_after_arg)
 
 let () =
   let doc = "Tiramisu-OCaml compiler driver (CGO'19 reproduction)" in

@@ -29,7 +29,7 @@ let () =
     (B.Buffers.get soa [| 0; 1; 1 |]);
 
   (* emitted C (CUDA-flavoured annotations) *)
-  let lowered = Tiramisu_core.Lower.lower f in
+  let lowered = Tiramisu_pipeline.Pipeline.lower f in
   let buffers =
     List.map
       (fun ((b : Tiramisu_core.Ir.buffer), dims) ->

@@ -1017,18 +1017,23 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
           failwith "Exec: memcpy size mismatch";
         Array.blit s.Buffers.data 0 d.Buffers.data 0 (Buffers.size s)
 
-let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true) ~params
-    ~buffers stmt =
-  (* Parameters are known here, so narrow bounds/indices/guards with
-     interval analysis, then re-run unroll expansion (narrowing often turns
-     dynamic [Unrolled] bounds static) and the statement simplifier (which
-     deletes loops narrowing proved empty, e.g. vector epilogues of exact
-     tiles).  [narrow:false] keeps the lowered statement as-is — the
-     differential fuzzer runs both settings against each other. *)
+(* Parameters are known at compile time, so narrow bounds/indices/guards
+   with interval analysis, then re-run unroll expansion (narrowing often
+   turns dynamic [Unrolled] bounds static) and the statement simplifier
+   (which deletes loops narrowing proved empty, e.g. vector epilogues of
+   exact tiles).  [narrow:false] keeps the lowered statement as-is — the
+   differential fuzzer runs both settings against each other.  Exposed
+   separately so the pipeline pass manager can time the two stages
+   individually. *)
+let prepare ?(narrow = true) ~params stmt =
   let stmt =
     if narrow then Tiramisu_codegen.Passes.narrow ~params stmt else stmt
   in
-  let stmt = L.simplify_stmt (Tiramisu_codegen.Passes.unroll_expand stmt) in
+  L.simplify_stmt (Tiramisu_codegen.Passes.unroll_expand stmt)
+
+(* Closure-compile an already-prepared (narrowed/simplified) statement. *)
+let compile_prepared ?(parallel = `Pool) ?(specialize = true) ~params ~buffers
+    stmt =
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -1066,6 +1071,11 @@ let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true) ~params
      independent. *)
   { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt;
     c_spec = Atomic.get ctx.n_spec; c_fallback = Atomic.get ctx.n_fallback }
+
+let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true) ~params
+    ~buffers stmt =
+  compile_prepared ~parallel ~specialize ~params ~buffers
+    (prepare ~narrow ~params stmt)
 
 let run c = c.body (Array.copy c.regs0)
 let spec_count c = c.c_spec

@@ -40,6 +40,28 @@ type par_strategy = [ `Pool | `Spawn | `Seq ]
     (default), with a fresh [Domain.spawn]/[join] per loop entry (the seed
     strategy, kept as a benchmark baseline), or sequentially. *)
 
+val prepare :
+  ?narrow:bool ->
+  params:(string * int) list ->
+  Tiramisu_codegen.Loop_ir.stmt ->
+  Tiramisu_codegen.Loop_ir.stmt
+(** The statement-level pre-passes of {!compile}: interval-based bound
+    narrowing with the concrete parameter values (gated by [narrow],
+    default [true]), then unroll expansion and simplification.  Exposed so
+    the {e pipeline} pass manager can run and time each stage
+    individually. *)
+
+val compile_prepared :
+  ?parallel:par_strategy ->
+  ?specialize:bool ->
+  params:(string * int) list ->
+  buffers:Buffers.t list ->
+  Tiramisu_codegen.Loop_ir.stmt ->
+  compiled
+(** Closure-compile a statement that already went through {!prepare} (or
+    that the caller wants compiled verbatim).  [compile] is
+    [compile_prepared] after [prepare]. *)
+
 val compile :
   ?parallel:par_strategy ->
   ?specialize:bool ->

@@ -305,6 +305,104 @@ let spec_candidate (s : stmt) : bool =
       | _ -> false)
   | _ -> false
 
+(* ---------- structural hashing ---------- *)
+
+(* Deterministic structural hash of a statement; the compile cache keys on
+   it (together with parameter values and backend knobs).  Loop variables
+   are numbered de-Bruijn-style at their binder, so alpha-equivalent
+   renamings of loop variables hash equal, while any structural rewrite —
+   bound narrowing, simplification, unroll expansion — changes the mixed
+   constructor sequence and therefore the hash (modulo 62-bit collisions;
+   the cache additionally compares statements structurally before reusing
+   an artifact).  Free names (parameters, buffers, intrinsics) hash by
+   spelling.  No [Hashtbl.hash] involvement: the value is stable across
+   processes and OCaml versions, so it can appear in persisted traces. *)
+
+let structural_hash (s0 : stmt) : int =
+  let h = ref 0x2545f4914f6cdd1d in
+  let mix v = h := ((!h * 0x100000001b3) lxor v) land max_int in
+  let mix_str s =
+    mix (String.length s);
+    String.iter (fun c -> mix (Char.code c)) s
+  in
+  let mix_float f =
+    let b = Int64.bits_of_float f in
+    mix (Int64.to_int b land max_int);
+    mix (Int64.to_int (Int64.shift_right_logical b 62))
+  in
+  let mix_var env v =
+    match List.assoc_opt v env with
+    | Some level -> mix 2; mix level          (* bound loop variable *)
+    | None -> mix 3; mix_str v                (* parameter / free name *)
+  in
+  let mix_dtype = function F32 -> mix 4 | F64 -> mix 5 | I32 -> mix 6 | U8 -> mix 7 in
+  let mix_mem = function
+    | Host -> mix 8 | Gpu_global -> mix 9 | Gpu_shared -> mix 10
+    | Gpu_local -> mix 11 | Gpu_constant -> mix 12
+  in
+  let mix_tag = function
+    | Seq -> mix 13
+    | Parallel -> mix 14
+    | Vectorized w -> mix 15; mix w
+    | Unrolled -> mix 16
+    | Gpu_block a -> mix 17; mix a
+    | Gpu_thread a -> mix 18; mix a
+    | Distributed -> mix 19
+  in
+  let mix_binop = function
+    | Add -> mix 20 | Sub -> mix 21 | Mul -> mix 22 | Div -> mix 23
+    | FloorDiv -> mix 24 | Mod -> mix 25 | MinOp -> mix 26 | MaxOp -> mix 27
+  in
+  let mix_cmpop = function
+    | EqOp -> mix 28 | NeOp -> mix 29 | LtOp -> mix 30
+    | LeOp -> mix 31 | GtOp -> mix 32 | GeOp -> mix 33
+  in
+  let rec expr env (e : expr) =
+    match e with
+    | Int n -> mix 34; mix n
+    | Float f -> mix 35; mix_float f
+    | Var v -> mix_var env v
+    | Load (b, idx) -> mix 36; mix_str b; List.iter (expr env) idx
+    | Bin (op, a, b) -> mix_binop op; expr env a; expr env b
+    | Neg a -> mix 37; expr env a
+    | Cast (t, a) -> mix 38; mix_dtype t; expr env a
+    | Select (c, a, b) -> mix 39; cond env c; expr env a; expr env b
+    | Call (f, args) -> mix 40; mix_str f; List.iter (expr env) args
+  and cond env (c : cond) =
+    match c with
+    | True -> mix 41
+    | Cmp (op, a, b) -> mix_cmpop op; expr env a; expr env b
+    | And (a, b) -> mix 42; cond env a; cond env b
+    | Or (a, b) -> mix 43; cond env a; cond env b
+    | Not a -> mix 44; cond env a
+  in
+  let rec stmt env (s : stmt) =
+    match s with
+    | Block l -> mix 45; mix (List.length l); List.iter (stmt env) l
+    | For { var; lo; hi; tag; body } ->
+        mix 46; mix_tag tag; expr env lo; expr env hi;
+        stmt ((var, List.length env) :: env) body
+    | If (c, t, e) ->
+        mix 47; cond env c; stmt env t;
+        (match e with None -> mix 48 | Some e -> mix 49; stmt env e)
+    | Store (b, idx, v) -> mix 50; mix_str b; List.iter (expr env) idx; expr env v
+    | Alloc { buf; dtype; dims; mem; body } ->
+        mix 51; mix_str buf; mix_dtype dtype; mix_mem mem;
+        List.iter (expr env) dims; stmt env body
+    | Barrier -> mix 52
+    | Send { dst; buf; offset; count; props } ->
+        mix 53; mix_str buf; expr env dst; List.iter (expr env) offset;
+        expr env count; mix (if props.async then 54 else 55)
+    | Recv { src; buf; offset; count; props } ->
+        mix 56; mix_str buf; expr env src; List.iter (expr env) offset;
+        expr env count; mix (if props.async then 57 else 58)
+    | Memcpy { dst; src; direction } ->
+        mix 59; mix_str dst; mix_str src; mix_str direction
+    | Comment c -> mix 60; mix_str c
+  in
+  stmt [] s0;
+  !h
+
 (* ---------- static loop metadata ---------- *)
 
 (* Shape summary of a lowered loop nest, computed once per program.  The

@@ -509,7 +509,11 @@ let expand_shared_caches fn =
               consumer.expr)
     fn.comps
 
-let lower fn =
+(* Expansion + polyhedral AST generation only — the raw statement before
+   legalization and alloc scoping.  {!Tiramisu_pipeline.Pipeline} runs the
+   three stages as separately traced passes; {!lower} below composes them
+   for direct callers. *)
+let generate_ast fn =
   let params = fn.params in
   let context = fn.context in
   expand_shared_caches fn;
@@ -643,9 +647,15 @@ let lower fn =
         { AG.name = c.comp_name; sched = sched_set; dim_names; tags; emit })
       descs
   in
-  let ast = AG.generate ~context ~params sources in
+  AG.generate ~context ~params sources
+
+(* allocate_at post-pass, exposed as its own pipeline stage. *)
+let scope_allocs fn ast = wrap_allocs fn ast
+
+let lower fn =
+  let ast = generate_ast fn in
   let ast = Tiramisu_codegen.Passes.legalize ast in
-  let ast = wrap_allocs fn ast in
+  let ast = scope_allocs fn ast in
   { ast; fn }
 
 let buffer_extents fn ~params =

@@ -11,13 +11,30 @@ type t = {
   fn : Ir.fn;
 }
 
+exception Unsupported of string
+(** A schedule/operation combination the lowering does not handle.  The
+    pipeline pass manager wraps this into its typed error. *)
+
 val expand : Ir.fn -> Expr.t -> Expr.t
 (** Substitute inlined producers into an expression (beta-reduction of
     Layer-I accesses). *)
 
+val generate_ast : Ir.fn -> Tiramisu_codegen.Loop_ir.stmt
+(** The front half of {!lower}: shared-cache expansion, per-computation
+    descriptors, and scheduled-domain AST generation — before
+    legalization and allocation scoping.  Exposed so the pipeline pass
+    manager can run and time the three stages individually. *)
+
+val scope_allocs : Ir.fn -> Tiramisu_codegen.Loop_ir.stmt ->
+  Tiramisu_codegen.Loop_ir.stmt
+(** The back half of {!lower}: wrap buffers at their [allocate_at] scopes
+    (or at the root).  [lower fn] is [scope_allocs fn] of the legalized
+    {!generate_ast}. *)
+
 val lower : Ir.fn -> t
 (** @raise Failure on malformed schedules (e.g. iterators not recoverable
-    from the time dims). *)
+    from the time dims).
+    @raise Unsupported on operations outside the lowering's reach. *)
 
 val buffer_extents :
   Ir.fn -> params:(string * int) list -> (Ir.buffer * int array) list

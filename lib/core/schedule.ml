@@ -6,7 +6,12 @@ let col_ctr = ref 0
 
 let fresh_col () =
   incr col_ctr;
-  Printf.sprintf "c$%d" !col_ctr
+  (* Zero-padded so the lexicographic order Aff's term map uses agrees
+     with allocation order regardless of the counter's magnitude: term
+     order in reconstructed index expressions — and hence the structural
+     hash of the lowered IR — must not depend on how many columns other
+     functions allocated earlier in the process. *)
+  Printf.sprintf "c$%09d" !col_ctr
 
 let mk_dyn name = { d_col = fresh_col (); d_name = name; d_kind = Dyn; d_tag = L.Seq }
 let mk_static v =

@@ -21,6 +21,7 @@
 
 open Tiramisu_core
 module B = Tiramisu_backends
+module P = Tiramisu_pipeline.Pipeline
 
 type outcome =
   | Pass
@@ -70,6 +71,16 @@ let first_diff (a : B.Buffers.t) (b : B.Buffers.t) =
 
 let find_buf name bufs = List.find (fun b -> b.B.Buffers.name = name) bufs
 
+(* Per-pass differential-verify probe for the pipeline: the case's own
+   parameters, buffers, fills and outputs.  Every verifiable pass
+   (legalize, narrow, simplify) then gets interpreted before and after on
+   this input, a cross-check axis orthogonal to the config sweep below. *)
+let probe_of fn ~params ~fills ~outputs =
+  { P.probe_params = params;
+    P.probe_extents = P.extents_of_fn fn ~params;
+    P.probe_fills = fills;
+    P.probe_outputs = outputs }
+
 (* Run the loop IR on the interpreter over fresh buffers; return them. *)
 let interp_run ~params ~fills fn ast =
   let bufs = make_buffers fn ~params ~fills in
@@ -94,7 +105,7 @@ let run_case_unguarded (case : Case.t) : outcome =
   try
     (* Reference: unscheduled program on the interpreter. *)
     let b0 = Case.build ~with_steps:false case in
-    let ast0 = (Lower.lower b0.Case.fn).Lower.ast in
+    let ast0 = (P.lower b0.Case.fn).Lower.ast in
     let ref_bufs =
       interp_run ~params:b0.Case.params ~fills:b0.Case.fills b0.Case.fn ast0
     in
@@ -109,9 +120,20 @@ let run_case_unguarded (case : Case.t) : outcome =
     (match Tiramisu_deps.Deps.legal_under_schedule b1.Case.fn with
     | Error e -> raise (Stop (Rejected e))
     | Ok () -> ());
+    let probe =
+      probe_of b1.Case.fn ~params:b1.Case.params ~fills:b1.Case.fills
+        ~outputs:b1.Case.outputs
+    in
     let ast1 =
-      try (Lower.lower b1.Case.fn).Lower.ast with
+      let tracer = P.make_tracer ~probe ~name:"scheduled" () in
+      try (P.lower ~tracer b1.Case.fn).Lower.ast with
       | Limits.Timeout as t -> raise t
+      | P.Error pe ->
+          raise
+            (Stop
+               (Fail
+                  (Printf.sprintf "lowering a legal schedule: pass %S %s: %s"
+                     pe.P.err_stage pe.P.err_context pe.P.err_msg)))
       | e ->
           raise
             (Stop
@@ -142,14 +164,22 @@ let run_case_unguarded (case : Case.t) : outcome =
             let bufs =
               make_buffers b1.Case.fn ~params:b1.Case.params ~fills:b1.Case.fills
             in
+            let knobs = { P.parallel = par; specialize = spec; narrow } in
+            let tracer = P.make_tracer ~probe ~name:("exec:" ^ tag) () in
             let c =
-              B.Exec.compile ~parallel:par ~specialize:spec ~narrow
-                ~params:b1.Case.params ~buffers:bufs ast1
+              P.compile ~tracer ~knobs ~params:b1.Case.params ~buffers:bufs
+                ast1
             in
             B.Exec.run c;
             bufs
           with
           | Limits.Timeout as t -> raise t
+          | P.Error pe ->
+              raise
+                (Stop
+                   (Fail
+                      (Printf.sprintf "exec(%s): pass %S rejected: %s" tag
+                         pe.P.err_stage pe.P.err_msg)))
           | e ->
               raise
                 (Stop

@@ -201,7 +201,7 @@ let vet case =
             match Tiramisu_deps.Deps.legal_under_schedule b.Case.fn with
             | Error e -> `Illegal e
             | Ok () -> (
-                match Tiramisu_core.Lower.lower b.Case.fn with
+                match Tiramisu_pipeline.Pipeline.lower b.Case.fn with
                 | exception e -> `Err (Printexc.to_string e)
                 | _ -> `Ok)))
   with

@@ -1,47 +1,37 @@
 open Tiramisu_core
 module B = Tiramisu_backends
+module P = Tiramisu_pipeline.Pipeline
+
+(* The one buffer-setup everything shares: allocate every buffer of the
+   function at its concrete extents, then fill the declared inputs. *)
+let interp_of ~params ~extents ~inputs ast =
+  let interp = B.Interp.create ~params () in
+  List.iter
+    (fun (name, dims, mem) ->
+      B.Interp.add_buffer interp (B.Buffers.create ~mem name dims))
+    extents;
+  List.iter
+    (fun (name, fill) -> B.Buffers.fill (B.Interp.buffer interp name) fill)
+    inputs;
+  B.Interp.run interp ast;
+  interp
 
 let prepare ~fn ~params ~inputs =
   (* Lower once; each call of the thunk re-creates buffers and executes the
      generated code (used by the wall-clock micro-benchmarks). *)
-  let lowered = Lower.lower fn in
-  let extents = Lower.buffer_extents fn ~params in
-  fun () ->
-    let interp = B.Interp.create ~params () in
-    List.iter
-      (fun ((b : Ir.buffer), dims) ->
-        B.Interp.add_buffer interp
-          (B.Buffers.create ~mem:b.Ir.buf_mem b.Ir.buf_name dims))
-      extents;
-    List.iter
-      (fun (name, fill) -> B.Buffers.fill (B.Interp.buffer interp name) fill)
-      inputs;
-    B.Interp.run interp lowered.Lower.ast;
-    interp
+  let lowered = P.lower fn in
+  let extents = P.extents_of_fn fn ~params in
+  fun () -> interp_of ~params ~extents ~inputs lowered.Lower.ast
 
 let run ~fn ~params ~inputs =
-  let lowered = Lower.lower fn in
-  let interp = B.Interp.create ~params () in
-  List.iter
-    (fun ((b : Ir.buffer), dims) ->
-      B.Interp.add_buffer interp (B.Buffers.create ~mem:b.Ir.buf_mem b.Ir.buf_name dims))
-    (Lower.buffer_extents fn ~params);
-  List.iter
-    (fun (name, fill) ->
-      let buf = B.Interp.buffer interp name in
-      B.Buffers.fill buf fill)
-    inputs;
-  B.Interp.run interp lowered.Lower.ast;
-  interp
+  let lowered = P.lower fn in
+  interp_of ~params ~extents:(P.extents_of_fn fn ~params) ~inputs
+    lowered.Lower.ast
 
 let model ?machine ~fn ~params () =
-  let lowered = Lower.lower fn in
-  let buffers =
-    List.map
-      (fun ((b : Ir.buffer), dims) -> (b.Ir.buf_name, dims, b.Ir.buf_mem))
-      (Lower.buffer_extents fn ~params)
-  in
-  B.Cost.estimate ?machine ~params ~buffers lowered.Lower.ast
+  let lowered = P.lower fn in
+  B.Cost.estimate ?machine ~params ~buffers:(P.extents_of_fn fn ~params)
+    lowered.Lower.ast
 
 let check ~fn ~params ~inputs ~output ~expect ?(eps = 1e-3) () =
   let interp = run ~fn ~params ~inputs in
@@ -72,23 +62,15 @@ let check ~fn ~params ~inputs ~output ~expect ?(eps = 1e-3) () =
    with Exit -> ());
   match !bad with None -> Ok () | Some m -> Error m
 
-let prepare_native ?(parallel = `Pool) ~fn ~params ~inputs () =
-  (* Lower and compile without running — the wall-clock benchmarks compile
-     once and time [B.Exec.run] over many repetitions. *)
-  let lowered = Lower.lower fn in
-  let buffers =
-    List.map
-      (fun ((b : Ir.buffer), dims) ->
-        B.Buffers.create ~mem:b.Ir.buf_mem b.Ir.buf_name dims)
-      (Lower.buffer_extents fn ~params)
-  in
-  List.iter
-    (fun (name, fill) ->
-      match List.find_opt (fun b -> b.B.Buffers.name = name) buffers with
-      | Some b -> B.Buffers.fill b fill
-      | None -> invalid_arg ("prepare_native: unknown input " ^ name))
-    inputs;
-  B.Exec.compile ~parallel ~params ~buffers lowered.Lower.ast
+let build_native ?tracer ?(parallel = `Pool) ~fn ~params ~inputs () =
+  (* Lower and compile through the pipeline's compile cache — identical
+     (fn, params, knobs) configurations reuse the compiled executor with
+     buffers restored to their freshly-filled state. *)
+  let knobs = { P.default_knobs with P.parallel } in
+  P.build ?tracer ~knobs ~fn ~params ~inputs ()
+
+let prepare_native ?tracer ?parallel ~fn ~params ~inputs () =
+  (build_native ?tracer ?parallel ~fn ~params ~inputs ()).P.exec
 
 let run_native ?parallel ~fn ~params ~inputs () =
   (* Closure-compiled execution (the fast backend); same contract as

@@ -3,6 +3,15 @@
 open Tiramisu_core
 module B = Tiramisu_backends
 
+val interp_of :
+  params:(string * int) list ->
+  extents:(string * int array * Tiramisu_codegen.Loop_ir.mem_space) list ->
+  inputs:(string * (int array -> float)) list ->
+  Tiramisu_codegen.Loop_ir.stmt ->
+  B.Interp.t
+(** The shared buffer setup: allocate every declared buffer, fill the
+    inputs, run the statement on the reference interpreter. *)
+
 val prepare :
   fn:Ir.fn ->
   params:(string * int) list ->
@@ -41,15 +50,29 @@ val check :
   (unit, string) result
 (** Run and compare the named output buffer element-wise against [expect]. *)
 
+val build_native :
+  ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
+  ?parallel:B.Exec.par_strategy ->
+  fn:Ir.fn ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  unit ->
+  Tiramisu_pipeline.Pipeline.artifact
+(** Lower, allocate and fill buffers, and compile through the pipeline's
+    compile cache — without running.  The returned artifact says whether
+    the compile was a cache hit and carries the structural hash of the
+    lowered statement. *)
+
 val prepare_native :
+  ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
   ?parallel:B.Exec.par_strategy ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->
   unit ->
   B.Exec.compiled
-(** Lower, allocate and fill buffers, and compile — without running.  The
-    wall-clock benchmarks compile once and time [B.Exec.run] repeatedly. *)
+(** [build_native] returning just the executor.  The wall-clock benchmarks
+    compile once and time [B.Exec.run] repeatedly. *)
 
 val run_native :
   ?parallel:B.Exec.par_strategy ->

@@ -1,0 +1,501 @@
+(** Unified compilation pipeline: a typed pass manager owning the whole
+    path from [Ir.fn] to a runnable artifact.
+
+    The paper's toolchain (§V) is a fixed sequence of lowering stages
+    (Layer IV → ISL AST → Halide IR → LLVM); this module makes our
+    reproduction's equivalent sequence — expand/lower, legalize,
+    alloc-scope, narrow, simplify, backend compile — a first-class object.
+    Every stage runs as a named pass with per-pass wall-clock timing,
+    before/after {!Tiramisu_codegen.Loop_ir.loop_meta} deltas, and an
+    optional differential-verify hook (the reference interpreter runs on
+    the IR before and after a statement-level pass on a probe input, and
+    the outputs must match bitwise).  A run's trace serializes to JSON.
+
+    On top of the pass manager sits a compile cache keyed on
+    [(structural hash of the statement, params, knobs, extents)]: building
+    an identical configuration twice returns the previously compiled
+    executor with its buffers restored to their initial contents — making
+    repeated compiles in benchmark reps, fuzz replay, and autoscheduler
+    candidate search near-free. *)
+
+module L = Tiramisu_codegen.Loop_ir
+module Passes = Tiramisu_codegen.Passes
+module Lower = Tiramisu_core.Lower
+module Ir = Tiramisu_core.Ir
+module B = Tiramisu_backends
+
+(* ---------- typed errors ---------- *)
+
+type error = {
+  err_stage : string;    (** name of the pass that rejected the program *)
+  err_context : string;  (** what the pipeline was doing (function name…) *)
+  err_msg : string;
+}
+
+exception Error of error
+
+let error_to_string e =
+  Printf.sprintf "pipeline pass %S rejected %s: %s" e.err_stage
+    e.err_context e.err_msg
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)
+
+(* Wrap only the exception families the stages are specified to raise on
+   unsupported programs.  Everything else — notably the fuzzer's
+   [Limits.Timeout] — must propagate untouched. *)
+let guard ~stage ~context f x =
+  try f x with
+  | Failure m -> raise (Error { err_stage = stage; err_context = context; err_msg = m })
+  | Lower.Unsupported m ->
+      raise (Error { err_stage = stage; err_context = context;
+                     err_msg = "unsupported: " ^ m })
+  | Invalid_argument m ->
+      raise (Error { err_stage = stage; err_context = context; err_msg = m })
+
+(* ---------- tracing ---------- *)
+
+type verdict =
+  | Verified            (** probe outputs bitwise-equal before/after *)
+  | Mismatch of string  (** semantics changed — the pass is buggy *)
+  | Skipped             (** no probe, pass not verifiable, or probe N/A *)
+
+type pass_trace = {
+  p_name : string;
+  p_ms : float;
+  p_before : L.loop_meta option;  (** [None] for non-statement passes *)
+  p_after : L.loop_meta option;
+  p_verify : verdict;
+}
+
+type cache_status = Hit | Miss | Bypass
+
+type trace = {
+  t_fn : string;
+  t_cache : cache_status;
+  t_total_ms : float;
+  t_passes : pass_trace list;  (** in execution order *)
+}
+
+(** Probe input for differential verification: enough to run the
+    interpreter on a statement in isolation. *)
+type probe = {
+  probe_params : (string * int) list;
+  probe_extents : (string * int array * L.mem_space) list;
+  probe_fills : (string * (int array -> float)) list;
+  probe_outputs : string list;  (** buffers compared bitwise *)
+}
+
+type tracer = {
+  tr_fn : string;
+  tr_start : float;
+  mutable tr_cache : cache_status;
+  mutable tr_passes : pass_trace list;  (* reverse execution order *)
+  tr_probe : probe option;
+  tr_on_after : (string -> L.stmt -> unit) option;
+}
+
+let make_tracer ?probe ?on_after ?(name = "<stmt>") () =
+  { tr_fn = name; tr_start = B.Clock.now_ms (); tr_cache = Bypass;
+    tr_passes = []; tr_probe = probe; tr_on_after = on_after }
+
+let trace_of tr =
+  { t_fn = tr.tr_fn; t_cache = tr.tr_cache;
+    t_total_ms = B.Clock.now_ms () -. tr.tr_start;
+    t_passes = List.rev tr.tr_passes }
+
+(* ---------- differential verification ---------- *)
+
+let bits_equal (a : float array) (b : float array) =
+  Array.length a = Array.length b
+  && (try
+        Array.iteri
+          (fun i x ->
+            if Int64.bits_of_float x <> Int64.bits_of_float b.(i) then
+              raise Exit)
+          a;
+        true
+      with Exit -> false)
+
+let probe_run (p : probe) (s : L.stmt) =
+  let interp = B.Interp.create ~params:p.probe_params () in
+  List.iter
+    (fun (name, dims, mem) ->
+      B.Interp.add_buffer interp (B.Buffers.create ~mem name dims))
+    p.probe_extents;
+  List.iter
+    (fun (name, fill) -> B.Buffers.fill (B.Interp.buffer interp name) fill)
+    p.probe_fills;
+  B.Interp.run interp s;
+  List.map (fun name -> (B.Interp.buffer interp name).B.Buffers.data)
+    p.probe_outputs
+
+(* Interp the probe on [before] and [after]; outputs must match bitwise.
+   If the *reference* run on [before] fails (construct outside the probe's
+   reach), the probe can't judge the pass: Skipped.  If only the [after]
+   run fails, the pass broke the program: Mismatch. *)
+let differential_verify p ~before ~after =
+  match probe_run p before with
+  | exception _ -> Skipped
+  | ref_out -> (
+      match probe_run p after with
+      | exception e ->
+          Mismatch ("transformed program failed: " ^ Printexc.to_string e)
+      | out ->
+          let bad = ref None in
+          List.iteri
+            (fun i name ->
+              if !bad = None && not (bits_equal (List.nth ref_out i) (List.nth out i))
+              then bad := Some name)
+            p.probe_outputs;
+          (match !bad with
+           | None -> Verified
+           | Some name -> Mismatch ("buffer " ^ name ^ " differs bitwise")))
+
+(* ---------- the pass runner ---------- *)
+
+let record tr pt =
+  tr.tr_passes <- pt :: tr.tr_passes
+
+(** Run one statement→statement pass: time it, wrap its errors, diff the
+    loop metadata, optionally verify semantics on the probe, and fire the
+    dump hook.  A verification mismatch is itself a pipeline {!Error} on
+    the failing pass. *)
+let stmt_pass ?tracer ~name ~context ?(verifiable = false) f (s : L.stmt) =
+  match tracer with
+  | None -> guard ~stage:name ~context f s
+  | Some tr ->
+      let before = L.analyze_loops s in
+      let t0 = B.Clock.now_ms () in
+      let s' = guard ~stage:name ~context f s in
+      let ms = B.Clock.now_ms () -. t0 in
+      let verify =
+        match tr.tr_probe with
+        | Some p when verifiable -> differential_verify p ~before:s ~after:s'
+        | _ -> Skipped
+      in
+      record tr
+        { p_name = name; p_ms = ms; p_before = Some before;
+          p_after = Some (L.analyze_loops s'); p_verify = verify };
+      (match tr.tr_on_after with Some h -> h name s' | None -> ());
+      (match verify with
+       | Mismatch m ->
+           raise (Error { err_stage = name; err_context = context;
+                          err_msg = "differential verify failed: " ^ m })
+       | Verified | Skipped -> ());
+      s'
+
+(* A pass whose input is not a statement (the Layer-IV expansion); only
+   the output metadata is recorded. *)
+let front_pass ?tracer ~name ~context f x =
+  match tracer with
+  | None -> guard ~stage:name ~context f x
+  | Some tr ->
+      let t0 = B.Clock.now_ms () in
+      let s = guard ~stage:name ~context f x in
+      let ms = B.Clock.now_ms () -. t0 in
+      record tr
+        { p_name = name; p_ms = ms; p_before = None;
+          p_after = Some (L.analyze_loops s); p_verify = Skipped };
+      (match tr.tr_on_after with Some h -> h name s | None -> ());
+      s
+
+(* ---------- the staged path ---------- *)
+
+type knobs = {
+  parallel : B.Exec.par_strategy;
+  specialize : bool;
+  narrow : bool;
+}
+
+let default_knobs = { parallel = `Pool; specialize = true; narrow = true }
+
+(** Layer IV → loop IR, as three traced passes: [lower] (scheduled-domain
+    AST generation), [legalize] (vector/unroll legality rewrites, the one
+    front-end pass that is semantics-preserving on its own and therefore
+    verifiable), and [alloc-scope] ([allocate_at] placement). *)
+let lower ?tracer (fn : Ir.fn) : Lower.t =
+  let context = "function " ^ fn.Ir.fn_name in
+  let ast = front_pass ?tracer ~name:"lower" ~context Lower.generate_ast fn in
+  let ast =
+    stmt_pass ?tracer ~name:"legalize" ~context ~verifiable:true
+      Passes.legalize ast
+  in
+  let ast =
+    stmt_pass ?tracer ~name:"alloc-scope" ~context (Lower.scope_allocs fn) ast
+  in
+  { Lower.ast; fn }
+
+(** The statement-level optimization passes ([Exec.prepare], staged):
+    interval narrowing under the concrete parameter values, then unroll
+    expansion + simplification.  Both are verifiable. *)
+let prepare ?tracer ?(knobs = default_knobs) ~params (s : L.stmt) =
+  let context = "statement" in
+  let s =
+    if knobs.narrow then
+      stmt_pass ?tracer ~name:"narrow" ~context ~verifiable:true
+        (Passes.narrow ~params) s
+    else s
+  in
+  stmt_pass ?tracer ~name:"simplify" ~context ~verifiable:true
+    (fun s -> L.simplify_stmt (Passes.unroll_expand s))
+    s
+
+(** [prepare] + closure compilation, each stage traced.  Buffers are
+    captured by reference, exactly as with [Exec.compile]. *)
+let compile ?tracer ?(knobs = default_knobs) ~params ~buffers (s : L.stmt) =
+  let s = prepare ?tracer ~knobs ~params s in
+  let do_compile s =
+    B.Exec.compile_prepared ~parallel:knobs.parallel
+      ~specialize:knobs.specialize ~params ~buffers s
+  in
+  match tracer with
+  | None -> guard ~stage:"compile" ~context:"statement" do_compile s
+  | Some tr ->
+      let meta = L.analyze_loops s in
+      let t0 = B.Clock.now_ms () in
+      let exec = guard ~stage:"compile" ~context:"statement" do_compile s in
+      let ms = B.Clock.now_ms () -. t0 in
+      record tr
+        { p_name = "compile"; p_ms = ms; p_before = Some meta;
+          p_after = Some meta; p_verify = Skipped };
+      exec
+
+(* ---------- compile cache ---------- *)
+
+type artifact = {
+  exec : B.Exec.compiled;
+  buffers : B.Buffers.t list;  (** owned by the cache across hits *)
+  cache : cache_status;
+  key_hash : int;              (** structural hash of the source statement *)
+}
+
+(* The key is pure data (no closures): structural equality and the
+   polymorphic hash are both well-defined on it.  The structural hash of
+   the statement stands in for the statement itself; collisions are
+   disambiguated by comparing the stored statement structurally. *)
+type ckey = {
+  k_hash : int;
+  k_params : (string * int) list;  (* sorted by name *)
+  k_parallel : B.Exec.par_strategy;
+  k_specialize : bool;
+  k_narrow : bool;
+  k_extents : (string * int array * L.mem_space) list;
+}
+
+type centry = {
+  ce_stmt : L.stmt;  (* collision guard: must equal the requested stmt *)
+  ce_exec : B.Exec.compiled;
+  ce_buffers : B.Buffers.t list;
+  ce_snapshot : (string * float array) list;  (* initial buffer contents *)
+  ce_fills : (string * (int array -> float)) list;
+}
+
+let cache : (ckey, centry list) Hashtbl.t = Hashtbl.create 64
+let cache_cap = 512
+let cache_entries = ref 0
+let cache_hits = ref 0
+let cache_misses = ref 0
+
+let clear_cache () =
+  Hashtbl.reset cache;
+  cache_entries := 0
+
+type cache_stats = { hits : int; misses : int; entries : int }
+
+let cache_stats () =
+  { hits = !cache_hits; misses = !cache_misses; entries = !cache_entries }
+
+(* Hashing is a full statement traversal; rebuilding the *same* statement
+   value (benchmark reps, fuzz replay of one case, repeated autoscheduler
+   probes) would pay it on every hit.  A tiny physical-equality memo keeps
+   the hit path free of the traversal without affecting the hash's
+   structural semantics. *)
+let hash_memo : (L.stmt * int) list ref = ref []
+let hash_memo_cap = 16
+
+let structural_hash_memo s =
+  match List.find_opt (fun (s', _) -> s' == s) !hash_memo with
+  | Some (_, h) -> h
+  | None ->
+      let h = L.structural_hash s in
+      let kept =
+        if List.length !hash_memo >= hash_memo_cap then
+          List.filteri (fun i _ -> i < hash_memo_cap - 1) !hash_memo
+        else !hash_memo
+      in
+      hash_memo := (s, h) :: kept;
+      h
+
+let make_key ~knobs ~params ~extents hash =
+  { k_hash = hash;
+    k_params = List.sort (fun (a, _) (b, _) -> compare a b) params;
+    k_parallel = knobs.parallel; k_specialize = knobs.specialize;
+    k_narrow = knobs.narrow; k_extents = extents }
+
+let find_buffer buffers name =
+  List.find_opt (fun b -> b.B.Buffers.name = name) buffers
+
+let fill_inputs ~stage buffers inputs =
+  List.iter
+    (fun (name, fill) ->
+      match find_buffer buffers name with
+      | Some b -> B.Buffers.fill b fill
+      | None ->
+          raise (Error { err_stage = stage; err_context = "buffer setup";
+                         err_msg = "unknown input buffer " ^ name }))
+    inputs
+
+(* Restore a cached entry's buffers to the initial state implied by
+   [fills].  When the fill closures are the very same functions the entry
+   was built with (the common case: call sites pass top-level functions),
+   blitting the snapshot back is both exact and allocation-free.
+   Otherwise zero everything and re-fill. *)
+let restore entry fills =
+  let same =
+    List.length fills = List.length entry.ce_fills
+    && List.for_all2
+         (fun (n1, f1) (n2, f2) -> String.equal n1 n2 && f1 == f2)
+         fills entry.ce_fills
+  in
+  if same then
+    List.iter
+      (fun (name, snap) ->
+        match find_buffer entry.ce_buffers name with
+        | Some b -> Array.blit snap 0 b.B.Buffers.data 0 (Array.length snap)
+        | None -> ())
+      entry.ce_snapshot
+  else begin
+    List.iter
+      (fun b ->
+        Array.fill b.B.Buffers.data 0 (Array.length b.B.Buffers.data) 0.)
+      entry.ce_buffers;
+    fill_inputs ~stage:"cache" entry.ce_buffers fills
+  end
+
+(** Compile a statement through the cache.  [extents] declares every
+    buffer the program touches ([(name, dims, mem_space)]); [inputs] are
+    fill functions applied before the snapshot is taken.  On a hit the
+    cached executor is returned with its buffers restored to their
+    initial contents — bit-identical to what a cold build would produce. *)
+let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
+    (s : L.stmt) : artifact =
+  let t0 = B.Clock.now_ms () in
+  let hash = structural_hash_memo s in
+  (match tracer with
+   | Some tr ->
+       record tr
+         { p_name = "hash"; p_ms = B.Clock.now_ms () -. t0;
+           p_before = None; p_after = None; p_verify = Skipped }
+   | None -> ());
+  let key = make_key ~knobs ~params ~extents hash in
+  let bucket = try Hashtbl.find cache key with Not_found -> [] in
+  match List.find_opt (fun e -> e.ce_stmt = s) bucket with
+  | Some entry ->
+      incr cache_hits;
+      restore entry inputs;
+      (match tracer with Some tr -> tr.tr_cache <- Hit | None -> ());
+      { exec = entry.ce_exec; buffers = entry.ce_buffers; cache = Hit;
+        key_hash = hash }
+  | None ->
+      incr cache_misses;
+      let buffers =
+        List.map
+          (fun (name, dims, mem) -> B.Buffers.create ~mem name dims)
+          extents
+      in
+      fill_inputs ~stage:"buffers" buffers inputs;
+      let exec = compile ?tracer ~knobs ~params ~buffers s in
+      let snapshot =
+        List.map
+          (fun b -> (b.B.Buffers.name, Array.copy b.B.Buffers.data))
+          buffers
+      in
+      if !cache_entries >= cache_cap then clear_cache ();
+      Hashtbl.replace cache key
+        ({ ce_stmt = s; ce_exec = exec; ce_buffers = buffers;
+           ce_snapshot = snapshot; ce_fills = inputs }
+         :: bucket);
+      incr cache_entries;
+      (match tracer with Some tr -> tr.tr_cache <- Miss | None -> ());
+      { exec; buffers; cache = Miss; key_hash = hash }
+
+let extents_of_fn fn ~params =
+  List.map
+    (fun ((b : Ir.buffer), dims) -> (b.Ir.buf_name, dims, b.Ir.buf_mem))
+    (Lower.buffer_extents fn ~params)
+
+(** The whole path: [Ir.fn] → lowered statement → cached compiled
+    artifact, with buffer extents derived from the function's buffer
+    declarations. *)
+let build ?tracer ?(knobs = default_knobs) ~fn ~params ~inputs () : artifact =
+  let lowered = lower ?tracer fn in
+  build_stmt ?tracer ~knobs ~params ~extents:(extents_of_fn fn ~params)
+    ~inputs lowered.Lower.ast
+
+(* ---------- trace serialization ---------- *)
+
+let json_of_meta (m : L.loop_meta) =
+  Printf.sprintf
+    {|{ "n_loops": %d, "n_parallel": %d, "n_nested_parallel": %d, "max_depth": %d, "n_specializable": %d }|}
+    m.L.n_loops m.L.n_parallel m.L.n_nested_parallel m.L.max_depth
+    m.L.n_specializable
+
+let json_of_verdict = function
+  | Verified -> {|"verified"|}
+  | Skipped -> {|"skipped"|}
+  | Mismatch m -> Printf.sprintf "%S" ("mismatch: " ^ m)
+
+let string_of_cache_status = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Bypass -> "bypass"
+
+let json_of_pass p =
+  let opt_meta = function
+    | None -> "null"
+    | Some m -> json_of_meta m
+  in
+  Printf.sprintf
+    {|      { "pass": %S, "ms": %.4f, "verify": %s, "before": %s, "after": %s }|}
+    p.p_name p.p_ms (json_of_verdict p.p_verify) (opt_meta p.p_before)
+    (opt_meta p.p_after)
+
+let json_of_trace t =
+  Printf.sprintf
+    "  { \"fn\": %S, \"cache\": \"%s\", \"total_ms\": %.4f,\n    \"passes\": [\n%s\n    ] }"
+    t.t_fn
+    (string_of_cache_status t.t_cache)
+    t.t_total_ms
+    (String.concat ",\n" (List.map json_of_pass t.t_passes))
+
+let write_traces path traces =
+  let oc = open_out path in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" (List.map json_of_trace traces));
+  output_string oc "\n]\n";
+  close_out oc
+
+let print_trace ppf t =
+  Fmt.pf ppf "%s: cache %s, %.3f ms total@." t.t_fn
+    (string_of_cache_status t.t_cache)
+    t.t_total_ms;
+  List.iter
+    (fun p ->
+      let delta =
+        match (p.p_before, p.p_after) with
+        | Some b, Some a when b <> a ->
+            Printf.sprintf " loops %d->%d depth %d->%d" b.L.n_loops
+              a.L.n_loops b.L.max_depth a.L.max_depth
+        | _ -> ""
+      in
+      let verify =
+        match p.p_verify with
+        | Verified -> " [verified]"
+        | Mismatch m -> " [MISMATCH: " ^ m ^ "]"
+        | Skipped -> ""
+      in
+      Fmt.pf ppf "  %-12s %8.4f ms%s%s@." p.p_name p.p_ms delta verify)
+    t.t_passes

@@ -81,7 +81,7 @@ let input_data (i, j, ch) =
 
 let run_fn f =
   let params = [ ("N", n); ("M", m) ] in
-  let lowered = Lower.lower f in
+  let lowered = Tiramisu_pipeline.Pipeline.lower f in
   let interp = B.Interp.create ~params () in
   List.iter
     (fun (b, dims) ->

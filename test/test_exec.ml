@@ -94,7 +94,7 @@ let tests =
         ignore (thunk ());
         let interp_t = B.Clock.now_s () -. t0 in
         let f2, _, _ = Linalg.sgemm () in
-        let lowered = Tiramisu_core.Lower.lower f2 in
+        let lowered = Tiramisu_pipeline.Pipeline.lower f2 in
         let buffers =
           List.map
             (fun ((b : Tiramisu_core.Ir.buffer), dims) ->

@@ -61,7 +61,7 @@ let tests =
           (Astring.String.is_prefix ~affix:"for (t0" code));
     Alcotest.test_case "C emission compiles the blur shape" `Quick (fun () ->
         let f, _, _ = Tiramisu_kernels.Image.blur () in
-        let lowered = Lower.lower f in
+        let lowered = Tiramisu_pipeline.Pipeline.lower f in
         let buffers =
           List.map
             (fun ((b : Ir.buffer), dims) -> (b.Ir.buf_name, dims))
@@ -85,7 +85,7 @@ let tests =
       (fun () ->
         let f, _, _ = Tiramisu_kernels.Image.blur () in
         Tiramisu_kernels.Schedules.cpu_blur f;
-        let lowered = Lower.lower f in
+        let lowered = Tiramisu_pipeline.Pipeline.lower f in
         let c =
           C.C_emit.emit_function ~name:"blur" ~params:[ "N"; "M" ]
             ~buffers:[] lowered.Lower.ast
@@ -102,7 +102,7 @@ let tests =
             (fun (name, build, sched) ->
               let f : Ir.fn = build () in
               sched f;
-              let lowered = Lower.lower f in
+              let lowered = Tiramisu_pipeline.Pipeline.lower f in
               let buffers =
                 List.map
                   (fun ((b : Ir.buffer), dims) -> (b.Ir.buf_name, dims))

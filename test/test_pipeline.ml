@@ -1,0 +1,282 @@
+(* The compilation pipeline: structural hashing, the compile cache, and
+   the typed pass errors.
+
+   The hash must be alpha-invariant (loop variables are bound names; the
+   de Bruijn numbering makes their spelling irrelevant) but sensitive to
+   any real rewrite: a narrow or simplify transformation that changes the
+   statement must change the hash, otherwise the compile cache would serve
+   stale artifacts across optimization levels.  The cache itself must hand
+   back bit-identical buffers on a hit and miss on any knob change. *)
+
+open Tiramisu_codegen
+module L = Loop_ir
+module B = Tiramisu_backends
+module P = Tiramisu_pipeline.Pipeline
+
+(* ---------- alpha-renaming ---------- *)
+
+(* Rename every loop variable by suffixing [sfx]; bound occurrences are
+   rewritten through [Passes.subst_var], so the result is alpha-equivalent
+   to the input (generated nests use distinct variable names). *)
+let rec rename_loops sfx (s : L.stmt) : L.stmt =
+  match s with
+  | L.For { var; lo; hi; tag; body } ->
+      let body = rename_loops sfx body in
+      let v' = var ^ sfx in
+      L.For
+        { var = v'; lo; hi; tag; body = Passes.subst_var var (L.Var v') body }
+  | L.Block l -> L.Block (List.map (rename_loops sfx) l)
+  | L.If (c, a, b) ->
+      L.If (c, rename_loops sfx a, Option.map (rename_loops sfx) b)
+  | L.Alloc { buf; dtype; dims; mem; body } ->
+      L.Alloc { buf; dtype; dims; mem; body = rename_loops sfx body }
+  | s -> s
+
+(* ---------- random loop nests ---------- *)
+
+(* Two-to-three-deep nests with parameter-dependent bounds, so narrow has
+   something to rewrite, plus arithmetic rich enough for simplify. *)
+let nest_gen =
+  QCheck.Gen.(
+    let* hi1 = int_range 3 7 in
+    let* d2_param = bool in
+    let* hi2 = int_range 2 5 in
+    let* tag = oneofl [ L.Seq; L.Parallel; L.Unrolled ] in
+    let* deep = bool in
+    let hi2e = if d2_param then L.Var "N" else L.Int hi2 in
+    let store =
+      L.Store
+        ( "out",
+          [ L.Var "i"; L.Var "j" ],
+          L.(
+            Bin
+              ( Add,
+                Bin (Mul, Var "i", Int 1),
+                Bin (Add, Var "j", Bin (Mul, Int 0, Var "N")) )) )
+    in
+    let inner =
+      if deep then
+        L.For
+          { var = "k"; lo = L.Int 0; hi = L.Bin (L.MinOp, L.Var "N", L.Int 3);
+            tag = L.Seq; body = store }
+      else store
+    in
+    return
+      (L.For
+         {
+           var = "i"; lo = L.Int 0; hi = L.Int hi1; tag = L.Seq;
+           body = L.For { var = "j"; lo = L.Int 0; hi = hi2e; tag; body = inner };
+         }))
+
+let params = [ ("N", 6) ]
+
+let prop_alpha_hash =
+  QCheck.Test.make ~count:300
+    ~name:"alpha-equivalent loop renames hash equal"
+    (QCheck.make nest_gen)
+    (fun nest ->
+      L.structural_hash nest = L.structural_hash (rename_loops "_r" nest))
+
+let prop_rename_is_not_identity =
+  QCheck.Test.make ~count:100
+    ~name:"renamed nests are structurally different (hash is not name-blind)"
+    (QCheck.make nest_gen)
+    (fun nest ->
+      (* sanity: the equal hashes above are not because rename was a no-op *)
+      rename_loops "_r" nest <> nest)
+
+let prop_narrow_hash =
+  QCheck.Test.make ~count:300
+    ~name:"a narrow rewrite changes the hash"
+    (QCheck.make nest_gen)
+    (fun nest ->
+      let narrowed = Passes.narrow ~params nest in
+      narrowed = nest || L.structural_hash narrowed <> L.structural_hash nest)
+
+let prop_simplify_hash =
+  QCheck.Test.make ~count:300
+    ~name:"a simplify rewrite changes the hash"
+    (QCheck.make nest_gen)
+    (fun nest ->
+      let simplified = L.simplify_stmt nest in
+      simplified = nest
+      || L.structural_hash simplified <> L.structural_hash nest)
+
+(* Free names (parameters, buffers) are hashed by spelling: renaming a
+   *free* variable must change the hash, unlike renaming a bound one. *)
+let free_name_sensitivity () =
+  let nest var =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Var var; tag = L.Seq;
+        body = L.Store ("out", [ L.Var "i" ], L.Var "i") }
+  in
+  Alcotest.(check bool)
+    "free N vs M" false
+    (L.structural_hash (nest "N") = L.structural_hash (nest "M"))
+
+(* ---------- the compile cache ---------- *)
+
+let blur_fn () =
+  let f, _, _ = Tiramisu_kernels.Image.blur () in
+  Tiramisu_kernels.Schedules.cpu_blur f;
+  f
+
+let img3 (idx : int array) =
+  float_of_int (((idx.(0) * 13) + (idx.(1) * 7) + (idx.(2) * 3)) mod 31) /. 7.0
+
+let blur_params = [ ("N", 16); ("M", 12) ]
+let blur_inputs = [ ("img", img3) ]
+
+let build ?knobs () =
+  Tiramisu_kernels.Runner.build_native
+    ?tracer:None ~fn:(blur_fn ()) ~params:blur_params ~inputs:blur_inputs
+    ?parallel:(Option.map (fun k -> k.P.parallel) knobs)
+    ()
+
+let cache_hit_bit_identical () =
+  P.clear_cache ();
+  let a = build () in
+  Alcotest.(check bool) "cold is a miss" true (a.P.cache = P.Miss);
+  B.Exec.run a.P.exec;
+  let out_cold =
+    Array.copy (B.Exec.buffer a.P.exec "by").B.Buffers.data
+  in
+  let b = build () in
+  Alcotest.(check bool) "rebuild is a hit" true (b.P.cache = P.Hit);
+  Alcotest.(check bool) "same hash" true (a.P.key_hash = b.P.key_hash);
+  (* the hit restored the input buffers to their filled state... *)
+  let img = B.Exec.buffer b.P.exec "img" in
+  Alcotest.(check bool) "input restored" true
+    (Array.for_all
+       (fun ok -> ok)
+       (Array.mapi
+          (fun flat v ->
+            let dims = img.B.Buffers.dims in
+            let k = flat mod dims.(2) in
+            let j = flat / dims.(2) mod dims.(1) in
+            let i = flat / (dims.(2) * dims.(1)) in
+            Int64.bits_of_float v = Int64.bits_of_float (img3 [| i; j; k |]))
+          img.B.Buffers.data));
+  (* ...so re-running computes bit-identical outputs. *)
+  B.Exec.run b.P.exec;
+  let out_warm = (B.Exec.buffer b.P.exec "by").B.Buffers.data in
+  Alcotest.(check bool) "outputs bit-identical" true
+    (Array.length out_cold = Array.length out_warm
+    && Array.for_all
+         (fun ok -> ok)
+         (Array.mapi
+            (fun i v ->
+              Int64.bits_of_float v = Int64.bits_of_float out_warm.(i))
+            out_cold))
+
+let knob_change_misses () =
+  P.clear_cache ();
+  let fn = blur_fn () in
+  let lowered = P.lower fn in
+  let extents = P.extents_of_fn fn ~params:blur_params in
+  let build knobs =
+    P.build_stmt ~knobs ~params:blur_params ~extents ~inputs:blur_inputs
+      lowered.Tiramisu_core.Lower.ast
+  in
+  let a = build P.default_knobs in
+  Alcotest.(check bool) "cold miss" true (a.P.cache = P.Miss);
+  Alcotest.(check bool) "same knobs hit" true
+    ((build P.default_knobs).P.cache = P.Hit);
+  Alcotest.(check bool) "narrow knob misses" true
+    ((build { P.default_knobs with P.narrow = false }).P.cache = P.Miss);
+  Alcotest.(check bool) "specialize knob misses" true
+    ((build { P.default_knobs with P.specialize = false }).P.cache = P.Miss);
+  Alcotest.(check bool) "parallel knob misses" true
+    ((build { P.default_knobs with P.parallel = `Seq }).P.cache = P.Miss);
+  (* every variant is now cached independently *)
+  Alcotest.(check bool) "variant hits after warmup" true
+    ((build { P.default_knobs with P.narrow = false }).P.cache = P.Hit);
+  let params_changed =
+    P.build_stmt ~knobs:P.default_knobs
+      ~params:[ ("N", 16); ("M", 14) ]
+      ~extents ~inputs:blur_inputs lowered.Tiramisu_core.Lower.ast
+  in
+  Alcotest.(check bool) "param change misses" true
+    (params_changed.P.cache = P.Miss)
+
+(* ---------- typed pass errors ---------- *)
+
+let error_names_stage () =
+  (* scoped Alloc is the executor's documented unsupported construct *)
+  let s =
+    L.Alloc
+      { buf = "tmp"; dtype = L.F32; dims = [ L.Int 4 ]; mem = L.Host;
+        body = L.Store ("tmp", [ L.Int 0 ], L.Int 1) }
+  in
+  match
+    P.compile ~params:[] ~buffers:[ B.Buffers.create "tmp" [| 4 |] ] s
+  with
+  | _ -> Alcotest.fail "expected Pipeline.Error"
+  | exception P.Error e ->
+      Alcotest.(check string) "failing stage" "compile" e.P.err_stage;
+      Alcotest.(check bool) "message mentions Alloc" true
+        (Astring.String.is_infix ~affix:"Alloc" e.P.err_msg)
+
+let verify_catches_broken_pass () =
+  (* A differential probe must flag a pass that changes semantics: feed a
+     "pass" that rewrites the stored value and watch the tracer object. *)
+  let s =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 3; tag = L.Seq;
+        body = L.Store ("out", [ L.Var "i" ], L.Var "i") }
+  in
+  let probe =
+    { P.probe_params = []; P.probe_extents = [ ("out", [| 4 |], L.Host) ];
+      P.probe_fills = []; P.probe_outputs = [ "out" ] }
+  in
+  let tracer = P.make_tracer ~probe () in
+  let broken _ =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 3; tag = L.Seq;
+        body = L.Store ("out", [ L.Var "i" ], L.Int 7) }
+  in
+  (match
+     P.stmt_pass ~tracer ~name:"broken" ~context:"test" ~verifiable:true
+       broken s
+   with
+  | _ -> Alcotest.fail "expected a verify mismatch"
+  | exception P.Error e ->
+      Alcotest.(check string) "stage" "broken" e.P.err_stage);
+  (* and a semantics-preserving pass verifies cleanly *)
+  let ok =
+    P.stmt_pass ~tracer ~name:"id" ~context:"test" ~verifiable:true
+      (fun s -> s) s
+  in
+  Alcotest.(check bool) "identity verified" true (ok = s);
+  let t = P.trace_of tracer in
+  Alcotest.(check bool) "trace recorded both passes" true
+    (List.length t.P.t_passes = 2);
+  Alcotest.(check bool) "identity pass verdict" true
+    (match (List.nth t.P.t_passes 1).P.p_verify with
+    | P.Verified -> true
+    | _ -> false)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "structural-hash",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_alpha_hash; prop_rename_is_not_identity; prop_narrow_hash;
+            prop_simplify_hash ]
+        @ [ Alcotest.test_case "free names hash by spelling" `Quick
+              free_name_sensitivity ] );
+      ( "compile-cache",
+        [
+          Alcotest.test_case "hit returns bit-identical buffers" `Quick
+            cache_hit_bit_identical;
+          Alcotest.test_case "knob or param change misses" `Quick
+            knob_change_misses;
+        ] );
+      ( "pass-manager",
+        [
+          Alcotest.test_case "typed error names the failing stage" `Quick
+            error_names_stage;
+          Alcotest.test_case "differential verify flags a broken pass" `Quick
+            verify_catches_broken_pass;
+        ] );
+    ]
