@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench fuzz check pipeline-smoke clean
+.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke clean
 
 all: build
 
@@ -27,16 +27,24 @@ fuzz:
 pipeline-smoke:
 	dune exec bench/main.exe -- pipeline-smoke
 
+# Perf regression gate: on the smoke kernels, pool execution (with the
+# parallel planner on) must stay within 1.1x of sequential by min-over-reps
+# — i.e. planning must never make things worse, whatever the core count of
+# the machine running the gate.
+bench-smoke:
+	dune exec bench/main.exe -- bench-smoke
+
 # The pre-commit gate: tier-1 (build + tests) plus a 1-rep smoke run of the
 # exec-strategy bench, which exercises the kernel specializer, the domain
 # pool and the demotion heuristic end-to-end without touching BENCH_exec.json,
-# the pipeline/compile-cache smoke gate, plus the 500-case differential fuzz
-# sweep.
+# the pipeline/compile-cache smoke gate, the pool-vs-seq perf gate, plus the
+# 500-case differential fuzz sweep.
 check:
 	dune build
 	dune runtest
 	dune exec bench/main.exe -- exec-smoke
 	$(MAKE) pipeline-smoke
+	$(MAKE) bench-smoke
 	$(MAKE) fuzz
 
 clean:

@@ -25,6 +25,7 @@ open Tiramisu
 module B = Tiramisu_backends
 module L = Tiramisu_codegen.Loop_ir
 module P = Tiramisu_pipeline.Pipeline
+module Plan = Tiramisu_codegen.Parallel_plan
 
 (* The container may expose a single core; force a real pool so the
    strategies differ (TIRAMISU_NUM_DOMAINS still wins if set). *)
@@ -33,6 +34,17 @@ let workers () =
   | Some _ -> ()
   | None -> B.Pool.set_num_workers 4);
   B.Pool.num_workers ()
+
+(* Let the parallel planner budget for the full pool even when the OS
+   grants this process fewer cores: the multi-worker plans (coalescing,
+   static ranges) are then exercised and measured honestly — wall-clock
+   numbers still reflect the machine actually underneath.  The
+   TIRAMISU_ASSUME_CORES override changes planning only, never timing. *)
+let assume_cores () =
+  (match Sys.getenv_opt "TIRAMISU_ASSUME_CORES" with
+  | Some _ -> ()
+  | None -> Unix.putenv "TIRAMISU_ASSUME_CORES" "4");
+  int_of_string (Sys.getenv "TIRAMISU_ASSUME_CORES")
 
 let img3 (idx : int array) =
   float_of_int (((idx.(0) * 13) + (idx.(1) * 7) + (idx.(2) * 3)) mod 31) /. 7.0
@@ -119,10 +131,15 @@ type row = {
   r_meta : L.loop_meta;
   r_spec : int;       (* innermost loops compiled specialized *)
   r_fallback : int;   (* Parallel loops demoted under `Pool *)
+  r_coalesced : int;      (* fused parallel groups emitted by the planner *)
+  r_fused_levels : int;   (* original loops folded into those groups *)
+  r_serialized : int;     (* Parallel subtrees the planner serialized *)
+  r_static : int;         (* pool loops given the static schedule *)
   r_interp_ms : float;
   r_seq : stats;
   r_spawn : stats;
   r_pool : stats;
+  r_sweep : (int * stats) list;  (* pool stats at 1/2/4 workers *)
   r_cold_ms : float;  (* median cold compile of the lowered stmt *)
   r_hit_ms : float;   (* median warm-cache rebuild of the same stmt *)
 }
@@ -182,21 +199,42 @@ let trace_case case =
   P.trace_of tracer
 
 (* Per-rep wall-clock samples of Exec.run (one warmup run, which also
-   surfaces any bounds failure before we start timing). *)
+   surfaces any bounds failure before we start timing).  Returns the whole
+   pipeline artifact so callers can read the planner report alongside the
+   executor counters. *)
 let time_exec ~reps case strategy =
   let fn = case.c_build () in
   case.c_sched fn;
-  let c =
-    Runner.prepare_native ~parallel:strategy ~fn ~params:case.c_params
+  let art =
+    Runner.build_native ~parallel:strategy ~fn ~params:case.c_params
       ~inputs:case.c_inputs ()
   in
+  let c = art.P.exec in
   B.Exec.run c;
   let samples =
     Array.init reps (fun _ ->
         let (), ms = Common.time_ms (fun () -> B.Exec.run c) in
         ms)
   in
-  (c, stats_of samples)
+  (art, stats_of samples)
+
+(* The scaling sweep: the same kernel, pool strategy, at 1/2/4 workers.
+   The compile-cache key includes the pool environment, so each size gets
+   its own honestly planned compile (at 1 worker the planner serializes
+   everything and the sweep's base point is the sequential code). *)
+let sweep_points = [ 1; 2; 4 ]
+
+let sweep_workers ~reps case =
+  let saved = B.Pool.num_workers () in
+  Fun.protect
+    ~finally:(fun () -> B.Pool.set_num_workers saved)
+    (fun () ->
+      List.map
+        (fun w ->
+          B.Pool.set_num_workers w;
+          let _, st = time_exec ~reps case `Pool in
+          (w, st))
+        sweep_points)
 
 (* The specialization/demotion counters are snapshotted per compile (atomic
    during compilation, frozen in the compiled value): recompiling the same
@@ -225,40 +263,67 @@ let bench_case ~reps case =
     Common.time_ms (fun () ->
         Runner.run ~fn ~params:case.c_params ~inputs:case.c_inputs)
   in
-  let c, seq = time_exec ~reps case `Seq in
+  let a, seq = time_exec ~reps case `Seq in
   let _, spawn = time_exec ~reps case `Spawn in
-  let cp, pool = time_exec ~reps case `Pool in
+  let ap, pool = time_exec ~reps case `Pool in
+  let sweep = sweep_workers ~reps case in
   let cold_ms, hit_ms = cache_bench case in
+  let plan = ap.P.plan_report in
   {
     r_case = case;
-    r_meta = B.Exec.meta c;
-    r_spec = B.Exec.spec_count c;
-    r_fallback = B.Exec.pool_fallbacks cp;
+    r_meta = B.Exec.meta a.P.exec;
+    r_spec = B.Exec.spec_count a.P.exec;
+    r_fallback = B.Exec.pool_fallbacks ap.P.exec;
+    r_coalesced = plan.Plan.r_coalesced;
+    r_fused_levels = plan.Plan.r_fused_levels;
+    r_serialized = plan.Plan.r_serialized;
+    r_static = B.Exec.static_count ap.P.exec;
     r_interp_ms = interp_ms;
     r_seq = seq;
     r_spawn = spawn;
     r_pool = pool;
+    r_sweep = sweep;
     r_cold_ms = cold_ms;
     r_hit_ms = hit_ms;
   }
 
 let json_of_row ~reps r =
   let m = r.r_meta in
+  let sweep_json =
+    String.concat ", "
+      (List.map
+         (fun (w, st) ->
+           Printf.sprintf
+             {|{ "workers": %d, "median_ms": %.4f, "min_ms": %.4f }|} w
+             st.s_median st.s_min)
+         r.r_sweep)
+  in
+  let scaling =
+    (* parallel efficiency at the sweep's widest point: (t_1 / t_w) / w *)
+    match (List.assoc_opt 1 r.r_sweep, List.rev r.r_sweep) with
+    | Some one, (w, wide) :: _ when w > 1 ->
+        one.s_median /. wide.s_median /. float_of_int w
+    | _ -> 1.0
+  in
   Printf.sprintf
     {|    { "kernel": "%s", "size": "%s", "reps": %d,
       "loop_meta": { "n_loops": %d, "n_parallel": %d, "n_nested_parallel": %d, "max_depth": %d, "n_specializable": %d },
       "specialized": %d, "pool_fallbacks": %d,
+      "coalesced": %d, "fused_levels": %d, "plan_serialized": %d, "static_sched": %d,
       "interp_ms": %.4f,
       "exec_seq_ms": %.4f, "exec_seq_median_ms": %.4f, "exec_seq_min_ms": %.4f,
       "exec_spawn_ms": %.4f, "exec_spawn_median_ms": %.4f, "exec_spawn_min_ms": %.4f,
       "exec_pool_ms": %.4f, "exec_pool_median_ms": %.4f, "exec_pool_min_ms": %.4f,
+      "workers_sweep": [ %s ],
+      "scaling_efficiency": %.3f,
       "compile_cold_ms": %.4f, "cache_hit_ms": %.4f, "cache_speedup": %.1f,
       "speedup_exec_vs_interp": %.2f, "speedup_pool_vs_spawn": %.2f, "speedup_pool_vs_seq": %.2f }|}
     r.r_case.c_name r.r_case.c_size reps m.L.n_loops m.L.n_parallel
     m.L.n_nested_parallel m.L.max_depth m.L.n_specializable r.r_spec
-    r.r_fallback r.r_interp_ms r.r_seq.s_mean r.r_seq.s_median r.r_seq.s_min
+    r.r_fallback r.r_coalesced r.r_fused_levels r.r_serialized r.r_static
+    r.r_interp_ms r.r_seq.s_mean r.r_seq.s_median r.r_seq.s_min
     r.r_spawn.s_mean r.r_spawn.s_median r.r_spawn.s_min r.r_pool.s_mean
-    r.r_pool.s_median r.r_pool.s_min r.r_cold_ms r.r_hit_ms
+    r.r_pool.s_median r.r_pool.s_min sweep_json scaling r.r_cold_ms r.r_hit_ms
     (r.r_cold_ms /. r.r_hit_ms)
     (r.r_interp_ms /. r.r_seq.s_median)
     (r.r_spawn.s_median /. r.r_pool.s_median)
@@ -267,21 +332,30 @@ let json_of_row ~reps r =
 let run ?(smoke = false) () =
   let reps = if smoke then 1 else 15 in
   let w = workers () in
+  let assumed = assume_cores () in
   let min_work = B.Pool.min_work () in
-  Common.pf "\nExec strategies (workers=%d, reps=%d, pool_min_work=%d%s)\n" w
-    reps min_work
+  Common.pf
+    "\nExec strategies (workers=%d, assumed_cores=%d, reps=%d, \
+     pool_min_work=%d%s)\n"
+    w assumed reps min_work
     (if smoke then ", smoke" else "");
-  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %12s %10s\n" "kernel" "size"
-    "interp ms" "seq ms" "spawn ms" "pool ms" "spec" "pool/spawn" "hit ms";
+  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %5s %5s %12s %10s\n" "kernel"
+    "size" "interp ms" "seq ms" "spawn ms" "pool ms" "spec" "coal" "stat"
+    "pool/spawn" "hit ms";
   let rows = List.map (bench_case ~reps) (cases ~smoke) in
   List.iter
     (fun r ->
       Common.pf
-        "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %11.2fx %10.4f\n"
+        "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %5d %5d %11.2fx %10.4f\n"
         r.r_case.c_name r.r_case.c_size r.r_interp_ms r.r_seq.s_median
-        r.r_spawn.s_median r.r_pool.s_median r.r_spec
+        r.r_spawn.s_median r.r_pool.s_median r.r_spec r.r_coalesced r.r_static
         (r.r_spawn.s_median /. r.r_pool.s_median)
-        r.r_hit_ms)
+        r.r_hit_ms;
+      Common.pf "%-22s   workers sweep:%s\n" ""
+        (String.concat ""
+           (List.map
+              (fun (w, st) -> Printf.sprintf "  %dw %.3f ms" w st.s_median)
+              r.r_sweep)))
     rows;
   if smoke then Common.pf "smoke mode: BENCH_exec.json left untouched\n"
   else begin
@@ -290,12 +364,13 @@ let run ?(smoke = false) () =
       "{\n\
       \  \"bench\": \"exec\",\n\
       \  \"workers\": %d,\n\
+      \  \"assumed_cores\": %d,\n\
       \  \"pool_min_work\": %d,\n\
       \  \"kernels\": [\n\
        %s\n\
       \  ]\n\
        }\n"
-      w min_work
+      w assumed min_work
       (String.concat ",\n" (List.map (json_of_row ~reps) rows));
     close_out oc;
     Common.pf "wrote BENCH_exec.json\n";
@@ -305,3 +380,31 @@ let run ?(smoke = false) () =
       (List.map trace_case (cases ~smoke));
     Common.pf "wrote BENCH_pass_trace.json\n"
   end
+
+(* The `make bench-smoke` gate: on the smoke kernels the pool strategy
+   must never lose more than 10% (plus a 50µs noise floor) to sequential
+   execution, by min-over-reps.  On a single-CPU machine this holds
+   because the planner serializes every pool loop (effective parallelism
+   is 1); on a real multicore it holds because the pool wins outright.
+   No TIRAMISU_ASSUME_CORES here — the point is exactly that planning for
+   cores the OS does not grant must not be forced on users. *)
+let smoke_gate () =
+  ignore (workers ());
+  let reps = 10 in
+  let failures = ref [] in
+  List.iter
+    (fun case ->
+      let _, seq = time_exec ~reps case `Seq in
+      let _, pool = time_exec ~reps case `Pool in
+      Common.pf "bench-smoke %-22s seq %8.3f ms   pool %8.3f ms   (%.2fx)\n"
+        case.c_name seq.s_min pool.s_min
+        (pool.s_min /. seq.s_min);
+      if pool.s_min > (1.1 *. seq.s_min) +. 0.05 then
+        failures := case.c_name :: !failures)
+    (cases ~smoke:true);
+  match !failures with
+  | [] -> Common.pf "bench-smoke: pool within 1.1x of seq on every kernel\n"
+  | fs ->
+      Common.pf "bench-smoke FAILED: pool slower than 1.1x seq on: %s\n"
+        (String.concat ", " (List.rev fs));
+      exit 1

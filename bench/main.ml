@@ -21,6 +21,7 @@ let () =
       | "micro" -> Micro.run ()
       | "exec" -> Exec_bench.run ()
       | "exec-smoke" -> Exec_bench.run ~smoke:true ()
+      | "bench-smoke" -> Exec_bench.smoke_gate ()
       | "pipeline-smoke" -> Pipeline_smoke.run ()
       | other ->
           Printf.eprintf "unknown benchmark %s (available: %s)\n" other

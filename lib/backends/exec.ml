@@ -22,6 +22,7 @@ module L = Loop_ir
      guarded edges of partial tiles), fall back to the per-access check. *)
 
 type par_strategy = [ `Pool | `Spawn | `Seq ]
+type schedule = [ `Auto | `Static | `Dynamic ]
 
 type compiled = {
   body : int array -> unit;
@@ -30,6 +31,7 @@ type compiled = {
   cmeta : L.loop_meta;
   c_spec : int;                  (* innermost loops compiled specialized *)
   c_fallback : int;              (* Parallel loops demoted by the work bound *)
+  c_static : int;                (* pool loops given the static schedule *)
 }
 
 type ctx = {
@@ -39,7 +41,11 @@ type ctx = {
   channels : (int * int, float array Queue.t) Hashtbl.t;
   chan_mutex : Mutex.t;
   rank_slot : int;
+  worker_slot : int;                 (* register holding the worker index *)
   par_mode : par_strategy;
+  sched : [ `Auto | `Static | `Dynamic ];
+    (* pool schedule: static per-worker ranges vs dynamic chunking *)
+  demote : bool;                     (* work-size demotion heuristic on/off *)
   (* compile-time state of the addressing-optimisation pass *)
   pending : (string, (int array -> int -> int -> bool) list ref) Hashtbl.t;
     (* per loop-var corner checks collected while compiling its body *)
@@ -52,6 +58,7 @@ type ctx = {
   spec_enabled : bool;               (* kernel specializer on/off *)
   n_spec : int Atomic.t;             (* specialized innermost loops *)
   n_fallback : int Atomic.t;         (* Parallel loops demoted to Seq *)
+  n_static : int Atomic.t;           (* pool loops compiled static *)
 }
 
 let slot ctx name =
@@ -753,14 +760,22 @@ let attempt_specialize ctx ~var ~tag (body : L.stmt) :
         let hoists = Array.of_list !hoists in
         let promos = Array.of_list !promos in
         let npv = max 1 !n_pv in
-        (* Scratch state is per-domain: an innermost loop never re-enters
-           itself on one domain (no recursion), so each domain can reuse
-           one record across entries — no per-entry allocation, and pool
-           chunks on different domains never share cursors. *)
-        let st_key =
-          Domain.DLS.new_key (fun () ->
-              { scur = Array.make nacc 0; spv = Array.make npv 0.0; siv = 0 })
+        (* Scratch state is per-worker, indexed by the [__worker] register
+           the parallel drivers set for each range/chunk: one array lookup
+           per loop entry instead of a DLS search, one record per worker for
+           the life of the compiled object (no per-entry allocation).
+           Concurrent executors always carry distinct worker indices —
+           static ranges by construction, dynamic chunks and spawned domains
+           per executing domain — so cursors are never shared.  The DLS
+           record is the safety net for indices beyond the compile-time pool
+           size (the pool was grown after compilation). *)
+        let fresh_state () =
+          { scur = Array.make nacc 0; spv = Array.make npv 0.0; siv = 0 }
         in
+        let nstates = max 2 (Pool.num_workers () + 1) in
+        let states = Array.init nstates (fun _ -> fresh_state ()) in
+        let st_key = Domain.DLS.new_key fresh_state in
+        let ws = ctx.worker_slot in
         Some
           (fun env lo hi ->
             let ok = ref true in
@@ -771,7 +786,11 @@ let attempt_specialize ctx ~var ~tag (body : L.stmt) :
             done;
             if not !ok then false
             else begin
-              let st = Domain.DLS.get st_key in
+              let w = env.(ws) in
+              let st =
+                if w >= 0 && w < nstates then states.(w)
+                else Domain.DLS.get st_key
+              in
               st.siv <- lo;
               for k = 0 to nacc - 1 do
                 st.scur.(k) <- accs.(k).sa_base env + (steps.(k) * lo)
@@ -819,34 +838,55 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
          chunk: the pool already owns the machine at the outer level.
          Pool-scheduled loops additionally fall back to sequential when
          forking cannot pay off: either the OS grants this process a single
-         CPU (a pool only time-slices then), or the static per-chunk work
-         estimate is below the fork/join break-even point (Pool.min_work):
-         chunking tiny loops across domains costs more in task hand-off than
-         each chunk earns back.  TIRAMISU_POOL_MIN_WORK=0 disables both. *)
+         CPU (a pool only time-slices then), or the loop's total static
+         work estimate divided across the effective workers is below the
+         fork/join break-even point (Pool.min_work): forking tiny loops
+         costs more in hand-off than each worker's share earns back.
+         TIRAMISU_POOL_MIN_WORK=0 disables both, and so does
+         [demote:false] — the parallel planner passes it after taking
+         these decisions itself at the plan level. *)
+      let est_at x =
+        let saved = Hashtbl.find_opt ctx.est_vars var in
+        Hashtbl.replace ctx.est_vars var x;
+        let w = est_work ctx body in
+        (match saved with
+        | Some x -> Hashtbl.replace ctx.est_vars var x
+        | None -> Hashtbl.remove ctx.est_vars var);
+        w
+      in
       let demoted =
         tag = L.Parallel && ctx.par_mode = `Pool && ctx.par_depth = 0
-        && ctx.pool_min_work > 0
-        && (Pool.effective_parallelism () <= 1
-           ||
-           let est_lo = est_int ctx lo and est_hi = est_int ctx hi in
-           let extent = max 0 (est_hi - est_lo + 1) in
-           let chunk =
-             max 1 (extent / (Pool.num_workers () * Pool.chunks_per_worker))
-           in
-           let saved = Hashtbl.find_opt ctx.est_vars var in
-           Hashtbl.replace ctx.est_vars var
-             (est_lo + (max 0 (extent - 1) / 2));
-           let body_est = est_work ctx body in
-           (match saved with
-           | Some x -> Hashtbl.replace ctx.est_vars var x
-           | None -> Hashtbl.remove ctx.est_vars var);
-           chunk * (1 + body_est) < ctx.pool_min_work)
+        && ctx.demote && ctx.pool_min_work > 0
+        && (let eff = Pool.effective_parallelism () in
+            eff <= 1
+            ||
+            let est_lo = est_int ctx lo and est_hi = est_int ctx hi in
+            let extent = max 0 (est_hi - est_lo + 1) in
+            let body_est = est_at (est_lo + (max 0 (extent - 1) / 2)) in
+            extent * (1 + body_est) / eff < ctx.pool_min_work)
       in
       if demoted then Atomic.incr ctx.n_fallback;
       let parallel =
         tag = L.Parallel && ctx.par_mode <> `Seq && ctx.par_depth = 0
         && not demoted
       in
+      (* Schedule selection for pool loops: when the per-entry work estimate
+         is the same at both ends of the range (rectangular domains — also
+         everything the parallel planner coalesces), a static per-worker
+         range split balances exactly and skips the per-chunk task hand-off;
+         otherwise dynamic chunking with stealing absorbs the irregularity
+         (triangular domains, guarded partial tiles). *)
+      let static_sched =
+        parallel && ctx.par_mode = `Pool
+        &&
+        match ctx.sched with
+        | `Static -> true
+        | `Dynamic -> false
+        | `Auto ->
+            let est_lo = est_int ctx lo and est_hi = est_int ctx hi in
+            est_hi < est_lo || est_at est_lo = est_at est_hi
+      in
+      if static_sched then Atomic.incr ctx.n_static;
       (* Attempt kernel specialization before compiling the generic body:
          innermost Seq/Unrolled/Vectorized loops over store sequences get a
          strength-reduced driver; the generic closure stays as the fallback
@@ -894,15 +934,49 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
             fbody env
           done
       in
+      let ws = ctx.worker_slot in
       let run =
         if not parallel then seq_run
         else
           match ctx.par_mode with
+          | `Pool when static_sched ->
+              (* Static per-worker ranges with persistent register files:
+                 range [k] always reuses slot [k]'s file (refreshed by blit,
+                 no per-entry allocation once warm) and carries worker
+                 index [k] for the specializer scratch.  The spine only
+                 grows from the submitting caller, before any range runs. *)
+              let envs = ref [||] in
+              fun env lo hi ->
+                let nw = Pool.num_workers () in
+                if Array.length !envs < nw then begin
+                  let grown = Array.make nw [||] in
+                  Array.blit !envs 0 grown 0 (Array.length !envs);
+                  envs := grown
+                end;
+                let es = !envs in
+                let len = Array.length env in
+                Pool.static_for lo hi ~body:(fun k clo chi ->
+                    let e = es.(k) in
+                    let env' =
+                      if Array.length e = len then begin
+                        Array.blit env 0 e 0 len;
+                        e
+                      end
+                      else begin
+                        let e = Array.copy env in
+                        es.(k) <- e;
+                        e
+                      end
+                    in
+                    env'.(ws) <- k;
+                    seq_run env' clo chi)
           | `Pool ->
               fun env lo hi ->
                 Pool.parallel_for lo hi ~body:(fun clo chi ->
-                    (* per-chunk private register file *)
+                    (* per-chunk private register file; the worker index
+                       follows the executing domain *)
                     let env' = Array.copy env in
+                    env'.(ws) <- Pool.worker_id ();
                     seq_run env' clo chi)
           | `Spawn | `Seq ->
               (* the seed strategy, kept as the benchmark baseline:
@@ -917,6 +991,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
                     List.init nd (fun d ->
                         Domain.spawn (fun () ->
                             let env' = Array.copy env in
+                            env'.(ws) <- d;
                             let from = lo + (d * chunk) in
                             let upto = min hi (from + chunk - 1) in
                             seq_run env' from upto))
@@ -1032,8 +1107,8 @@ let prepare ?(narrow = true) ~params stmt =
   L.simplify_stmt (Tiramisu_codegen.Passes.unroll_expand stmt)
 
 (* Closure-compile an already-prepared (narrowed/simplified) statement. *)
-let compile_prepared ?(parallel = `Pool) ?(specialize = true) ~params ~buffers
-    stmt =
+let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
+    ?(demote = true) ~params ~buffers stmt =
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -1042,6 +1117,7 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ~params ~buffers
       channels = Hashtbl.create 16;
       chan_mutex = Mutex.create ();
       rank_slot = 0;
+      worker_slot = 1;
       par_mode = parallel;
       pending = Hashtbl.create 8;
       loop_stack = [];
@@ -1049,12 +1125,17 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ~params ~buffers
       est_vars = Hashtbl.create 16;
       pool_min_work = Pool.min_work ();
       spec_enabled = specialize;
+      sched;
+      demote;
       n_spec = Atomic.make 0;
       n_fallback = Atomic.make 0;
+      n_static = Atomic.make 0;
     }
   in
   let rank_slot = slot ctx "__rank" in
   assert (rank_slot = 0);
+  let worker_slot = slot ctx "__worker" in
+  assert (worker_slot = 1);
   List.iter (fun b -> Hashtbl.replace ctx.cbufs b.Buffers.name b) buffers;
   List.iter
     (fun (p, v) ->
@@ -1070,16 +1151,18 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ~params ~buffers
      repeated compiles in one process (the fuzzer, the benchmarks) stay
      independent. *)
   { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt;
-    c_spec = Atomic.get ctx.n_spec; c_fallback = Atomic.get ctx.n_fallback }
+    c_spec = Atomic.get ctx.n_spec; c_fallback = Atomic.get ctx.n_fallback;
+    c_static = Atomic.get ctx.n_static }
 
-let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true) ~params
-    ~buffers stmt =
-  compile_prepared ~parallel ~specialize ~params ~buffers
+let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true)
+    ?(sched = `Auto) ?(demote = true) ~params ~buffers stmt =
+  compile_prepared ~parallel ~specialize ~sched ~demote ~params ~buffers
     (prepare ~narrow ~params stmt)
 
 let run c = c.body (Array.copy c.regs0)
 let spec_count c = c.c_spec
 let pool_fallbacks c = c.c_fallback
+let static_count c = c.c_static
 
 let buffer c name =
   match Hashtbl.find_opt c.bufs name with

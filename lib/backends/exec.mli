@@ -40,6 +40,17 @@ type par_strategy = [ `Pool | `Spawn | `Seq ]
     (default), with a fresh [Domain.spawn]/[join] per loop entry (the seed
     strategy, kept as a benchmark baseline), or sequentially. *)
 
+type schedule = [ `Auto | `Static | `Dynamic ]
+(** How a pool-executed [Parallel] loop deals iterations to workers.
+    [`Static] assigns each worker one contiguous near-equal range up front
+    ({!Pool.static_for}: one hand-off per worker, persistent per-range
+    register files, no per-chunk allocation); [`Dynamic] deals ~4 chunks
+    per worker with work stealing ({!Pool.parallel_for}).  [`Auto]
+    (default) picks statically per loop: static when the per-entry work
+    estimate is the same at both ends of the range (rectangular domains,
+    including everything the parallel planner coalesces), dynamic
+    otherwise (triangular domains, guarded partial tiles). *)
+
 val prepare :
   ?narrow:bool ->
   params:(string * int) list ->
@@ -54,28 +65,36 @@ val prepare :
 val compile_prepared :
   ?parallel:par_strategy ->
   ?specialize:bool ->
+  ?sched:schedule ->
+  ?demote:bool ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
   compiled
 (** Closure-compile a statement that already went through {!prepare} (or
     that the caller wants compiled verbatim).  [compile] is
-    [compile_prepared] after [prepare]. *)
+    [compile_prepared] after [prepare].  [demote] (default [true]) gates
+    the executor's own profitability demotion of pool loops — the pipeline
+    passes [~demote:false] when the parallel-planning pass has already made
+    the serialize/keep decisions, so a loop is never tested twice. *)
 
 val compile :
   ?parallel:par_strategy ->
   ?specialize:bool ->
   ?narrow:bool ->
+  ?sched:schedule ->
+  ?demote:bool ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
   compiled
 (** Compile once; buffers are captured by reference (re-fill between runs
-    to reuse).  The three knobs are orthogonal, so the differential fuzzer
-    can cross strategies with optimization settings: [specialize] (default
+    to reuse).  The knobs are orthogonal, so the differential fuzzer can
+    cross strategies with optimization settings: [specialize] (default
     [true]) gates the kernel specializer, [narrow] (default [true]) gates
-    the {!Tiramisu_codegen.Passes.narrow} bound-narrowing pre-pass; with
-    both off the executor is the plain hoisted-addressing closure compiler.
+    the {!Tiramisu_codegen.Passes.narrow} bound-narrowing pre-pass, [sched]
+    (default [`Auto]) selects the pool schedule; with specialize and narrow
+    off the executor is the plain hoisted-addressing closure compiler.
     @raise Failure on constructs the executor does not support. *)
 
 val run : compiled -> unit
@@ -103,4 +122,9 @@ val pool_fallbacks : compiled -> int
     heuristic (single effective CPU, or static per-chunk work estimate below
     {!Pool.min_work}).  Always 0 for the [`Spawn] and [`Seq] strategies, and
     when [TIRAMISU_POOL_MIN_WORK=0].  Per-[compiled] value, like
+    {!spec_count}. *)
+
+val static_count : compiled -> int
+(** Number of pool-executed [Parallel] loops compiled with the static
+    per-worker schedule (see {!schedule}).  Per-[compiled] value, like
     {!spec_count}. *)

@@ -94,6 +94,12 @@ type pool = {
 let worker_flag = Domain.DLS.new_key (fun () -> ref false)
 let in_worker () = !(Domain.DLS.get worker_flag)
 
+(* Stable per-domain identity: spawned worker [i] is [i + 1], the main (or
+   any other caller) domain is [0].  The compiled backend indexes persistent
+   per-worker scratch with this instead of a DLS lookup per loop entry. *)
+let worker_id_key = Domain.DLS.new_key (fun () -> 0)
+let worker_id () = Domain.DLS.get worker_id_key
+
 let exec_task t =
   let j = t.t_job in
   (* Once a sibling chunk failed, the job's result is its exception: skip
@@ -195,6 +201,7 @@ let make_pool n =
     List.init (n - 1) (fun i ->
         Domain.spawn (fun () ->
             Domain.DLS.get worker_flag := true;
+            Domain.DLS.set worker_id_key (i + 1);
             worker_loop p i));
   p
 
@@ -238,13 +245,15 @@ let () = at_exit shutdown
 (* ---------- work-size fallback threshold ---------- *)
 
 (* Below roughly this many estimated work units (≈ executed statements)
-   per chunk, a parallel loop is cheaper to run sequentially than to chunk
-   across the pool: task hand-off, the per-chunk register-file copy, and
-   the wakeup broadcast cost a few microseconds each, and with the
-   specialized innermost drivers a work unit is only a handful of
-   nanoseconds.  Used by the compiled backend's static demotion
+   per worker share, a parallel loop is cheaper to run sequentially than
+   to fork across the pool: the wakeup broadcast, range hand-off and
+   per-range register-file setup cost a few microseconds each, and a work
+   unit costs on the order of 0.1 µs through the compiled drivers.  Used
+   by the parallel planner and the compiled backend's demotion
    heuristic. *)
-let default_min_work = 25_000
+let default_min_work = 4_000
+
+let warned_min_work = ref false
 
 let min_work () =
   match Sys.getenv_opt "TIRAMISU_POOL_MIN_WORK" with
@@ -252,17 +261,92 @@ let min_work () =
   | Some s -> (
       match int_of_string_opt (String.trim s) with
       | Some n when n >= 0 -> n
-      | _ -> default_min_work)
+      | _ ->
+          if not !warned_min_work then begin
+            warned_min_work := true;
+            Printf.eprintf
+              "tiramisu: ignoring malformed TIRAMISU_POOL_MIN_WORK=%S (want \
+               a non-negative integer); using default %d\n\
+               %!"
+              s default_min_work
+          end;
+          default_min_work)
+
+(* TIRAMISU_ASSUME_CORES overrides the OS core count for planning and
+   benchmarking (e.g. exercising the 4-worker plan inside a 1-CPU
+   container); wall-clock numbers stay honest, only the
+   profitability/demotion decisions believe the override. *)
+let warned_assume_cores = ref false
+
+let assumed_cores () =
+  match Sys.getenv_opt "TIRAMISU_ASSUME_CORES" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+          if not !warned_assume_cores then begin
+            warned_assume_cores := true;
+            Printf.eprintf
+              "tiramisu: ignoring malformed TIRAMISU_ASSUME_CORES=%S (want \
+               a positive integer)\n\
+               %!"
+              s
+          end;
+          None)
 
 (* How many domains can actually run at once: the configured pool size
    capped by the CPUs the OS grants this process.  A pool of 4 workers on a
    single-CPU container time-slices, it does not parallelize. *)
 let effective_parallelism () =
-  min (num_workers ()) (Domain.recommended_domain_count ())
+  let cores =
+    match assumed_cores () with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  min (num_workers ()) cores
 
-(* ---------- parallel_for ---------- *)
+(* ---------- parallel_for / static_for ---------- *)
 
 let chunks_per_worker = 4
+
+(* Wake the workers for the tasks just pushed, help drain the job from the
+   calling domain, and re-raise the first failure with its backtrace. *)
+let drive p job =
+  Mutex.lock p.mu;
+  p.gen <- p.gen + 1;
+  Condition.broadcast p.cv;
+  Mutex.unlock p.mu;
+  (* The caller is a worker too: claim tasks until the job drains, then
+     sleep on the job's condition for the stragglers. *)
+  let me = Array.length p.deques - 1 in
+  let flag = Domain.DLS.get worker_flag in
+  flag := true;
+  let rec help () =
+    Mutex.lock job.jmu;
+    let finished = job.pending = 0 in
+    Mutex.unlock job.jmu;
+    if not finished then
+      match try_claim p me with
+      | Some t ->
+          exec_task t;
+          help ()
+      | None ->
+          Mutex.lock job.jmu;
+          while job.pending > 0 do
+            Condition.wait job.jcv job.jmu
+          done;
+          Mutex.unlock job.jmu
+  in
+  (* The flag reset must survive an exception: leaving it set would make
+     every later parallel_for on this domain run inline. *)
+  Fun.protect ~finally:(fun () -> flag := false) help;
+  match job.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let fresh_job pending =
+  { pending; failed = None; jmu = Mutex.create (); jcv = Condition.create () }
 
 let parallel_for ?chunk lo hi ~body =
   if hi < lo then ()
@@ -281,14 +365,7 @@ let parallel_for ?chunk lo hi ~body =
       let nchunks = (extent + csize - 1) / csize in
       if nchunks <= 1 then body lo hi
       else begin
-        let job =
-          {
-            pending = nchunks;
-            failed = None;
-            jmu = Mutex.create ();
-            jcv = Condition.create ();
-          }
-        in
+        let job = fresh_job nchunks in
         let nd = Array.length p.deques in
         for c = 0 to nchunks - 1 do
           let clo = lo + (c * csize) in
@@ -296,35 +373,37 @@ let parallel_for ?chunk lo hi ~body =
           Deque.push_back p.deques.(c mod nd)
             { t_lo = clo; t_hi = chi; t_run = body; t_job = job }
         done;
-        Mutex.lock p.mu;
-        p.gen <- p.gen + 1;
-        Condition.broadcast p.cv;
-        Mutex.unlock p.mu;
-        (* The caller is a worker too: claim chunks until the job drains,
-           then sleep on the job's condition for the stragglers. *)
-        let me = nd - 1 in
-        let flag = Domain.DLS.get worker_flag in
-        flag := true;
-        let rec help () =
-          Mutex.lock job.jmu;
-          let finished = job.pending = 0 in
-          Mutex.unlock job.jmu;
-          if not finished then
-            match try_claim p me with
-            | Some t ->
-                exec_task t;
-                help ()
-            | None ->
-                Mutex.lock job.jmu;
-                while job.pending > 0 do
-                  Condition.wait job.jcv job.jmu
-                done;
-                Mutex.unlock job.jmu
-        in
-        (* The flag reset must survive an exception: leaving it set would
-           make every later parallel_for on this domain run inline. *)
-        Fun.protect ~finally:(fun () -> flag := false) help;
-        match job.failed with
-        | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-        | None -> ()
+        drive p job
+      end
+
+let static_for lo hi ~body =
+  if hi < lo then ()
+  else
+    let extent = hi - lo + 1 in
+    let p = get_pool () in
+    if p.nworkers <= 1 || in_worker () then body 0 lo hi
+    else
+      let nr = min p.nworkers extent in
+      if nr <= 1 then body 0 lo hi
+      else begin
+        (* One contiguous near-equal range per worker, dealt one-to-a-deque
+           so each worker's own pop finds its own range; stealing still
+           rebalances if a worker is descheduled.  Range [k] always runs
+           under index [k] no matter which domain executes it, so [body]
+           can key persistent scratch on it. *)
+        let job = fresh_job nr in
+        let base = extent / nr and rem = extent mod nr in
+        let start = ref lo in
+        let nd = Array.length p.deques in
+        for k = 0 to nr - 1 do
+          let len = base + if k < rem then 1 else 0 in
+          let clo = !start in
+          let chi = clo + len - 1 in
+          start := chi + 1;
+          Deque.push_back
+            p.deques.((nd - 1 - k + nd) mod nd)
+            { t_lo = clo; t_hi = chi; t_run = (fun l h -> body k l h);
+              t_job = job }
+        done;
+        drive p job
       end

@@ -27,6 +27,13 @@ val in_worker : unit -> bool
     caller included).  Nested [parallel_for]s use this to run inline instead
     of oversubscribing. *)
 
+val worker_id : unit -> int
+(** Stable identity of the current domain: spawned pool worker [i] is
+    [i + 1], every other domain (the main/calling domain included) is [0].
+    Always in [0, num_workers () - 1] while the pool is at its configured
+    size; the compiled backend uses it to index persistent per-worker
+    scratch without a DLS lookup in the hot loop. *)
+
 val chunks_per_worker : int
 (** Target number of chunks dealt per worker by {!parallel_for}'s default
     chunking (exposed so the compiled backend's demotion heuristic can
@@ -38,16 +45,21 @@ val default_min_work : int
 
 val min_work : unit -> int
 (** Work-size threshold (in estimated work units, roughly executed
-    statements per chunk) below which the compiled backend demotes a
-    [Parallel] loop to sequential under the pool strategy.  Defaults to
-    {!default_min_work}; overridable via the [TIRAMISU_POOL_MIN_WORK]
-    environment variable (0 disables demotion entirely). *)
+    statements per worker share) below which the parallel planner and the
+    compiled backend demote a [Parallel] loop to sequential under the pool
+    strategy.  Defaults to {!default_min_work}; overridable via the
+    [TIRAMISU_POOL_MIN_WORK] environment variable (0 disables demotion
+    entirely).  A malformed value falls back to the default with a one-line
+    stderr warning (printed once per process). *)
 
 val effective_parallelism : unit -> int
 (** The parallelism the pool can actually realize: {!num_workers} capped by
     [Domain.recommended_domain_count ()].  A pool sized larger than the CPUs
     the OS grants this process time-slices instead of parallelizing, so the
-    compiled backend demotes all pool loops when this is 1. *)
+    compiled backend demotes all pool loops when this is 1.  The
+    [TIRAMISU_ASSUME_CORES] environment variable overrides the OS core count
+    (for exercising multi-worker plans on constrained machines); it changes
+    planning decisions only, never the measured wall-clock. *)
 
 val parallel_for : ?chunk:int -> int -> int -> body:(int -> int -> unit) -> unit
 (** [parallel_for lo hi ~body] runs [body clo chi] over disjoint inclusive
@@ -61,6 +73,18 @@ val parallel_for : ?chunk:int -> int -> int -> body:(int -> int -> unit) -> unit
     failure stops the loop's remaining work instead of letting it keep
     mutating buffers.  The pool itself stays usable — a later
     [parallel_for] runs normally. *)
+
+val static_for : int -> int -> body:(int -> int -> int -> unit) -> unit
+(** [static_for lo hi ~body] splits [lo..hi] into [min (num_workers ())
+    extent] contiguous near-equal ranges and runs [body k clo chi] once per
+    range, possibly concurrently.  The range index [k] is stable (range [k]
+    is always the [k]-th contiguous slice, whichever domain executes it), so
+    [body] can key persistent per-range scratch on it — this is the static
+    schedule for rectangular parallel loops: one hand-off per worker, no
+    per-chunk allocation.  Work stealing still rebalances if a worker domain
+    is descheduled mid-job.  Inlines as [body 0 lo hi] with one worker or
+    inside a nested parallel region; exception semantics as
+    {!parallel_for}. *)
 
 val shutdown : unit -> unit
 (** Stop and join the workers.  Called automatically [at_exit]; a later

@@ -1,0 +1,57 @@
+(** Compile-time parallel planning for pool-scheduled loops.
+
+    Decides, per outermost [Parallel] loop of a lowered statement, whether
+    to keep it parallel, coalesce it with adjacent nested [Parallel] levels
+    (OpenMP [collapse]-style: one parallel loop over the product domain,
+    with single-trip binder loops recovering each original variable as
+    [lᵢ + (fused / strideᵢ) mod nᵢ]), or serialize the subtree when the
+    estimated work per worker is below the fork/join break-even.  Trip
+    counts come from the exact polyhedral cardinality of the chain's
+    iteration domain ({!Tiramisu_presburger.Poly.card}); [max]/[min] bound
+    scaffolding splits into one constraint row per argument.
+
+    The result is plain loop IR — binder loops are ordinary single-trip
+    [For]s — so the interpreter, the closure compiler and the C emitter
+    execute it unchanged, and everything below a fused group keeps its
+    affine addressing, hoisted corner checks and kernel specialization. *)
+
+type decision = {
+  d_var : string;              (** outermost loop var the decision is about *)
+  d_action : [ `Coalesce of string list | `Keep | `Serialize ];
+  d_trip : int option;         (** parallel-chain trip count *)
+  d_trip_exact : bool;         (** [d_trip] is exact, not an estimate *)
+  d_per_worker : int;          (** estimated work units per worker *)
+  d_uniform : bool;            (** per-entry work independent of the index *)
+}
+
+type report = {
+  r_parallel : int;            (** parallel loops kept (a fused group is 1) *)
+  r_coalesced : int;           (** fused groups emitted *)
+  r_fused_levels : int;        (** original loops folded into fused groups *)
+  r_serialized : int;          (** top-level [Parallel] subtrees demoted *)
+  r_retagged : int;            (** nested [Parallel] loops retagged [Seq] *)
+  r_decisions : decision list; (** outermost-first *)
+}
+
+val empty_report : report
+
+val plan :
+  workers:int ->
+  min_work:int ->
+  params:(string * int) list ->
+  ?force:bool ->
+  Loop_ir.stmt ->
+  Loop_ir.stmt * report
+(** [plan ~workers ~min_work ~params stmt] rewrites the outermost
+    [Parallel] loops of [stmt] as described above.  [workers] is the
+    parallelism the plan budgets for (normally the pool's effective
+    parallelism), [min_work] the per-worker work threshold below which a
+    subtree is serialized ([0] disables serialization), [params] the known
+    parameter values used by the work estimator.  [~force:true] skips the
+    profitability test and fuses the maximal rectangular prefix — a
+    machine-independent mode for differential testing.  Semantics are
+    preserved for any input whose [Parallel] tags are legal (the pass only
+    reorders work across parallel entries that carry no dependence). *)
+
+val decision_str : decision -> string
+val report_str : report -> string

@@ -543,3 +543,70 @@ let legal_under_schedule fn =
           (Printf.sprintf "compute_at producer %s not covered; " c.comp_name))
       uncovered;
     Error (Buffer.contents b)
+
+(* ---------- Parallel tag widening (used by the pipeline's planner) ----------
+
+   Before lowering, try to grow each computation's parallel band: any [Seq]
+   dynamic dim contiguous with the existing [Parallel] band — just outside
+   its outermost dim, or just inside its innermost — is trial-retagged
+   [Parallel] and kept only if {!check_legality} still reports no violation
+   (the trial runs against the whole function, so loop sharing via
+   [effective_tags] is honoured: a tag widened on one computation is vetted
+   against the dependences of everything fused into that loop).  The result
+   is a perfectly-nested [Parallel] chain the planner can coalesce into one
+   fused loop.  Widening is greedy and order-deterministic; the returned
+   closure undoes every accepted mutation, so callers can widen, lower, and
+   restore the user's schedule. *)
+let widen_parallel fn =
+  let widened = ref [] in
+  let undos = ref [] in
+  let try_widen (c : computation) (d : dim) =
+    d.d_tag = LT.Seq
+    && begin
+         d.d_tag <- LT.Parallel;
+         if check_legality fn = [] then begin
+           widened := (c.comp_name, d.d_name) :: !widened;
+           undos := (fun () -> d.d_tag <- LT.Seq) :: !undos;
+           true
+         end
+         else begin
+           d.d_tag <- LT.Seq;
+           false
+         end
+       end
+  in
+  List.iter
+    (fun (c : computation) ->
+      if c.kind = Regular && (not c.inlined) && c.computed_at = None then begin
+        let dyns = Array.of_list (dyn_dims c.sched) in
+        let n = Array.length dyns in
+        let p = ref (-1) in
+        (try
+           for i = 0 to n - 1 do
+             if dyns.(i).d_tag = LT.Parallel then begin
+               p := i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !p >= 0 then begin
+          (* outward: contiguous Seq dims above the band *)
+          let i = ref (!p - 1) in
+          while !i >= 0 && try_widen c dyns.(!i) do
+            decr i
+          done;
+          (* inward: extend below the innermost dim of the band *)
+          let q = ref !p in
+          while !q + 1 < n && dyns.(!q + 1).d_tag = LT.Parallel do
+            incr q
+          done;
+          let j = ref (!q + 1) in
+          while !j < n && try_widen c dyns.(!j) do
+            incr j
+          done
+        end
+      end)
+    fn.comps;
+  let ws = List.rev !widened in
+  let undo_list = !undos in
+  (ws, fun () -> List.iter (fun f -> f ()) undo_list)

@@ -70,6 +70,21 @@ val legal_under_schedule : Tiramisu_core.Ir.fn -> (unit, string) result
     dependence carried by a parallelized or vectorized loop is reported
     even though the mapping itself orders it correctly. *)
 
+val widen_parallel :
+  Tiramisu_core.Ir.fn -> (string * string) list * (unit -> unit)
+(** Grow each computation's parallel band before lowering: [Seq] dynamic
+    dims contiguous with the existing [Parallel] band (just outside its
+    outermost dim, or just inside its innermost) are trial-retagged
+    [Parallel] and kept only when {!check_legality} still reports no
+    violation — each trial is vetted against the whole function, so tags
+    shared through loop fusion are checked against every fused
+    computation's dependences.  Greedy and deterministic; computations that
+    are inlined, [compute_at]-scheduled, or have no [Parallel] dim are left
+    alone.  Returns the accepted [(computation, dim-name)] pairs
+    (outermost-first per computation) and an undo closure restoring every
+    mutated tag, so a caller can widen, lower, and hand the user's
+    schedule back unchanged. *)
+
 val has_cycle : Tiramisu_core.Ir.fn -> bool
 (** Does the computation-level dataflow graph contain a cycle?  Tiramisu
     supports cyclic graphs (edgeDetector, §VI-B); the Halide baseline

@@ -88,17 +88,31 @@ let interp_run ~params ~fills fn ast =
   B.Interp.run t ast;
   bufs
 
+(* Each config: (tag, strategy, specialize, narrow, plan, sched).  For
+   parallel schedules the pool rows cross the parallel planner
+   (coalescing forced on / off — [`Force] is machine-independent, it
+   fuses the maximal rectangular prefix regardless of core count) with
+   the pool schedule (static per-worker ranges / dynamic chunk stealing),
+   plus the default auto/auto row and the spawn baseline. *)
 let exec_configs case =
   let base =
     [
-      ("seq", `Seq, true, true);
-      ("seq,nospec", `Seq, false, true);
-      ("seq,nonarrow", `Seq, true, false);
-      ("seq,nospec,nonarrow", `Seq, false, false);
+      ("seq", `Seq, true, true, `Off, `Auto);
+      ("seq,nospec", `Seq, false, true, `Off, `Auto);
+      ("seq,nonarrow", `Seq, true, false, `Off, `Auto);
+      ("seq,nospec,nonarrow", `Seq, false, false, `Off, `Auto);
     ]
   in
   if Case.has_parallel case then
-    base @ [ ("pool", `Pool, true, true); ("spawn", `Spawn, true, true) ]
+    base
+    @ [
+        ("pool", `Pool, true, true, `Auto, `Auto);
+        ("pool,plan,static", `Pool, true, true, `Force, `Static);
+        ("pool,plan,dyn", `Pool, true, true, `Force, `Dynamic);
+        ("pool,noplan,static", `Pool, true, true, `Off, `Static);
+        ("pool,noplan,dyn", `Pool, true, true, `Off, `Dynamic);
+        ("spawn", `Spawn, true, true, `Off, `Auto);
+      ]
   else base
 
 let run_case_unguarded (case : Case.t) : outcome =
@@ -158,13 +172,15 @@ let run_case_unguarded (case : Case.t) : outcome =
       b1.Case.outputs;
     (* Compiled executor, every configuration, vs the scheduled interp. *)
     List.iter
-      (fun (tag, par, spec, narrow) ->
+      (fun (tag, par, spec, narrow, plan, sched) ->
         let bufs =
           try
             let bufs =
               make_buffers b1.Case.fn ~params:b1.Case.params ~fills:b1.Case.fills
             in
-            let knobs = { P.parallel = par; specialize = spec; narrow } in
+            let knobs =
+              { P.parallel = par; specialize = spec; narrow; plan; sched }
+            in
             let tracer = P.make_tracer ~probe ~name:("exec:" ^ tag) () in
             let c =
               P.compile ~tracer ~knobs ~params:b1.Case.params ~buffers:bufs

@@ -20,9 +20,11 @@
 
 module L = Tiramisu_codegen.Loop_ir
 module Passes = Tiramisu_codegen.Passes
+module Plan = Tiramisu_codegen.Parallel_plan
 module Lower = Tiramisu_core.Lower
 module Ir = Tiramisu_core.Ir
 module B = Tiramisu_backends
+module Deps = Tiramisu_deps.Deps
 
 (* ---------- typed errors ---------- *)
 
@@ -68,6 +70,7 @@ type pass_trace = {
   p_before : L.loop_meta option;  (** [None] for non-statement passes *)
   p_after : L.loop_meta option;
   p_verify : verdict;
+  p_note : string;  (** pass-specific summary (planner decisions…), or "" *)
 }
 
 type cache_status = Hit | Miss | Bypass
@@ -163,7 +166,8 @@ let record tr pt =
     loop metadata, optionally verify semantics on the probe, and fire the
     dump hook.  A verification mismatch is itself a pipeline {!Error} on
     the failing pass. *)
-let stmt_pass ?tracer ~name ~context ?(verifiable = false) f (s : L.stmt) =
+let stmt_pass ?tracer ~name ~context ?(verifiable = false)
+    ?(note = fun () -> "") f (s : L.stmt) =
   match tracer with
   | None -> guard ~stage:name ~context f s
   | Some tr ->
@@ -178,7 +182,8 @@ let stmt_pass ?tracer ~name ~context ?(verifiable = false) f (s : L.stmt) =
       in
       record tr
         { p_name = name; p_ms = ms; p_before = Some before;
-          p_after = Some (L.analyze_loops s'); p_verify = verify };
+          p_after = Some (L.analyze_loops s'); p_verify = verify;
+          p_note = note () };
       (match tr.tr_on_after with Some h -> h name s' | None -> ());
       (match verify with
        | Mismatch m ->
@@ -198,7 +203,8 @@ let front_pass ?tracer ~name ~context f x =
       let ms = B.Clock.now_ms () -. t0 in
       record tr
         { p_name = name; p_ms = ms; p_before = None;
-          p_after = Some (L.analyze_loops s); p_verify = Skipped };
+          p_after = Some (L.analyze_loops s); p_verify = Skipped;
+          p_note = "" };
       (match tr.tr_on_after with Some h -> h name s | None -> ());
       s
 
@@ -208,9 +214,20 @@ type knobs = {
   parallel : B.Exec.par_strategy;
   specialize : bool;
   narrow : bool;
+  plan : [ `Auto | `Off | `Force ];
+      (** parallel-planning pass: [`Auto] plans with the pool's effective
+          parallelism and work threshold, [`Force] fuses the maximal
+          rectangular prefix unconditionally (machine-independent, for
+          differential testing), [`Off] skips the pass (the executor's own
+          demotion heuristic then applies). *)
+  sched : B.Exec.schedule;
+      (** pool schedule for parallel loops (static ranges vs dynamic
+          chunking vs per-loop automatic choice). *)
 }
 
-let default_knobs = { parallel = `Pool; specialize = true; narrow = true }
+let default_knobs =
+  { parallel = `Pool; specialize = true; narrow = true; plan = `Auto;
+    sched = `Auto }
 
 (** Layer IV → loop IR, as three traced passes: [lower] (scheduled-domain
     AST generation), [legalize] (vector/unroll legality rewrites, the one
@@ -243,25 +260,67 @@ let prepare ?tracer ?(knobs = default_knobs) ~params (s : L.stmt) =
     (fun s -> L.simplify_stmt (Passes.unroll_expand s))
     s
 
-(** [prepare] + closure compilation, each stage traced.  Buffers are
-    captured by reference, exactly as with [Exec.compile]. *)
-let compile ?tracer ?(knobs = default_knobs) ~params ~buffers (s : L.stmt) =
+(** The parallel-planning pass (see {!Tiramisu_codegen.Parallel_plan}):
+    runs after [prepare] so the bounds the trip-count estimator sees are
+    already narrowed to concrete integers, and only under the [`Pool]
+    strategy.  Returns the rewritten statement and the planner's report. *)
+let plan_pass ?tracer ~knobs ~params (s : L.stmt) =
+  if knobs.parallel <> `Pool || knobs.plan = `Off then
+    (s, Plan.empty_report)
+  else begin
+    let report = ref Plan.empty_report in
+    let s =
+      stmt_pass ?tracer ~name:"parallel-plan" ~context:"statement"
+        ~verifiable:true
+        ~note:(fun () -> Plan.report_str !report)
+        (fun s ->
+          let s', r =
+            Plan.plan
+              ~workers:(B.Pool.effective_parallelism ())
+              ~min_work:(B.Pool.min_work ())
+              ~params
+              ~force:(knobs.plan = `Force)
+              s
+          in
+          report := r;
+          s')
+        s
+    in
+    (s, !report)
+  end
+
+(** [prepare] + parallel planning + closure compilation, each stage traced.
+    Buffers are captured by reference, exactly as with [Exec.compile]. *)
+let compile_with_report ?tracer ?(knobs = default_knobs) ~params ~buffers
+    (s : L.stmt) =
   let s = prepare ?tracer ~knobs ~params s in
+  let s, report = plan_pass ?tracer ~knobs ~params s in
+  (* When the planner ran it already made every serialize/keep decision, so
+     the executor's own demotion heuristic is switched off — a loop is
+     never profitability-tested twice. *)
+  let demote = knobs.parallel <> `Pool || knobs.plan = `Off in
   let do_compile s =
     B.Exec.compile_prepared ~parallel:knobs.parallel
-      ~specialize:knobs.specialize ~params ~buffers s
+      ~specialize:knobs.specialize ~sched:knobs.sched ~demote ~params
+      ~buffers s
   in
-  match tracer with
-  | None -> guard ~stage:"compile" ~context:"statement" do_compile s
-  | Some tr ->
-      let meta = L.analyze_loops s in
-      let t0 = B.Clock.now_ms () in
-      let exec = guard ~stage:"compile" ~context:"statement" do_compile s in
-      let ms = B.Clock.now_ms () -. t0 in
-      record tr
-        { p_name = "compile"; p_ms = ms; p_before = Some meta;
-          p_after = Some meta; p_verify = Skipped };
-      exec
+  let exec =
+    match tracer with
+    | None -> guard ~stage:"compile" ~context:"statement" do_compile s
+    | Some tr ->
+        let meta = L.analyze_loops s in
+        let t0 = B.Clock.now_ms () in
+        let exec = guard ~stage:"compile" ~context:"statement" do_compile s in
+        let ms = B.Clock.now_ms () -. t0 in
+        record tr
+          { p_name = "compile"; p_ms = ms; p_before = Some meta;
+            p_after = Some meta; p_verify = Skipped; p_note = "" };
+        exec
+  in
+  (exec, report)
+
+let compile ?tracer ?(knobs = default_knobs) ~params ~buffers (s : L.stmt) =
+  fst (compile_with_report ?tracer ~knobs ~params ~buffers s)
 
 (* ---------- compile cache ---------- *)
 
@@ -270,6 +329,8 @@ type artifact = {
   buffers : B.Buffers.t list;  (** owned by the cache across hits *)
   cache : cache_status;
   key_hash : int;              (** structural hash of the source statement *)
+  plan_report : Plan.report;   (** parallel-planner decisions (empty when
+                                   the pass did not run) *)
 }
 
 (* The key is pure data (no closures): structural equality and the
@@ -282,6 +343,13 @@ type ckey = {
   k_parallel : B.Exec.par_strategy;
   k_specialize : bool;
   k_narrow : bool;
+  k_plan : [ `Auto | `Off | `Force ];
+  k_sched : B.Exec.schedule;
+  k_pool : int * int * int;
+    (* (num_workers, min_work, effective_parallelism) sampled at build
+       time: planner decisions and the compiled schedule depend on the
+       pool environment, so a [set_num_workers] or TIRAMISU_* change
+       between builds must miss rather than replay a stale plan *)
   k_extents : (string * int array * L.mem_space) list;
 }
 
@@ -291,6 +359,7 @@ type centry = {
   ce_buffers : B.Buffers.t list;
   ce_snapshot : (string * float array) list;  (* initial buffer contents *)
   ce_fills : (string * (int array -> float)) list;
+  ce_plan : Plan.report;
 }
 
 let cache : (ckey, centry list) Hashtbl.t = Hashtbl.create 64
@@ -333,7 +402,11 @@ let make_key ~knobs ~params ~extents hash =
   { k_hash = hash;
     k_params = List.sort (fun (a, _) (b, _) -> compare a b) params;
     k_parallel = knobs.parallel; k_specialize = knobs.specialize;
-    k_narrow = knobs.narrow; k_extents = extents }
+    k_narrow = knobs.narrow; k_plan = knobs.plan; k_sched = knobs.sched;
+    k_pool =
+      ( B.Pool.num_workers (), B.Pool.min_work (),
+        B.Pool.effective_parallelism () );
+    k_extents = extents }
 
 let find_buffer buffers name =
   List.find_opt (fun b -> b.B.Buffers.name = name) buffers
@@ -388,7 +461,8 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
    | Some tr ->
        record tr
          { p_name = "hash"; p_ms = B.Clock.now_ms () -. t0;
-           p_before = None; p_after = None; p_verify = Skipped }
+           p_before = None; p_after = None; p_verify = Skipped;
+           p_note = "" }
    | None -> ());
   let key = make_key ~knobs ~params ~extents hash in
   let bucket = try Hashtbl.find cache key with Not_found -> [] in
@@ -398,7 +472,7 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
       restore entry inputs;
       (match tracer with Some tr -> tr.tr_cache <- Hit | None -> ());
       { exec = entry.ce_exec; buffers = entry.ce_buffers; cache = Hit;
-        key_hash = hash }
+        key_hash = hash; plan_report = entry.ce_plan }
   | None ->
       incr cache_misses;
       let buffers =
@@ -407,7 +481,9 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
           extents
       in
       fill_inputs ~stage:"buffers" buffers inputs;
-      let exec = compile ?tracer ~knobs ~params ~buffers s in
+      let exec, report =
+        compile_with_report ?tracer ~knobs ~params ~buffers s
+      in
       let snapshot =
         List.map
           (fun b -> (b.B.Buffers.name, Array.copy b.B.Buffers.data))
@@ -416,11 +492,11 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
       if !cache_entries >= cache_cap then clear_cache ();
       Hashtbl.replace cache key
         ({ ce_stmt = s; ce_exec = exec; ce_buffers = buffers;
-           ce_snapshot = snapshot; ce_fills = inputs }
+           ce_snapshot = snapshot; ce_fills = inputs; ce_plan = report }
          :: bucket);
       incr cache_entries;
       (match tracer with Some tr -> tr.tr_cache <- Miss | None -> ());
-      { exec; buffers; cache = Miss; key_hash = hash }
+      { exec; buffers; cache = Miss; key_hash = hash; plan_report = report }
 
 let extents_of_fn fn ~params =
   List.map
@@ -429,11 +505,43 @@ let extents_of_fn fn ~params =
 
 (** The whole path: [Ir.fn] → lowered statement → cached compiled
     artifact, with buffer extents derived from the function's buffer
-    declarations. *)
+    declarations.
+
+    Under the [`Pool] strategy with planning enabled, the schedule-level
+    widening pass ({!Tiramisu_deps.Deps.widen_parallel}) first grows each
+    computation's parallel band with every adjacent [Seq] dim the
+    dependence oracle proves safe — handing the planner a deeper perfectly
+    nested [Parallel] chain to coalesce.  The user's schedule is restored
+    after lowering whatever happens. *)
 let build ?tracer ?(knobs = default_knobs) ~fn ~params ~inputs () : artifact =
-  let lowered = lower ?tracer fn in
-  build_stmt ?tracer ~knobs ~params ~extents:(extents_of_fn fn ~params)
-    ~inputs lowered.Lower.ast
+  let context = "function " ^ fn.Ir.fn_name in
+  let widen () =
+    if knobs.parallel = `Pool && knobs.plan <> `Off then begin
+      let t0 = B.Clock.now_ms () in
+      let widened, undo =
+        guard ~stage:"widen-parallel" ~context Deps.widen_parallel fn
+      in
+      (match tracer with
+       | Some tr ->
+           record tr
+             { p_name = "widen-parallel"; p_ms = B.Clock.now_ms () -. t0;
+               p_before = None; p_after = None; p_verify = Skipped;
+               p_note =
+                 (match widened with
+                  | [] -> "no dim widened"
+                  | ws ->
+                      String.concat ", "
+                        (List.map (fun (c, d) -> c ^ "/" ^ d) ws)) }
+       | None -> ());
+      undo
+    end
+    else fun () -> ()
+  in
+  let undo = widen () in
+  Fun.protect ~finally:undo (fun () ->
+      let lowered = lower ?tracer fn in
+      build_stmt ?tracer ~knobs ~params ~extents:(extents_of_fn fn ~params)
+        ~inputs lowered.Lower.ast)
 
 (* ---------- trace serialization ---------- *)
 
@@ -458,10 +566,11 @@ let json_of_pass p =
     | None -> "null"
     | Some m -> json_of_meta m
   in
+  let note = if p.p_note = "" then "" else Printf.sprintf {|, "note": %S|} p.p_note in
   Printf.sprintf
-    {|      { "pass": %S, "ms": %.4f, "verify": %s, "before": %s, "after": %s }|}
+    {|      { "pass": %S, "ms": %.4f, "verify": %s, "before": %s, "after": %s%s }|}
     p.p_name p.p_ms (json_of_verdict p.p_verify) (opt_meta p.p_before)
-    (opt_meta p.p_after)
+    (opt_meta p.p_after) note
 
 let json_of_trace t =
   Printf.sprintf
@@ -497,5 +606,6 @@ let print_trace ppf t =
         | Mismatch m -> " [MISMATCH: " ^ m ^ "]"
         | Skipped -> ""
       in
-      Fmt.pf ppf "  %-12s %8.4f ms%s%s@." p.p_name p.p_ms delta verify)
+      let note = if p.p_note = "" then "" else " (" ^ p.p_note ^ ")" in
+      Fmt.pf ppf "  %-14s %8.4f ms%s%s%s@." p.p_name p.p_ms delta verify note)
     t.t_passes

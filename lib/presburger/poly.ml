@@ -231,6 +231,127 @@ let subset a b =
 
 let equal a b = subset a b && subset b a
 
+(* ---------- cardinality ---------- *)
+
+(* Integer bounds on column [v] from inequality rows: [c·v + k >= 0] gives
+   [v >= cdiv(-k,c)] for c > 0 and [v <= fdiv(k,-c)] for c < 0.  [None]
+   means no finite bound on that side. *)
+let var_bounds rows v =
+  List.fold_left
+    (fun (lo, hi) row ->
+      let c = row.(v + 1) and k = row.(0) in
+      if c > 0 then
+        let b = Ints.cdiv (-k) c in
+        ((match lo with None -> Some b | Some l -> Some (max l b)), hi)
+      else if c < 0 then
+        let b = Ints.fdiv k (-c) in
+        (lo, match hi with None -> Some b | Some h -> Some (min h b))
+      else (lo, hi))
+    (None, None) rows
+
+(* Partition the dimensions that appear in some constraint into connected
+   components (two variables are linked when a row mentions both); counting
+   factors into a product over components. *)
+let components p =
+  let parent = Array.init p.n Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let appears = Array.make p.n false in
+  List.iter
+    (fun r ->
+      let first = ref (-1) in
+      Array.iteri
+        (fun j c ->
+          if j > 0 && c <> 0 then begin
+            appears.(j - 1) <- true;
+            if !first < 0 then first := j - 1
+            else parent.(find !first) <- find (j - 1)
+          end)
+        r)
+    (p.eqs @ p.ineqs);
+  let groups = Hashtbl.create 8 in
+  for v = p.n - 1 downto 0 do
+    if appears.(v) then
+      let r = find v in
+      Hashtbl.replace groups r
+        (v :: Option.value (Hashtbl.find_opt groups r) ~default:[])
+  done;
+  (appears, Hashtbl.fold (fun _ vs acc -> vs :: acc) groups [])
+
+let card ?(budget = 1 lsl 16) p =
+  if is_empty p then Some 0
+  else
+    let appears, comps = components p in
+    if Array.exists (fun a -> not a) appears then
+      (* An unconstrained dimension makes a non-empty set infinite. *)
+      None
+    else begin
+      let remaining = ref budget in
+      (* Enumerate a multi-variable component: bound one variable by
+         projection, fix each value, recurse.  The FM range may
+         over-approximate; the emptiness check keeps the count exact. *)
+      let rec enum q = function
+        | [] -> Some 1
+        | v :: rest -> (
+            let proj, _ = eliminate q ~keep:(fun i -> i = v) in
+            match var_bounds (to_ineqs proj) v with
+            | Some lo, Some hi ->
+                if hi < lo then Some 0
+                else if hi - lo + 1 > !remaining then None
+                else begin
+                  let total = ref 0 and ok = ref true in
+                  let x = ref lo in
+                  while !ok && !x <= hi do
+                    decr remaining;
+                    let q' = fix_var q v !x in
+                    if not (is_empty q') then begin
+                      match enum q' rest with
+                      | Some c -> total := !total + c
+                      | None -> ok := false
+                    end;
+                    incr x
+                  done;
+                  if !ok then Some !total else None
+                end
+            | _ -> None)
+      in
+      let count_comp = function
+        | [ v ] -> (
+            (* Every row mentioning a singleton-component variable mentions
+               only that variable, so its points form exactly the integer
+               interval [lo, hi]. *)
+            match var_bounds (to_ineqs p) v with
+            | Some lo, Some hi -> Some (max 0 (hi - lo + 1))
+            | _ -> None)
+        | vs -> enum p vs
+      in
+      List.fold_left
+        (fun acc vs ->
+          match (acc, count_comp vs) with
+          | Some a, Some c -> Some (a * c)
+          | _ -> None)
+        (Some 1) comps
+    end
+
+let card_box p =
+  if is_empty p then Some 0
+  else
+    let rec go v acc =
+      if v = p.n then Some acc
+      else
+        let proj, _ = eliminate p ~keep:(fun i -> i = v) in
+        match var_bounds (to_ineqs proj) v with
+        | Some lo, Some hi -> go (v + 1) (acc * max 0 (hi - lo + 1))
+        | _ -> None
+    in
+    go 0 1
+
 let pp ppf p =
   let pp_row kind ppf r =
     Format.fprintf ppf "%d" r.(0);

@@ -103,6 +103,20 @@ let corpus_reduction =
         { rc_name = "c1"; rc_rank = 2; rc_red = None; rc_expr = Prod "c0" } ];
     steps = [ Parallelize ("c0_upd", "i"); Unroll ("c0_upd", "r", 2) ] }
 
+(* Doubly-parallel rectangular nest: the parallel planner coalesces the
+   two [Parallel] dims into one fused loop, so the differential configs
+   (plan forced on/off x static/dynamic schedule) diverge on any bug in
+   the div/mod index recovery or the fused trip count.  Extents 5 x 7 are
+   coprime so a stride mix-up cannot alias back to the right cell. *)
+let corpus_coalesce =
+  { extents = [ Lit 5; Lit 7 ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = None;
+          rc_expr = Bin (Add, In ("a0", [ (0, 1); (1, -2) ]), Const 3) } ];
+    steps = [ Parallelize ("c0", "i"); Parallelize ("c0", "j") ] }
+
 (* Symbolic extent N: tiling a parametric loop exercises Passes.narrow's
    symbolic min/max bounds, at N = 5 and at the N = 0 boundary. *)
 let corpus_nparam n =
@@ -122,6 +136,7 @@ let replay_corpus () =
   check_pass "exact unroll remainder 0" corpus_exact_unroll;
   check_pass "vector epilogue" corpus_vector_epilogue;
   check_pass "reduction" corpus_reduction;
+  check_pass "coalesced parallel nest" corpus_coalesce;
   check_pass "symbolic N = 5" (corpus_nparam 5);
   check_pass "symbolic N = 0" (corpus_nparam 0)
 

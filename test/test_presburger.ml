@@ -94,6 +94,32 @@ let prop_subtract n =
           expected = got)
         (box_points n (-2) 2))
 
+let prop_card n =
+  (* The planner's trip counts lean on this: [card] is exact (or [None]),
+     never an approximation. *)
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "card = brute force (dim %d)" n)
+    (arb_poly n)
+    (fun p ->
+      let p = boxed n (-3) 3 p in
+      let brute =
+        List.length
+          (List.filter (fun pt -> Poly.mem p pt) (box_points n (-3) 3))
+      in
+      Poly.card p = Some brute)
+
+let prop_card_box n =
+  QCheck.Test.make ~count:200
+    ~name:(Printf.sprintf "card_box is an upper bound (dim %d)" n)
+    (arb_poly n)
+    (fun p ->
+      let p = boxed n (-3) 3 p in
+      let brute =
+        List.length
+          (List.filter (fun pt -> Poly.mem p pt) (box_points n (-3) 3))
+      in
+      match Poly.card_box p with Some ub -> ub >= brute | None -> false)
+
 let prop_gist n =
   QCheck.Test.make ~count:120
     ~name:(Printf.sprintf "gist preserves set within context (dim %d)" n)
@@ -145,6 +171,39 @@ let unit_tests =
           (Option.map (fun pt -> pt.(0)) (Poly.sample q));
         Alcotest.(check bool) "i0=3,i1=0 in" true (Poly.mem q [| 3; 0 |]);
         Alcotest.(check bool) "i0=3,i1=1 out" false (Poly.mem q [| 3; 1 |]));
+    Alcotest.test_case "card corner cases" `Quick (fun () ->
+        (* empty set *)
+        let empty =
+          Poly.make 1 ~eqs:[ [| -7; 2 |] ]
+            ~ineqs:[ [| 0; 1 |]; [| 5; -1 |] ]
+        in
+        Alcotest.(check (option int)) "empty" (Some 0) (Poly.card empty);
+        (* single point: x = 3, y = 4 *)
+        let pt =
+          Poly.make 2 ~eqs:[ [| -3; 1; 0 |]; [| -1; -1; 1 |] ] ~ineqs:[]
+        in
+        Alcotest.(check (option int)) "single point" (Some 1) (Poly.card pt);
+        (* unbounded: 0 <= x, y unconstrained *)
+        let unb = Poly.make 2 ~eqs:[] ~ineqs:[ [| 0; 1; 0 |] ] in
+        Alcotest.(check (option int)) "unbounded" None (Poly.card unb);
+        (* triangle: 0 <= y <= x <= 4 -> 15 points *)
+        let tri =
+          Poly.make 2 ~eqs:[]
+            ~ineqs:[ [| 0; 0; 1 |]; [| 0; 1; -1 |]; [| 4; -1; 0 |] ]
+        in
+        Alcotest.(check (option int)) "triangle" (Some 15) (Poly.card tri);
+        (* independent components multiply: 0<=x<=2 times 0<=y<=4 *)
+        let box =
+          Poly.make 2 ~eqs:[]
+            ~ineqs:[ [| 0; 1; 0 |]; [| 2; -1; 0 |];
+                     [| 0; 0; 1 |]; [| 4; 0; -1 |] ]
+        in
+        Alcotest.(check (option int)) "product" (Some 15) (Poly.card box);
+        Alcotest.(check (option int)) "box bound" (Some 15)
+          (Poly.card_box box);
+        (* card_box over-approximates the triangle by its bounding box *)
+        Alcotest.(check (option int)) "triangle box" (Some 25)
+          (Poly.card_box tri));
   ]
 
 (* ---------- Iset / Imap ---------- *)
@@ -235,6 +294,30 @@ let iset_tests =
         let s = Iset.to_string blur_domain in
         Alcotest.(check bool) "mentions tuple" true
           (Astring.String.is_infix ~affix:"by[i, j]" s));
+    Alcotest.test_case "card = points length" `Quick (fun () ->
+        let params = [ ("N", 5); ("M", 4) ] in
+        Alcotest.(check (option int)) "blur" (Some 6)
+          (Iset.card blur_domain ~params);
+        Alcotest.(check (option int)) "blur estimate" (Some 6)
+          (Iset.card_estimate blur_domain ~params);
+        let tiled = Imap.apply blur_domain tiling_map in
+        Alcotest.(check (option int)) "tiled"
+          (Some (List.length (Iset.points tiled ~params:[ ("N", 8); ("M", 8) ])))
+          (Iset.card tiled ~params:[ ("N", 8); ("M", 8) ]);
+        (* overlapping union is disjointified, not double-counted *)
+        let shifted =
+          Iset.of_constraints
+            (Space.set_space ~name:"by" ~params:[ "N"; "M" ] [ "i"; "j" ])
+            (Cstr.between (c 1) (v "i") Aff.(v "N" - c 1)
+            @ Cstr.between (c 0) (v "j") Aff.(v "M" - c 2))
+        in
+        let u = Iset.union blur_domain shifted in
+        Alcotest.(check (option int)) "union"
+          (Some (List.length (Iset.points u ~params)))
+          (Iset.card u ~params);
+        (* empty instance of the domain *)
+        Alcotest.(check (option int)) "empty" (Some 0)
+          (Iset.card blur_domain ~params:[ ("N", 2); ("M", 2) ]));
   ]
 
 let () =
@@ -249,5 +332,7 @@ let () =
             prop_emptiness 1; prop_emptiness 2; prop_emptiness 3;
             prop_sample 2; prop_projection_sound 2; prop_projection_sound 3;
             prop_subtract 2; prop_gist 2;
+            prop_card 1; prop_card 2; prop_card 3;
+            prop_card_box 2;
           ] );
     ]
