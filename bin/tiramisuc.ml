@@ -234,7 +234,9 @@ let dump_after_arg =
     & info [ "dump-after" ] ~docv:"PASS"
         ~doc:
           "Print the loop IR after the named pipeline pass (one of: lower, \
-           legalize, alloc-scope, narrow, simplify).")
+           legalize, alloc-scope, narrow, simplify, tape-compile).  For \
+           tape-compile the dump is the disassembled instruction tape of \
+           every claimed nest rather than the loop IR.")
 
 (* A tracer when either observation flag is set, [None] otherwise. *)
 let cli_tracer ~trace ~dump_after ~name =
@@ -244,8 +246,21 @@ let cli_tracer ~trace ~dump_after ~name =
       Option.map
         (fun want pass s ->
           if String.equal pass want then
-            Printf.printf "=== after %s ===\n%s\n" pass
-              (Tiramisu_codegen.Loop_ir.to_string s))
+            if String.equal pass "tape-compile" then
+              (* The tape pass is an observation point: dump the bytecode the
+                 executor will run instead of the (unchanged) loop IR. *)
+              match Tiramisu_codegen.Tape_gen.scan s with
+              | [] -> Printf.printf "=== after %s ===\n(no nest claimed)\n" pass
+              | progs ->
+                  List.iter
+                    (fun p ->
+                      Printf.printf "=== after %s: %s ===\n%s" pass
+                        (Tiramisu_codegen.Tape_gen.summary p)
+                        (Tiramisu_codegen.Tape_gen.disassemble p))
+                    progs
+            else
+              Printf.printf "=== after %s ===\n%s\n" pass
+                (Tiramisu_codegen.Loop_ir.to_string s))
         dump_after
     in
     Some (P.make_tracer ?on_after ~name ())

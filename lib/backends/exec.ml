@@ -32,6 +32,9 @@ type compiled = {
   c_spec : int;                  (* innermost loops compiled specialized *)
   c_fallback : int;              (* Parallel loops demoted by the work bound *)
   c_static : int;                (* pool loops given the static schedule *)
+  c_tape : int;                  (* nests claimed by the tape backend *)
+  c_tape_instr : int;            (* total tape instructions across nests *)
+  c_tape_fb : int Atomic.t;      (* runtime corner-check fallbacks (shared) *)
 }
 
 type ctx = {
@@ -59,6 +62,12 @@ type ctx = {
   n_spec : int Atomic.t;             (* specialized innermost loops *)
   n_fallback : int Atomic.t;         (* Parallel loops demoted to Seq *)
   n_static : int Atomic.t;           (* pool loops compiled static *)
+  (* the flat-tape backend (see {!Tape}) *)
+  tape_enabled : bool;
+  mutable in_tape : int;             (* compiling inside a claimed nest *)
+  n_tape : int Atomic.t;             (* nests claimed by the tape *)
+  n_tape_instr : int Atomic.t;       (* total tape instructions *)
+  n_tape_fb : int Atomic.t;          (* runtime corner-check fallbacks *)
 }
 
 let slot ctx name =
@@ -831,9 +840,42 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
          re-sizing per entry would need re-compilation. The reference
          interpreter handles these pipelines. *)
       failwith "Exec: scoped Alloc not supported; use the interpreter"
-  | L.For { var; lo; hi; tag; body } ->
+  | L.For { var; lo; hi; tag; body } as whole ->
       let s = slot ctx var in
       let flo = compile_int ctx lo and fhi = compile_int ctx hi in
+      (* Attempt the flat-tape backend first: a perfect rectangular nest
+         over straight-line affine stores compiles to register-file
+         bytecode with strength-reduced cursors (see {!Tape_gen} /
+         {!Tape}), and the whole closure compile below becomes the
+         checked fallback taken when the whole-box corner check fails at
+         run time.  Inner loops of a claimed nest are not re-attempted
+         ([in_tape]), and the [`Spawn] strategy keeps its closure-driven
+         baseline for parallel loops. *)
+      let tape_rt =
+        if
+          (not ctx.tape_enabled)
+          || ctx.in_tape > 0
+          || (ctx.par_mode = `Spawn && tag = L.Parallel && ctx.par_depth = 0)
+        then None
+        else
+          match Tape_gen.compile_nest whole with
+          | None -> None
+          | Some prog -> (
+              match
+                Tape.bind
+                  ~buf:(Hashtbl.find_opt ctx.cbufs)
+                  ~slot:(slot ctx) prog
+              with
+              | None -> None
+              | Some bt -> Some (prog, bt))
+      in
+      (match tape_rt with
+      | Some (prog, _) ->
+          Atomic.incr ctx.n_tape;
+          ignore
+            (Atomic.fetch_and_add ctx.n_tape_instr (Tape_gen.instr_count prog))
+      | None -> ());
+      if Option.is_some tape_rt then ctx.in_tape <- ctx.in_tape + 1;
       (* Statically nested Parallel loops run sequentially inside their
          chunk: the pool already owns the machine at the outer level.
          Pool-scheduled loops additionally fall back to sequential when
@@ -911,6 +953,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
       let my_pending = ref [] in
       Hashtbl.replace ctx.pending var my_pending;
       let fbody = compile_stmt ctx body in
+      if Option.is_some tape_rt then ctx.in_tape <- ctx.in_tape - 1;
       let checks = Array.of_list !my_pending in
       (match saved_pending with
       | Some r -> Hashtbl.replace ctx.pending var r
@@ -1031,16 +1074,73 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
             env.(fv) <- saved
         end
       in
-      (match spec with
-      | Some try_run ->
-          fun env ->
-            let lo = flo env and hi = fhi env in
-            if hi >= lo then
+      let closure_run =
+        match spec with
+        | Some try_run ->
+            fun env lo hi ->
               if not (try_run env lo hi) then checked_run env lo hi
+        | None -> checked_run
+      in
+      (match tape_rt with
       | None ->
           fun env ->
             let lo = flo env and hi = fhi env in
-            if hi >= lo then checked_run env lo hi)
+            if hi >= lo then closure_run env lo hi
+      | Some (_, bt) ->
+          (* Tape dispatch: [Tape.enter] evaluates bounds and the
+             whole-box corner checks once per nest entry — a failure
+             falls back to the closure path (whose per-access checks
+             raise at the faulting iteration) and is counted. *)
+          let tfb = ctx.n_tape_fb in
+          let seq_tape =
+            (* per-domain persistent state: safe under an enclosing
+               parallel loop, reused across entries once warm *)
+            let key = Domain.DLS.new_key (fun () -> Tape.new_state bt) in
+            fun env total ->
+              Tape.run_range bt (Domain.DLS.get key) env 0 (total - 1)
+          in
+          let run_tape =
+            if not parallel then seq_tape
+            else
+              match ctx.par_mode with
+              | `Pool when static_sched ->
+                  (* the static scheduler's persistent per-range state is
+                     the tape's register-file home: range [k] always
+                     reuses state [k], grown only by the submitting
+                     caller before any range runs.  The env is shared
+                     read-only — the tape never writes registers. *)
+                  let pstates = ref [||] in
+                  fun env total ->
+                    let nw = Pool.num_workers () in
+                    if Array.length !pstates < nw then begin
+                      let old = !pstates in
+                      pstates :=
+                        Array.init nw (fun k ->
+                            if k < Array.length old then old.(k)
+                            else Tape.new_state bt)
+                    end;
+                    let ps = !pstates in
+                    Pool.static_for 0 (total - 1) ~body:(fun k flo fhi ->
+                        Tape.run_range bt ps.(k) env flo fhi)
+              | `Pool ->
+                  let key =
+                    Domain.DLS.new_key (fun () -> Tape.new_state bt)
+                  in
+                  fun env total ->
+                    Pool.parallel_for 0 (total - 1) ~body:(fun flo fhi ->
+                        Tape.run_range bt (Domain.DLS.get key) env flo fhi)
+              | `Spawn | `Seq -> seq_tape
+          in
+          fun env ->
+            let lo = flo env and hi = fhi env in
+            if hi >= lo then begin
+              let total = Tape.enter bt env in
+              if total < 0 then begin
+                Atomic.incr tfb;
+                closure_run env lo hi
+              end
+              else if total > 0 then run_tape env total
+            end)
   | L.Send { dst; buf = b; offset; count; _ } ->
       let bb = buf ctx b in
       let fdst = compile_int ctx dst in
@@ -1108,7 +1208,7 @@ let prepare ?(narrow = true) ~params stmt =
 
 (* Closure-compile an already-prepared (narrowed/simplified) statement. *)
 let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
-    ?(demote = true) ~params ~buffers stmt =
+    ?(demote = true) ?(tape = true) ~params ~buffers stmt =
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -1130,6 +1230,11 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
       n_spec = Atomic.make 0;
       n_fallback = Atomic.make 0;
       n_static = Atomic.make 0;
+      tape_enabled = tape;
+      in_tape = 0;
+      n_tape = Atomic.make 0;
+      n_tape_instr = Atomic.make 0;
+      n_tape_fb = Atomic.make 0;
     }
   in
   let rank_slot = slot ctx "__rank" in
@@ -1152,17 +1257,25 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
      independent. *)
   { body; regs0; bufs = ctx.cbufs; cmeta = L.analyze_loops stmt;
     c_spec = Atomic.get ctx.n_spec; c_fallback = Atomic.get ctx.n_fallback;
-    c_static = Atomic.get ctx.n_static }
+    c_static = Atomic.get ctx.n_static;
+    c_tape = Atomic.get ctx.n_tape;
+    c_tape_instr = Atomic.get ctx.n_tape_instr;
+    (* the fallback counter keeps accumulating at run time, so the
+       compiled value shares the Atomic instead of snapshotting it *)
+    c_tape_fb = ctx.n_tape_fb }
 
 let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true)
-    ?(sched = `Auto) ?(demote = true) ~params ~buffers stmt =
-  compile_prepared ~parallel ~specialize ~sched ~demote ~params ~buffers
+    ?(sched = `Auto) ?(demote = true) ?(tape = true) ~params ~buffers stmt =
+  compile_prepared ~parallel ~specialize ~sched ~demote ~tape ~params ~buffers
     (prepare ~narrow ~params stmt)
 
 let run c = c.body (Array.copy c.regs0)
 let spec_count c = c.c_spec
 let pool_fallbacks c = c.c_fallback
 let static_count c = c.c_static
+let tape_count c = c.c_tape
+let tape_instrs c = c.c_tape_instr
+let tape_fallbacks c = Atomic.get c.c_tape_fb
 
 let buffer c name =
   match Hashtbl.find_opt c.bufs name with

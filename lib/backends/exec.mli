@@ -67,6 +67,7 @@ val compile_prepared :
   ?specialize:bool ->
   ?sched:schedule ->
   ?demote:bool ->
+  ?tape:bool ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
@@ -84,6 +85,7 @@ val compile :
   ?narrow:bool ->
   ?sched:schedule ->
   ?demote:bool ->
+  ?tape:bool ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
@@ -128,3 +130,19 @@ val static_count : compiled -> int
 (** Number of pool-executed [Parallel] loops compiled with the static
     per-worker schedule (see {!schedule}).  Per-[compiled] value, like
     {!spec_count}. *)
+
+val tape_count : compiled -> int
+(** Number of loop nests claimed by the flat-tape backend ([tape], default
+    on): perfect rectangular nests over straight-line affine stores compiled
+    to register-file bytecode with strength-reduced cursor addressing (see
+    {!Tape}).  The whole closure path stays compiled as the checked
+    fallback.  Per-[compiled] value, like {!spec_count}. *)
+
+val tape_instrs : compiled -> int
+(** Total tape instructions across all claimed nests.  Per-[compiled]. *)
+
+val tape_fallbacks : compiled -> int
+(** Number of nest {e entries} whose whole-box corner check failed at run
+    time, falling back to the generic closure path (whose per-access checks
+    raise at the faulting iteration).  Unlike the compile-time counters this
+    accumulates across {!run} calls of the same [compiled] value. *)

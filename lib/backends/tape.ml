@@ -1,0 +1,384 @@
+(* The flat-tape executor: binds an abstract {!Tiramisu_codegen.Tape_gen}
+   program against concrete buffers and runs it with no closures, no env
+   lookups and no allocation in the hot loop.
+
+   Binding strength-reduces the addressing once: per access, the affine
+   index of every dimension folds with the buffer's strides into a single
+   flat base (affine over env slots of names outside the nest) plus one
+   integer step per nest level.  Execution walks the nest as an odometer
+   over "segments" — maximal runs of the innermost variable — and per
+   segment recomputes each cursor from the base and the current outer
+   indices, then runs the instruction tape once per iteration with
+   constant cursor bumps.
+
+   The iteration space of the [Parallel] tag prefix (levels [0..p_par-1])
+   is linearized into a single fused range the caller may split across
+   workers: ranges of the fused space never cut a sequential subnest, so
+   accumulators and loop-carried store/load orders inside it are
+   preserved exactly.  When the whole nest is the prefix, segments are
+   additionally clipped to the caller's range (and the generator emitted
+   no accumulator for that shape).
+
+   Entry corner checks cover the whole box at once: every access
+   dimension's min and max over all levels' ranges are computed from the
+   coefficient signs, so a passing check makes every executed iteration
+   in-bounds with no per-access checks inside the loop.  A failing check
+   (or a zero-extent level: nothing to do) is reported to the caller, who
+   falls back to the generic closure path — whose per-access checks then
+   raise at exactly the faulting iteration. *)
+
+module T = Tiramisu_codegen.Tape_gen
+
+type baccess = {
+  b_data : float array;
+  b_base : int array -> int;  (* env -> flat offset with all nest ivs 0 *)
+  b_steps : int array;        (* flat-offset step per unit of each level *)
+}
+
+(* One access dimension's whole-box bounds check. *)
+type dimchk = {
+  c_coeffs : int array;       (* per nest level *)
+  c_rest : int array -> int;  (* env -> non-nest part of the index *)
+  c_dim : int;
+}
+
+type t = {
+  t_d : int;                   (* nest depth *)
+  t_split : int;               (* fused split depth: max 1 p_par *)
+  t_nregs : int;
+  t_lits : (int * float) array;
+  t_hoists : (int * int) array;     (* (reg, env slot) *)
+  t_ivregs : int array;
+  t_promos : (int * int) array;
+  t_accum : (int * int * bool) option;
+  t_code : int array;
+  t_accs : baccess array;
+  t_datas : float array array;      (* per access, aliases t_accs *)
+  t_inner_steps : int array;        (* per access, step of the last level *)
+  t_checks : dimchk array;
+  t_lo : (int array -> int) array;  (* per level *)
+  t_hi : (int array -> int) array;
+}
+
+type state = {
+  regs : float array;
+  cur : int array;     (* flat cursor per access *)
+  abase : int array;   (* per-range base per access *)
+  ivs : int array;     (* integer odometer per level *)
+  los : int array;
+  exts : int array;
+  fstr : int array;    (* fused-space stride per split level *)
+}
+
+let affine_fn ~slot ((ts, c) : T.affine) : int array -> int =
+  match ts with
+  | [] -> fun _ -> c
+  | [ (v, a) ] ->
+      let s = slot v in
+      fun env -> (a * env.(s)) + c
+  | ts ->
+      let pairs = Array.of_list (List.map (fun (v, a) -> (slot v, a)) ts) in
+      fun env ->
+        let x = ref c in
+        Array.iter (fun (s, a) -> x := !x + (a * env.(s))) pairs;
+        !x
+
+(* [bind p ~buf ~slot] resolves buffer names and free names; [None] when
+   a buffer is unknown or its rank does not match the access. *)
+let bind ~(buf : string -> Buffers.t option) ~(slot : string -> int)
+    (p : T.program) : t option =
+  let d = Array.length p.T.p_levels in
+  let nest_vars =
+    Array.to_list (Array.map (fun l -> l.T.lv_var) p.T.p_levels)
+  in
+  let level_of v =
+    let rec go l = if p.T.p_levels.(l).T.lv_var = v then l else go (l + 1) in
+    go 0
+  in
+  let exception Unbound in
+  try
+    let checks = ref [] in
+    let accs =
+      Array.map
+        (fun (a : T.access) ->
+          let b = match buf a.T.ac_buf with Some b -> b | None -> raise Unbound in
+          let dims = b.Buffers.dims in
+          if Array.length dims <> Array.length a.T.ac_idx then raise Unbound;
+          let strides = Buffers.strides_of dims in
+          let steps = Array.make d 0 in
+          (* non-nest part of the flat offset, merged across dimensions *)
+          let rest_terms : (string, int) Hashtbl.t = Hashtbl.create 4 in
+          let rest_const = ref 0 in
+          Array.iteri
+            (fun k (ts, c) ->
+              let stride = strides.(k) in
+              let dim_coeffs = Array.make d 0 in
+              let dim_rest = ref [] in
+              List.iter
+                (fun (v, coeff) ->
+                  if List.mem v nest_vars then begin
+                    let l = level_of v in
+                    steps.(l) <- steps.(l) + (coeff * stride);
+                    dim_coeffs.(l) <- dim_coeffs.(l) + coeff
+                  end
+                  else begin
+                    let prev =
+                      Option.value ~default:0 (Hashtbl.find_opt rest_terms v)
+                    in
+                    Hashtbl.replace rest_terms v (prev + (coeff * stride));
+                    dim_rest := (v, coeff) :: !dim_rest
+                  end)
+                ts;
+              rest_const := !rest_const + (c * stride);
+              checks :=
+                { c_coeffs = dim_coeffs;
+                  c_rest = affine_fn ~slot (!dim_rest, c);
+                  c_dim = dims.(k) }
+                :: !checks)
+            a.T.ac_idx;
+          let rest =
+            Hashtbl.fold (fun v c acc -> (v, c) :: acc) rest_terms []
+          in
+          { b_data = b.Buffers.data;
+            b_base = affine_fn ~slot (rest, !rest_const);
+            b_steps = steps })
+        p.T.p_accesses
+    in
+    Some
+      { t_d = d;
+        t_split = max 1 p.T.p_par;
+        t_nregs = p.T.p_nregs;
+        t_lits = p.T.p_lits;
+        t_hoists = Array.map (fun (r, v) -> (r, slot v)) p.T.p_hoists;
+        t_ivregs = p.T.p_ivregs;
+        t_promos = p.T.p_promos;
+        t_accum = p.T.p_accum;
+        t_code = p.T.p_code;
+        t_accs = accs;
+        t_datas = Array.map (fun a -> a.b_data) accs;
+        t_inner_steps = Array.map (fun a -> a.b_steps.(d - 1)) accs;
+        t_checks = Array.of_list (List.rev !checks);
+        t_lo = Array.map (fun l -> affine_fn ~slot l.T.lv_lo) p.T.p_levels;
+        t_hi = Array.map (fun l -> affine_fn ~slot l.T.lv_hi) p.T.p_levels }
+  with Unbound -> None
+
+let new_state t =
+  let st =
+    { regs = Array.make t.t_nregs 0.0;
+      cur = Array.make (Array.length t.t_accs) 0;
+      abase = Array.make (Array.length t.t_accs) 0;
+      ivs = Array.make t.t_d 0;
+      los = Array.make t.t_d 0;
+      exts = Array.make t.t_d 0;
+      fstr = Array.make t.t_split 1 }
+  in
+  Array.iter (fun (r, v) -> st.regs.(r) <- v) t.t_lits;
+  st
+
+(* [enter t env] evaluates bounds and runs the whole-box corner checks:
+   [-1] when a check fails (caller takes the closure fallback), otherwise
+   the size of the fused split space (0 when any level is empty: nothing
+   to run, vacuously in bounds). *)
+let enter t env =
+  let d = t.t_d in
+  let lo = Array.init d (fun l -> t.t_lo.(l) env) in
+  let hi = Array.init d (fun l -> t.t_hi.(l) env) in
+  let empty = ref false in
+  for l = 0 to d - 1 do
+    if hi.(l) < lo.(l) then empty := true
+  done;
+  if !empty then 0
+  else begin
+    let ok = ref true in
+    let nchk = Array.length t.t_checks in
+    let i = ref 0 in
+    while !ok && !i < nchk do
+      let c = t.t_checks.(!i) in
+      let mn = ref (c.c_rest env) in
+      let mx = ref !mn in
+      for l = 0 to d - 1 do
+        let a = c.c_coeffs.(l) in
+        if a >= 0 then begin
+          mn := !mn + (a * lo.(l));
+          mx := !mx + (a * hi.(l))
+        end
+        else begin
+          mn := !mn + (a * hi.(l));
+          mx := !mx + (a * lo.(l))
+        end
+      done;
+      ok := !mn >= 0 && !mx < c.c_dim;
+      incr i
+    done;
+    if not !ok then -1
+    else begin
+      let total = ref 1 in
+      for l = 0 to t.t_split - 1 do
+        total := !total * (hi.(l) - lo.(l) + 1)
+      done;
+      !total
+    end
+  end
+
+(* The instruction interpreter.  Opcode numbering mirrors
+   {!Tiramisu_codegen.Tape_gen}; [fma] deliberately rounds twice so
+   results stay bit-identical to the reference interpreter. *)
+let[@inline] exec_code (code : int array) (st : state)
+    (datas : float array array) =
+  let regs = st.regs and cur = st.cur in
+  let n = Array.length code in
+  let pc = ref 0 in
+  while !pc < n do
+    let i = !pc in
+    let dst = code.(i + 1) and a = code.(i + 2) and b = code.(i + 3) in
+    (match code.(i) with
+    | 0 (* load *) -> regs.(dst) <- datas.(a).(cur.(a))
+    | 1 (* store *) -> datas.(a).(cur.(a)) <- regs.(b)
+    | 2 (* mov *) -> regs.(dst) <- regs.(a)
+    | 3 (* add *) -> regs.(dst) <- regs.(a) +. regs.(b)
+    | 4 (* sub *) -> regs.(dst) <- regs.(a) -. regs.(b)
+    | 5 (* mul *) -> regs.(dst) <- regs.(a) *. regs.(b)
+    | 6 (* div *) -> regs.(dst) <- regs.(a) /. regs.(b)
+    | 7 (* min *) -> regs.(dst) <- Float.min regs.(a) regs.(b)
+    | 8 (* max *) -> regs.(dst) <- Float.max regs.(a) regs.(b)
+    | 9 (* fma *) -> regs.(dst) <- regs.(dst) +. (regs.(a) *. regs.(b))
+    | 10 (* neg *) -> regs.(dst) <- -.regs.(a)
+    | 11 (* abs *) -> regs.(dst) <- Float.abs regs.(a)
+    | 12 (* sqrt *) -> regs.(dst) <- sqrt regs.(a)
+    | 13 (* exp *) -> regs.(dst) <- exp regs.(a)
+    | 14 (* log *) -> regs.(dst) <- log regs.(a)
+    | 15 (* sin *) -> regs.(dst) <- sin regs.(a)
+    | 16 (* cos *) -> regs.(dst) <- cos regs.(a)
+    | 17 (* floor *) -> regs.(dst) <- Float.floor regs.(a)
+    | 18 (* pow *) -> regs.(dst) <- Float.pow regs.(a) regs.(b)
+    | 19 (* fdivi *) ->
+        regs.(dst) <-
+          Float.of_int
+            (Tiramisu_support.Ints.fdiv
+               (int_of_float regs.(a))
+               (int_of_float regs.(b)))
+    | 20 (* modi *) ->
+        regs.(dst) <-
+          Float.of_int
+            (Tiramisu_support.Ints.emod
+               (int_of_float regs.(a))
+               (int_of_float regs.(b)))
+    | 21 (* trunc *) -> regs.(dst) <- Float.of_int (int_of_float regs.(a))
+    | _ -> assert false);
+    pc := i + 4
+  done
+
+(* One segment: the outer odometer [st.ivs] is in position, run [len]
+   iterations of the innermost level starting at its current value. *)
+let run_segment t st len =
+  let d = t.t_d in
+  let nacc = Array.length t.t_accs in
+  let datas = t.t_datas in
+  (* cursors from the per-range base and the odometer *)
+  for a = 0 to nacc - 1 do
+    let steps = t.t_accs.(a).b_steps in
+    let c = ref st.abase.(a) in
+    for l = 0 to d - 1 do
+      c := !c + (steps.(l) * st.ivs.(l))
+    done;
+    st.cur.(a) <- !c
+  done;
+  (* float iteration-variable registers *)
+  for l = 0 to d - 1 do
+    st.regs.(t.t_ivregs.(l)) <- float_of_int st.ivs.(l)
+  done;
+  (* segment prologue: promoted loads, accumulator init *)
+  Array.iter
+    (fun (r, a) -> st.regs.(r) <- datas.(a).(st.cur.(a)))
+    t.t_promos;
+  (match t.t_accum with
+  | Some (r, a, true) -> st.regs.(r) <- datas.(a).(st.cur.(a))
+  | Some (_, _, false) | None -> ());
+  (* the hot loop *)
+  let code = t.t_code in
+  let inner = t.t_inner_steps in
+  let ivd = t.t_ivregs.(d - 1) in
+  let cur = st.cur and regs = st.regs in
+  for _ = 1 to len do
+    exec_code code st datas;
+    for a = 0 to nacc - 1 do
+      cur.(a) <- cur.(a) + inner.(a)
+    done;
+    regs.(ivd) <- regs.(ivd) +. 1.0
+  done;
+  (* epilogue: accumulator writeback (its cursor has inner step 0) *)
+  match t.t_accum with
+  | Some (r, a, _) -> datas.(a).(st.cur.(a)) <- st.regs.(r)
+  | None -> ()
+
+(* [run_range t st env f_lo f_hi] executes the fused-range slice
+   [f_lo..f_hi] (inclusive) of the split space on [st].  The caller
+   guarantees [enter] returned a total > f_hi. *)
+let run_range t st env f_lo f_hi =
+  if f_hi >= f_lo then begin
+    let d = t.t_d and p = t.t_split in
+    for l = 0 to d - 1 do
+      st.los.(l) <- t.t_lo.(l) env;
+      st.exts.(l) <- t.t_hi.(l) env - st.los.(l) + 1
+    done;
+    (* fused-space strides over the split levels *)
+    st.fstr.(p - 1) <- 1;
+    for l = p - 2 downto 0 do
+      st.fstr.(l) <- st.fstr.(l + 1) * st.exts.(l + 1)
+    done;
+    Array.iter
+      (fun (r, s) -> st.regs.(r) <- float_of_int env.(s))
+      t.t_hoists;
+    for a = 0 to Array.length t.t_accs - 1 do
+      st.abase.(a) <- t.t_accs.(a).b_base env
+    done;
+    let decode f =
+      for l = 0 to p - 1 do
+        st.ivs.(l) <- st.los.(l) + (f / st.fstr.(l) mod st.exts.(l))
+      done
+    in
+    if p = d then begin
+      (* the whole nest is the split space: segments are innermost runs
+         clipped to the caller's slice *)
+      let nlast = st.exts.(d - 1) in
+      let f = ref f_lo in
+      while !f <= f_hi do
+        decode !f;
+        let off = st.ivs.(d - 1) - st.los.(d - 1) in
+        let len = min (nlast - off) (f_hi - !f + 1) in
+        run_segment t st len;
+        f := !f + len
+      done
+    end
+    else begin
+      (* each fused point owns a full sequential subnest *)
+      let nonempty = ref true in
+      for l = p to d - 1 do
+        if st.exts.(l) <= 0 then nonempty := false
+      done;
+      if !nonempty then
+        for f = f_lo to f_hi do
+          decode f;
+          for l = p to d - 1 do
+            st.ivs.(l) <- st.los.(l)
+          done;
+          (* odometer over the middle levels; the innermost level is one
+             whole segment per middle position *)
+          let running = ref true in
+          while !running do
+            run_segment t st st.exts.(d - 1);
+            let l = ref (d - 2) in
+            let carry = ref true in
+            while !carry && !l >= p do
+              st.ivs.(!l) <- st.ivs.(!l) + 1;
+              if st.ivs.(!l) - st.los.(!l) < st.exts.(!l) then carry := false
+              else begin
+                st.ivs.(!l) <- st.los.(!l);
+                decr l
+              end
+            done;
+            if !carry then running := false
+          done
+        done
+    end
+  end

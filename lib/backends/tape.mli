@@ -1,0 +1,45 @@
+(** The flat-tape executor.
+
+    Binds an abstract {!Tiramisu_codegen.Tape_gen} program against
+    concrete buffers — folding each access's affine indices with the
+    buffer strides into one flat base plus a constant integer step per
+    nest level — and runs it as a register-file bytecode interpreter:
+    no closures, no env lookups and no allocation in the hot loop.
+
+    The [Parallel]-tagged prefix of the nest is linearized into a fused
+    range that callers split across workers; each worker owns a
+    persistent {!state} (register file + cursors), reused across ranges
+    and compiles. *)
+
+(** A program bound to concrete buffers and env slots. *)
+type t
+
+(** Per-worker mutable execution state: the float register file,
+    per-access cursors, and the odometer.  Allocate once per worker,
+    reuse freely across ranges of the same bound program. *)
+type state
+
+(** [bind ~buf ~slot p] resolves buffer names and free names; [None]
+    when a buffer is unknown or its rank does not match an access. *)
+val bind :
+  buf:(string -> Buffers.t option) ->
+  slot:(string -> int) ->
+  Tiramisu_codegen.Tape_gen.program ->
+  t option
+
+val new_state : t -> state
+
+(** [enter t env] evaluates the nest bounds and runs the whole-box
+    corner checks against every access: [-1] when a check fails (take
+    the generic closure fallback, whose per-access checks raise at the
+    faulting iteration), [0] when some level is empty (nothing to run),
+    otherwise the size of the fused parallel range to split across
+    workers. *)
+val enter : t -> int array -> int
+
+(** [run_range t st env f_lo f_hi] executes the inclusive slice
+    [f_lo..f_hi] of the fused range on [st].  Slices never cut a
+    sequential subnest, so disjoint slices touch disjoint store
+    locations and may run concurrently.  [enter] must have returned a
+    total [> f_hi]. *)
+val run_range : t -> state -> int array -> int -> int -> unit

@@ -34,7 +34,9 @@ module Poly = Tiramisu_presburger.Poly
 
 type decision = {
   d_var : string;              (* outermost loop var the decision is about *)
-  d_action : [ `Coalesce of string list | `Keep | `Serialize ];
+  d_action :
+    [ `Coalesce of string list | `Keep | `Keep_tape of string list
+    | `Serialize ];
   d_trip : int option;         (* parallel-chain trip count (card) *)
   d_trip_exact : bool;
   d_per_worker : int;          (* estimated work units per worker *)
@@ -59,6 +61,7 @@ let decision_str d =
     match d.d_action with
     | `Coalesce vs -> Printf.sprintf "coalesce[%s]" (String.concat "+" vs)
     | `Keep -> "parallel"
+    | `Keep_tape vs -> Printf.sprintf "tape[%s]" (String.concat "+" vs)
     | `Serialize -> "serialize"
   in
   Printf.sprintf "%s %s trip=%s%s work/worker=%d %s" action d.d_var
@@ -272,8 +275,8 @@ let retag_seq_deep count (s : L.stmt) =
 
 let chunks_per_worker = 4
 
-let plan ~workers ~min_work ~params ?(force = false) (stmt : L.stmt) :
-    L.stmt * report =
+let plan ~workers ~min_work ~params ?(force = false) ?(tape = false)
+    (stmt : L.stmt) : L.stmt * report =
   let env = Hashtbl.create 16 in
   List.iter (fun (p, v) -> Hashtbl.replace env p v) params;
   let exact_names = List.map fst params in
@@ -425,22 +428,49 @@ let plan ~workers ~min_work ~params ?(force = false) (stmt : L.stmt) :
           in
           let m = max 1 (min m rect_prefix) in
           if m >= 2 then begin
-            let inner_before = snd (List.nth chain (m - 1)) in
-            let inner = retag_seq_deep_counted inner_before in
-            rep :=
-              { !rep with
-                r_parallel = !(rep).r_parallel + 1;
-                r_coalesced = !(rep).r_coalesced + 1;
-                r_fused_levels = !(rep).r_fused_levels + m };
-            note
-              { d_var = var;
-                d_action =
-                  `Coalesce
-                    (List.filteri (fun i _ -> i < m)
-                       (List.map (fun l -> l.l_var) levels));
-                d_trip = trip; d_trip_exact = trip_exact;
-                d_per_worker = per_worker; d_uniform = uniform };
-            coalesce chain m inner
+            let vars_m =
+              List.filteri (fun i _ -> i < m)
+                (List.map (fun l -> l.l_var) levels)
+            in
+            if tape && Tape_gen.claimable s then begin
+              (* The tape backend linearizes the Parallel prefix itself
+                 (no div/mod binder loops — which would destroy tape
+                 eligibility); keep the first [m] levels as they are,
+                 retag deeper Parallel levels, and let the executor's
+                 fused split do the collapse. *)
+              let rec keep_chain k (t : L.stmt) : L.stmt =
+                if k = 0 then retag_seq_deep_counted t
+                else
+                  match t with
+                  | L.For ({ tag = L.Parallel; _ } as f) ->
+                      L.For { f with body = keep_chain (k - 1) f.body }
+                  | L.Block l -> L.Block (List.map (keep_chain k) l)
+                  | t -> t
+              in
+              rep :=
+                { !rep with
+                  r_parallel = !(rep).r_parallel + 1;
+                  r_fused_levels = !(rep).r_fused_levels + m };
+              note
+                { d_var = var; d_action = `Keep_tape vars_m; d_trip = trip;
+                  d_trip_exact = trip_exact; d_per_worker = per_worker;
+                  d_uniform = uniform };
+              keep_chain m s
+            end
+            else begin
+              let inner_before = snd (List.nth chain (m - 1)) in
+              let inner = retag_seq_deep_counted inner_before in
+              rep :=
+                { !rep with
+                  r_parallel = !(rep).r_parallel + 1;
+                  r_coalesced = !(rep).r_coalesced + 1;
+                  r_fused_levels = !(rep).r_fused_levels + m };
+              note
+                { d_var = var; d_action = `Coalesce vars_m; d_trip = trip;
+                  d_trip_exact = trip_exact; d_per_worker = per_worker;
+                  d_uniform = uniform };
+              coalesce chain m inner
+            end
           end
           else begin
             rep := { !rep with r_parallel = !(rep).r_parallel + 1 };

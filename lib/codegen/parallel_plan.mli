@@ -17,7 +17,13 @@
 
 type decision = {
   d_var : string;              (** outermost loop var the decision is about *)
-  d_action : [ `Coalesce of string list | `Keep | `Serialize ];
+  d_action :
+    [ `Coalesce of string list | `Keep | `Keep_tape of string list
+    | `Serialize ];
+      (** [`Keep_tape vs]: the nest is claimable by the flat-tape backend,
+          which linearizes the [Parallel] prefix [vs] itself — the levels
+          are kept intact (no binder loops, which would destroy tape
+          eligibility) and count into [r_fused_levels]. *)
   d_trip : int option;         (** parallel-chain trip count *)
   d_trip_exact : bool;         (** [d_trip] is exact, not an estimate *)
   d_per_worker : int;          (** estimated work units per worker *)
@@ -40,6 +46,7 @@ val plan :
   min_work:int ->
   params:(string * int) list ->
   ?force:bool ->
+  ?tape:bool ->
   Loop_ir.stmt ->
   Loop_ir.stmt * report
 (** [plan ~workers ~min_work ~params stmt] rewrites the outermost
@@ -49,9 +56,14 @@ val plan :
     subtree is serialized ([0] disables serialization), [params] the known
     parameter values used by the work estimator.  [~force:true] skips the
     profitability test and fuses the maximal rectangular prefix — a
-    machine-independent mode for differential testing.  Semantics are
-    preserved for any input whose [Parallel] tags are legal (the pass only
-    reorders work across parallel entries that carry no dependence). *)
+    machine-independent mode for differential testing.  [~tape:true]
+    (default [false]) tells the planner the executor's flat-tape backend is
+    on: a fusible nest that {!Tape_gen.claimable} would claim is kept
+    intact instead of coalesced, because the tape linearizes the
+    [Parallel] prefix itself and div/mod binder loops would destroy its
+    eligibility.  Semantics are preserved for any input whose [Parallel]
+    tags are legal (the pass only reorders work across parallel entries
+    that carry no dependence). *)
 
 val decision_str : decision -> string
 val report_str : report -> string

@@ -1,0 +1,598 @@
+(* Lowering rectangular loop nests to flat instruction tapes.
+
+   The closure compiler pays an indirect call (and a boxed float result)
+   per IR node per iteration; no schedule can amortize that floor.  This
+   module widens the kernel specializer's contract — innermost loops over
+   straight-line stores — to whole rectangular nests, and lowers them to a
+   compact bytecode the {e backend} tape executor runs with no closures,
+   no env lookups and no allocation in the hot loop:
+
+   - a nest qualifies when it is a perfect [For] chain (comments allowed
+     between levels) whose bounds are affine in names {e outside} the
+     nest, whose tags are CPU tags ([Seq]/[Parallel]/[Unrolled]/
+     [Vectorized]), and whose leaf is the {!Loop_ir.spec_stores} shape
+     with affine indices and {!Loop_ir.spec_value_ok} values;
+   - [Parallel] tags must form a prefix of the chain; the prefix depth is
+     recorded so the executor can split the {e fused} iteration space of
+     those levels across workers without the binder div/mods the parallel
+     planner's coalescing would emit;
+   - values compile to fixed-width (4-int) instructions over a float
+     register file: literals, hoisted outer names and per-level iteration
+     variables live in persistent registers, temporaries in a stack region
+     sized by the deepest expression;
+   - loads/stores address memory through per-access cursors the executor
+     strength-reduces (base + per-level steps); loads invariant in the
+     innermost variable from unwritten buffers are promoted to registers,
+     and a single store invariant in the innermost variable whose
+     same-buffer loads all alias it becomes a register accumulator
+     (disallowed when the innermost level is part of the parallel prefix,
+     where a worker boundary could split the accumulation);
+   - [Add (x, Mul (a, b))] folds to an [Fma] instruction, defined with two
+     roundings (multiply then add) so results stay bit-identical to the
+     interpreter — it is a dispatch fusion, not a hardware fma.
+
+   The program built here is abstract: buffer names and affine index
+   terms, no arrays or strides.  The backend binds it against concrete
+   buffers ({!Tape.bind}), which is also where rank mismatches and unknown
+   buffers turn into a (counted) fallback to the closure path. *)
+
+module L = Loop_ir
+
+(* Bump when instruction semantics or the program layout change: the
+   pipeline compile cache mixes this into its key, so a cached artifact
+   built by an older tape generator can never be served to a newer one. *)
+let version = 1
+
+(* ---------- instruction set ---------- *)
+
+(* One instruction is 4 ints: [op; dst; a; b].  For [op_load] the [a]
+   field is an access index; for [op_store] the [a] field is the access
+   and [b] the source register; everywhere else the fields are registers
+   (unused fields are 0). *)
+
+let op_load = 0   (* dst <- data[a][cur[a]] *)
+let op_store = 1  (* data[a][cur[a]] <- regs[b] *)
+let op_mov = 2
+let op_add = 3
+let op_sub = 4
+let op_mul = 5
+let op_div = 6
+let op_min = 7
+let op_max = 8
+let op_fma = 9    (* dst <- dst +. (a *. b): two roundings, bit-exact *)
+let op_neg = 10
+let op_abs = 11
+let op_sqrt = 12
+let op_exp = 13
+let op_log = 14
+let op_sin = 15
+let op_cos = 16
+let op_floor = 17
+let op_pow = 18
+let op_fdivi = 19 (* euclidean floordiv on int_of_float operands *)
+let op_modi = 20  (* euclidean mod on int_of_float operands *)
+let op_trunc = 21 (* Cast to I32 and back: float_of_int (int_of_float a) *)
+
+let op_name = function
+  | 0 -> "load" | 1 -> "store" | 2 -> "mov" | 3 -> "add" | 4 -> "sub"
+  | 5 -> "mul" | 6 -> "div" | 7 -> "min" | 8 -> "max" | 9 -> "fma"
+  | 10 -> "neg" | 11 -> "abs" | 12 -> "sqrt" | 13 -> "exp" | 14 -> "log"
+  | 15 -> "sin" | 16 -> "cos" | 17 -> "floor" | 18 -> "pow"
+  | 19 -> "fdivi" | 20 -> "modi" | 21 -> "trunc"
+  | _ -> "?"
+
+(* ---------- the abstract program ---------- *)
+
+(* Per-dimension affine index: sorted (var, coeff) terms plus a constant.
+   Terms may reference nest variables (resolved to per-level cursor steps
+   at bind time) and free names (parameters, enclosing loop variables —
+   resolved to env slots at bind time). *)
+type affine = (string * int) list * int
+
+type access = {
+  ac_buf : string;
+  ac_idx : affine array;  (* one entry per dimension *)
+  ac_stored : bool;       (* some store in the leaf writes this buffer *)
+}
+
+type level = {
+  lv_var : string;
+  lv_lo : affine;         (* over names outside the nest only *)
+  lv_hi : affine;
+  lv_tag : L.loop_tag;
+}
+
+type program = {
+  p_levels : level array;        (* outermost first *)
+  p_par : int;                   (* length of the Parallel tag prefix *)
+  p_accesses : access array;
+  p_nregs : int;                 (* register-file size *)
+  p_lits : (int * float) array;  (* reg <- literal, once per state *)
+  p_hoists : (int * string) array; (* reg <- float env.(name), per range *)
+  p_ivregs : int array;          (* float register of each level's var *)
+  p_promos : (int * int) array;  (* (reg, access): per-segment load *)
+  p_accum : (int * int * bool) option;
+    (* (reg, store access, init-from-memory): register accumulator *)
+  p_code : int array;            (* packed body instructions *)
+}
+
+let instr_count p = Array.length p.p_code / 4
+
+(* ---------- classification ---------- *)
+
+exception Reject
+
+let norm_affine ((ts, c) : affine) : affine =
+  (List.sort (fun (a, _) (b, _) -> compare a b) ts, c)
+
+(* The body of a perfect-nest level: exactly one [For], comments allowed
+   around it (same shape the parallel planner walks). *)
+let single_for (s : L.stmt) : L.stmt option =
+  match s with
+  | L.For _ -> Some s
+  | L.Block l -> (
+      match
+        List.filter
+          (fun s -> match s with L.Comment _ -> false | _ -> true)
+          l
+      with
+      | [ (L.For _ as f) ] -> Some f
+      | _ -> None)
+  | _ -> None
+
+(* Collect the maximal perfect [For] chain at [s]; raises [Reject] on
+   non-CPU tags, shadowed variables, or bounds referencing a nest
+   variable (non-rectangular).  Returns the levels outermost-first and
+   the leaf body. *)
+let collect_chain (s : L.stmt) : level list * string list * L.stmt =
+  let rec go acc vars s =
+    match s with
+    | L.For { var; lo; hi; tag; body } ->
+        (match tag with
+        | L.Seq | L.Parallel | L.Unrolled | L.Vectorized _ -> ()
+        | L.Gpu_block _ | L.Gpu_thread _ | L.Distributed -> raise Reject);
+        if List.mem var vars then raise Reject;
+        let vars = var :: vars in
+        let aff e =
+          match L.affine_terms e with
+          | None -> raise Reject
+          | Some (ts, c) ->
+              if List.exists (fun (v, _) -> List.mem v vars) ts then
+                raise Reject;
+              norm_affine (ts, c)
+        in
+        let lvl =
+          { lv_var = var; lv_lo = aff lo; lv_hi = aff hi; lv_tag = tag }
+        in
+        (match single_for body with
+        | Some inner -> go (lvl :: acc) vars inner
+        | None -> (List.rev (lvl :: acc), vars, body))
+    | _ -> raise Reject
+  in
+  go [] [] s
+
+(* ---------- emission ---------- *)
+
+let compile_nest (s : L.stmt) : program option =
+  match s with
+  | L.For _ -> (
+      try
+        let levels, nest_vars, leaf = collect_chain s in
+        let levels = Array.of_list levels in
+        let d = Array.length levels in
+        (* Parallel tags must be a prefix: a Parallel level under a
+           sequential one would silently serialize inside the tape. *)
+        let q = ref 0 in
+        while !q < d && levels.(!q).lv_tag = L.Parallel do incr q done;
+        let q = !q in
+        for l = q to d - 1 do
+          if levels.(l).lv_tag = L.Parallel then raise Reject
+        done;
+        let stores =
+          match L.spec_stores leaf with
+          | None | Some [] -> raise Reject
+          | Some stores -> stores
+        in
+        List.iter
+          (fun (_, idx, v) ->
+            if not (List.for_all L.affine idx) then raise Reject;
+            if not (L.spec_value_ok v) then raise Reject)
+          stores;
+        let stored_bufs = List.map (fun (b, _, _) -> b) stores in
+        let inner_var = levels.(d - 1).lv_var in
+        (* access table: identical (buffer, normalized index) pairs share
+           one cursor *)
+        let acc_tbl : (string * affine list, int) Hashtbl.t =
+          Hashtbl.create 8
+        in
+        let acc_list = ref [] in
+        let acc_index bname (idx : L.expr list) : int =
+          let aidx =
+            List.map
+              (fun e ->
+                match L.affine_terms e with
+                | Some a -> norm_affine a
+                | None -> raise Reject)
+              idx
+          in
+          let key = (bname, aidx) in
+          match Hashtbl.find_opt acc_tbl key with
+          | Some i -> i
+          | None ->
+              let i = Hashtbl.length acc_tbl in
+              Hashtbl.add acc_tbl key i;
+              acc_list :=
+                { ac_buf = bname; ac_idx = Array.of_list aidx;
+                  ac_stored = List.mem bname stored_bufs }
+                :: !acc_list;
+              i
+        in
+        let access i = List.nth (List.rev !acc_list) i in
+        let invariant_in_inner i =
+          Array.for_all
+            (fun (ts, _) -> not (List.mem_assoc inner_var ts))
+            (access i).ac_idx
+        in
+        (* persistent registers *)
+        let nreg = ref 0 in
+        let new_reg () =
+          let r = !nreg in
+          incr nreg;
+          r
+        in
+        let lits = ref [] in
+        let lit_tbl : (int64, int) Hashtbl.t = Hashtbl.create 8 in
+        let lit f =
+          let key = Int64.bits_of_float f in
+          match Hashtbl.find_opt lit_tbl key with
+          | Some r -> r
+          | None ->
+              let r = new_reg () in
+              Hashtbl.add lit_tbl key r;
+              lits := (r, f) :: !lits;
+              r
+        in
+        let hoists = ref [] in
+        let hoist_tbl : (string, int) Hashtbl.t = Hashtbl.create 4 in
+        let hoist u =
+          match Hashtbl.find_opt hoist_tbl u with
+          | Some r -> r
+          | None ->
+              let r = new_reg () in
+              Hashtbl.add hoist_tbl u r;
+              hoists := (r, u) :: !hoists;
+              r
+        in
+        let ivregs = Array.init d (fun _ -> new_reg ()) in
+        let iv_of_var u =
+          let rec find l = if levels.(l).lv_var = u then l else find (l + 1) in
+          ivregs.(find 0)
+        in
+        let promos = ref [] in
+        let promo_tbl : (int, int) Hashtbl.t = Hashtbl.create 4 in
+        (* accumulator: single store, address invariant in the innermost
+           variable, same-buffer loads all alias it exactly — and the
+           innermost level must not be part of the parallel split space *)
+        let rec value_loads (e : L.expr) acc =
+          match e with
+          | L.Int _ | L.Float _ | L.Var _ -> acc
+          | L.Load (b, idx) -> (b, idx) :: acc
+          | L.Neg a | L.Cast (_, a) -> value_loads a acc
+          | L.Bin (_, a, b) -> value_loads b (value_loads a acc)
+          | L.Call (_, args) ->
+              List.fold_left (fun acc a -> value_loads a acc) acc args
+          | L.Select _ -> raise Reject
+        in
+        let all_loads =
+          List.concat_map (fun (_, _, v) -> value_loads v []) stores
+        in
+        let accum =
+          match stores with
+          | [ (sb, sidx, _) ] when q = 0 || q < d ->
+              let i = acc_index sb sidx in
+              if
+                invariant_in_inner i
+                && List.for_all
+                     (fun (b, idx) ->
+                       b <> sb || acc_index b idx = i)
+                     all_loads
+              then begin
+                let needs_load =
+                  List.exists (fun (b, idx) -> b = sb && acc_index b idx = i)
+                    all_loads
+                in
+                Some (new_reg (), i, needs_load)
+              end
+              else None
+          | _ -> None
+        in
+        (* instruction emission with stack-disciplined temporaries; temps
+           are encoded negative and remapped after the persistent count is
+           final *)
+        let code = ref [] in
+        let ins op dst a b = code := b :: a :: dst :: op :: !code in
+        let sp = ref 0 and max_tmp = ref 0 in
+        let push () =
+          let t = !sp in
+          incr sp;
+          if !sp > !max_tmp then max_tmp := !sp;
+          -(t + 1)
+        in
+        let is_tmp r = r < 0 in
+        let pop_if r = if is_tmp r then decr sp in
+        let promo_or_load i =
+          match accum with
+          | Some (areg, ai, _) when ai = i -> areg
+          | _ ->
+              if invariant_in_inner i && not (access i).ac_stored then begin
+                match Hashtbl.find_opt promo_tbl i with
+                | Some r -> r
+                | None ->
+                    let r = new_reg () in
+                    Hashtbl.add promo_tbl i r;
+                    promos := (r, i) :: !promos;
+                    r
+              end
+              else begin
+                let dst = push () in
+                ins op_load dst i 0;
+                dst
+              end
+        in
+        let unop op a_reg =
+          pop_if a_reg;
+          let t = push () in
+          ins op t a_reg 0;
+          t
+        in
+        let binop op ra rb =
+          pop_if rb;
+          pop_if ra;
+          let t = push () in
+          ins op t ra rb;
+          t
+        in
+        let rec emit (e : L.expr) : int =
+          match e with
+          | L.Int n -> lit (float_of_int n)
+          | L.Float f -> lit f
+          | L.Var u ->
+              if List.mem u nest_vars then iv_of_var u else hoist u
+          | L.Load (b, idx) -> promo_or_load (acc_index b idx)
+          | L.Neg a -> unop op_neg (emit a)
+          | L.Cast (L.I32, a) -> unop op_trunc (emit a)
+          | L.Cast (_, a) -> emit a
+          | L.Select _ -> raise Reject
+          | L.Bin (L.Add, x, L.Bin (L.Mul, a, b)) ->
+              (* fma fusion: safe in place only when x landed in a temp *)
+              let rx = emit x in
+              let ra = emit a in
+              let rb = emit b in
+              pop_if rb;
+              pop_if ra;
+              if is_tmp rx then begin
+                ins op_fma rx ra rb;
+                rx
+              end
+              else begin
+                let t = push () in
+                ins op_mul t ra rb;
+                ins op_add t rx t;
+                t
+              end
+          | L.Bin (op, a, b) ->
+              let code =
+                match op with
+                | L.Add -> op_add
+                | L.Sub -> op_sub
+                | L.Mul -> op_mul
+                | L.Div -> op_div
+                | L.FloorDiv -> op_fdivi
+                | L.Mod -> op_modi
+                | L.MinOp -> op_min
+                | L.MaxOp -> op_max
+              in
+              let ra = emit a in
+              let rb = emit b in
+              binop code ra rb
+          | L.Call (name, args) -> (
+              match (name, args) with
+              | "abs", [ a ] -> unop op_abs (emit a)
+              | "sqrt", [ a ] -> unop op_sqrt (emit a)
+              | "exp", [ a ] -> unop op_exp (emit a)
+              | "log", [ a ] -> unop op_log (emit a)
+              | "sin", [ a ] -> unop op_sin (emit a)
+              | "cos", [ a ] -> unop op_cos (emit a)
+              | "floor", [ a ] -> unop op_floor (emit a)
+              | "pow", [ a; b ] ->
+                  let ra = emit a in
+                  let rb = emit b in
+                  binop op_pow ra rb
+              | "fmin", [ a; b ] ->
+                  let ra = emit a in
+                  let rb = emit b in
+                  binop op_min ra rb
+              | "fmax", [ a; b ] ->
+                  let ra = emit a in
+                  let rb = emit b in
+                  binop op_max ra rb
+              | "clamp", [ x; lo; hi ] ->
+                  (* min (max x lo) hi, matching the closure evaluator *)
+                  let rx = emit x in
+                  let rlo = emit lo in
+                  let t = binop op_max rx rlo in
+                  let rhi = emit hi in
+                  binop op_min t rhi
+              | _ -> raise Reject)
+        in
+        List.iter
+          (fun (sb, sidx, sval) ->
+            sp := 0;
+            let i = acc_index sb sidx in
+            match accum with
+            | Some (areg, ai, _) when ai = i -> (
+                (* read-modify-write collapses onto the accumulator: the
+                   aliasing load reads [areg], and the single write at the
+                   end is the only mutation, so folding [acc + rest] into
+                   an in-place add/fma is exact *)
+                match sval with
+                | L.Bin (L.Add, L.Load (b2, idx2), rest)
+                  when b2 = sb && acc_index b2 idx2 = i -> (
+                    match rest with
+                    | L.Bin (L.Mul, a, b) ->
+                        let ra = emit a in
+                        let rb = emit b in
+                        pop_if rb;
+                        pop_if ra;
+                        ins op_fma areg ra rb
+                    | rest ->
+                        let r = emit rest in
+                        pop_if r;
+                        ins op_add areg areg r)
+                | sval ->
+                    let r = emit sval in
+                    pop_if r;
+                    if r <> areg then ins op_mov areg r 0)
+            | _ ->
+                let r = emit sval in
+                pop_if r;
+                ins op_store 0 i r)
+          stores;
+        (* finalize: remap negative temps above the persistent registers *)
+        let npersist = !nreg in
+        let remap r = if r < 0 then npersist + (-r - 1) else r in
+        let raw = Array.of_list (List.rev !code) in
+        let n = Array.length raw / 4 in
+        let packed = Array.make (Array.length raw) 0 in
+        for k = 0 to n - 1 do
+          let op = raw.(4 * k) in
+          let dst = raw.((4 * k) + 1)
+          and a = raw.((4 * k) + 2)
+          and b = raw.((4 * k) + 3) in
+          packed.(4 * k) <- op;
+          if op = op_load then begin
+            packed.((4 * k) + 1) <- remap dst;
+            packed.((4 * k) + 2) <- a;
+            packed.((4 * k) + 3) <- 0
+          end
+          else if op = op_store then begin
+            packed.((4 * k) + 1) <- 0;
+            packed.((4 * k) + 2) <- a;
+            packed.((4 * k) + 3) <- remap b
+          end
+          else begin
+            packed.((4 * k) + 1) <- remap dst;
+            packed.((4 * k) + 2) <- remap a;
+            packed.((4 * k) + 3) <- remap b
+          end
+        done;
+        Some
+          { p_levels = levels;
+            p_par = q;
+            p_accesses = Array.of_list (List.rev !acc_list);
+            p_nregs = max 1 (npersist + !max_tmp);
+            p_lits = Array.of_list (List.rev !lits);
+            p_hoists = Array.of_list (List.rev !hoists);
+            p_ivregs = ivregs;
+            p_promos = Array.of_list (List.rev !promos);
+            p_accum = accum;
+            p_code = packed }
+      with Reject -> None)
+  | _ -> None
+
+let claimable s = compile_nest s <> None
+
+(* Tape programs of a whole statement: claim maximal nests top-down, never
+   descending into a claimed subtree (mirrors the executor's dispatch). *)
+let scan (s : L.stmt) : program list =
+  let out = ref [] in
+  let rec go (s : L.stmt) =
+    match s with
+    | L.For { body; _ } -> (
+        match compile_nest s with
+        | Some p -> out := p :: !out
+        | None -> go body)
+    | L.Block l -> List.iter go l
+    | L.If (_, t, e) ->
+        go t;
+        Option.iter go e
+    | L.Alloc { body; _ } -> go body
+    | L.Store _ | L.Barrier | L.Comment _ | L.Send _ | L.Recv _
+    | L.Memcpy _ ->
+        ()
+  in
+  go s;
+  List.rev !out
+
+(* ---------- printing ---------- *)
+
+let nest_name p =
+  String.concat "."
+    (Array.to_list (Array.map (fun l -> l.lv_var) p.p_levels))
+
+let summary p =
+  Printf.sprintf "tape %s: depth=%d par=%d instrs=%d regs=%d accesses=%d"
+    (nest_name p)
+    (Array.length p.p_levels)
+    p.p_par (instr_count p) p.p_nregs
+    (Array.length p.p_accesses)
+
+let affine_str ((ts, c) : affine) =
+  let terms =
+    List.map
+      (fun (v, a) ->
+        if a = 1 then v else Printf.sprintf "%d*%s" a v)
+      ts
+  in
+  let parts = terms @ (if c <> 0 || terms = [] then [ string_of_int c ] else []) in
+  String.concat "+" parts
+
+let disassemble p =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "tape nest %s (depth %d, parallel prefix %d)\n"
+       (nest_name p)
+       (Array.length p.p_levels)
+       p.p_par);
+  Array.iteri
+    (fun l (lv : level) ->
+      Buffer.add_string b
+        (Printf.sprintf "  level %d: %s in %s..%s [%s]\n" l lv.lv_var
+           (affine_str lv.lv_lo) (affine_str lv.lv_hi)
+           (L.tag_name lv.lv_tag)))
+    p.p_levels;
+  Array.iteri
+    (fun i (a : access) ->
+      Buffer.add_string b
+        (Printf.sprintf "  access %d: %s%s%s\n" i a.ac_buf
+           (String.concat ""
+              (Array.to_list
+                 (Array.map (fun ix -> "[" ^ affine_str ix ^ "]") a.ac_idx)))
+           (if a.ac_stored then " (stored)" else "")))
+    p.p_accesses;
+  Buffer.add_string b
+    (Printf.sprintf "  regs=%d lits=%d hoists=%d promos=%d%s\n" p.p_nregs
+       (Array.length p.p_lits)
+       (Array.length p.p_hoists)
+       (Array.length p.p_promos)
+       (match p.p_accum with
+       | Some (r, i, load) ->
+           Printf.sprintf " accum=r%d(access %d%s)" r i
+             (if load then ", init from memory" else "")
+       | None -> ""));
+  let n = instr_count p in
+  for k = 0 to n - 1 do
+    let op = p.p_code.(4 * k) in
+    let dst = p.p_code.((4 * k) + 1)
+    and a = p.p_code.((4 * k) + 2)
+    and bb = p.p_code.((4 * k) + 3) in
+    let txt =
+      if op = op_load then Printf.sprintf "r%d <- access%d" dst a
+      else if op = op_store then Printf.sprintf "access%d <- r%d" a bb
+      else if op = op_mov || (op >= op_neg && op <= op_floor) || op = op_trunc
+      then Printf.sprintf "r%d <- r%d" dst a
+      else Printf.sprintf "r%d <- r%d, r%d" dst a bb
+    in
+    Buffer.add_string b (Printf.sprintf "    %2d: %-6s %s\n" k (op_name op) txt)
+  done;
+  Buffer.contents b

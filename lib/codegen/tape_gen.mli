@@ -1,0 +1,104 @@
+(** Lowering rectangular loop nests to flat instruction tapes.
+
+    Classifies perfect [For] chains over straight-line affine stores and
+    compiles them to an abstract fixed-width bytecode program over a float
+    register file.  The program references buffers by name and indices as
+    affine terms; the backend tape executor binds it against concrete
+    buffers and runs it with strength-reduced cursor addressing — see
+    [Tiramisu_backends.Tape]. *)
+
+(** Bumped when instruction semantics or program layout change; the
+    pipeline compile cache mixes it into its key so stale artifacts are
+    never served across generator versions. *)
+val version : int
+
+(** {1 Instruction set}
+
+    One instruction is 4 ints [op; dst; a; b].  For [op_load], [a] is an
+    access index; for [op_store], [a] is the access and [b] the source
+    register; all other fields are registers. *)
+
+val op_load : int
+val op_store : int
+val op_mov : int
+val op_add : int
+val op_sub : int
+val op_mul : int
+val op_div : int
+val op_min : int
+val op_max : int
+
+(** [dst <- dst +. (a *. b)] with two roundings (multiply, then add):
+    a dispatch fusion that stays bit-identical to the interpreter, not a
+    hardware fused multiply-add. *)
+val op_fma : int
+
+val op_neg : int
+val op_abs : int
+val op_sqrt : int
+val op_exp : int
+val op_log : int
+val op_sin : int
+val op_cos : int
+val op_floor : int
+val op_pow : int
+val op_fdivi : int
+val op_modi : int
+val op_trunc : int
+
+val op_name : int -> string
+
+(** {1 Programs} *)
+
+(** Sorted affine terms plus constant, the per-dimension index view. *)
+type affine = (string * int) list * int
+
+type access = {
+  ac_buf : string;
+  ac_idx : affine array;
+  ac_stored : bool;
+}
+
+type level = {
+  lv_var : string;
+  lv_lo : affine;  (** over names outside the nest only *)
+  lv_hi : affine;
+  lv_tag : Loop_ir.loop_tag;
+}
+
+type program = {
+  p_levels : level array;          (** outermost first *)
+  p_par : int;                     (** length of the [Parallel] tag prefix *)
+  p_accesses : access array;
+  p_nregs : int;
+  p_lits : (int * float) array;    (** reg <- literal, once per state *)
+  p_hoists : (int * string) array; (** reg <- float env.(name), per range *)
+  p_ivregs : int array;            (** float register of each level's var *)
+  p_promos : (int * int) array;    (** (reg, access): per-segment load *)
+  p_accum : (int * int * bool) option;
+      (** (reg, store access, init-from-memory) accumulator *)
+  p_code : int array;              (** packed body instructions *)
+}
+
+val instr_count : program -> int
+
+(** [compile_nest s] lowers the perfect rectangular nest rooted at [s]
+    (which must be a [For]) to a tape program, or [None] when the nest
+    does not qualify: non-CPU tags, a [Parallel] tag below a sequential
+    level, non-affine bounds or indices, bounds referencing a nest
+    variable, or a leaf that is not a straight-line store sequence. *)
+val compile_nest : Loop_ir.stmt -> program option
+
+(** [claimable s] = [compile_nest s <> None]; used by the parallel
+    planner to leave tape-eligible nests uncoalesced. *)
+val claimable : Loop_ir.stmt -> bool
+
+(** All programs the executor would claim in a statement: maximal nests,
+    top-down, never descending into a claimed subtree. *)
+val scan : Loop_ir.stmt -> program list
+
+(** One-line shape summary (for [--trace-passes]). *)
+val summary : program -> string
+
+(** Full listing: levels, accesses, register layout, instructions. *)
+val disassemble : program -> string

@@ -88,30 +88,36 @@ let interp_run ~params ~fills fn ast =
   B.Interp.run t ast;
   bufs
 
-(* Each config: (tag, strategy, specialize, narrow, plan, sched).  For
-   parallel schedules the pool rows cross the parallel planner
+(* Each config: (tag, strategy, specialize, narrow, plan, sched, tape).
+   For parallel schedules the pool rows cross the parallel planner
    (coalescing forced on / off — [`Force] is machine-independent, it
    fuses the maximal rectangular prefix regardless of core count) with
    the pool schedule (static per-worker ranges / dynamic chunk stealing),
-   plus the default auto/auto row and the spawn baseline. *)
+   plus the default auto/auto row and the spawn baseline.  The tape axis
+   runs the flat-tape backend (default, on) against tape-off rows of the
+   same configuration: bit-exact interp-vs-tape diffing for sequential,
+   planned-static and default pool rows. *)
 let exec_configs case =
   let base =
     [
-      ("seq", `Seq, true, true, `Off, `Auto);
-      ("seq,nospec", `Seq, false, true, `Off, `Auto);
-      ("seq,nonarrow", `Seq, true, false, `Off, `Auto);
-      ("seq,nospec,nonarrow", `Seq, false, false, `Off, `Auto);
+      ("seq", `Seq, true, true, `Off, `Auto, true);
+      ("seq,notape", `Seq, true, true, `Off, `Auto, false);
+      ("seq,nospec", `Seq, false, true, `Off, `Auto, true);
+      ("seq,nonarrow", `Seq, true, false, `Off, `Auto, true);
+      ("seq,nospec,nonarrow", `Seq, false, false, `Off, `Auto, true);
     ]
   in
   if Case.has_parallel case then
     base
     @ [
-        ("pool", `Pool, true, true, `Auto, `Auto);
-        ("pool,plan,static", `Pool, true, true, `Force, `Static);
-        ("pool,plan,dyn", `Pool, true, true, `Force, `Dynamic);
-        ("pool,noplan,static", `Pool, true, true, `Off, `Static);
-        ("pool,noplan,dyn", `Pool, true, true, `Off, `Dynamic);
-        ("spawn", `Spawn, true, true, `Off, `Auto);
+        ("pool", `Pool, true, true, `Auto, `Auto, true);
+        ("pool,notape", `Pool, true, true, `Auto, `Auto, false);
+        ("pool,plan,static", `Pool, true, true, `Force, `Static, true);
+        ("pool,plan,static,notape", `Pool, true, true, `Force, `Static, false);
+        ("pool,plan,dyn", `Pool, true, true, `Force, `Dynamic, true);
+        ("pool,noplan,static", `Pool, true, true, `Off, `Static, true);
+        ("pool,noplan,dyn", `Pool, true, true, `Off, `Dynamic, true);
+        ("spawn", `Spawn, true, true, `Off, `Auto, true);
       ]
   else base
 
@@ -172,14 +178,15 @@ let run_case_unguarded (case : Case.t) : outcome =
       b1.Case.outputs;
     (* Compiled executor, every configuration, vs the scheduled interp. *)
     List.iter
-      (fun (tag, par, spec, narrow, plan, sched) ->
+      (fun (tag, par, spec, narrow, plan, sched, tape) ->
         let bufs =
           try
             let bufs =
               make_buffers b1.Case.fn ~params:b1.Case.params ~fills:b1.Case.fills
             in
             let knobs =
-              { P.parallel = par; specialize = spec; narrow; plan; sched }
+              { P.parallel = par; specialize = spec; narrow; plan; sched;
+                tape }
             in
             let tracer = P.make_tracer ~probe ~name:("exec:" ^ tag) () in
             let c =

@@ -53,6 +53,7 @@ val check :
 val build_native :
   ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
   ?parallel:B.Exec.par_strategy ->
+  ?tape:bool ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->
@@ -61,11 +62,13 @@ val build_native :
 (** Lower, allocate and fill buffers, and compile through the pipeline's
     compile cache — without running.  The returned artifact says whether
     the compile was a cache hit and carries the structural hash of the
-    lowered statement. *)
+    lowered statement.  [tape] (default [true]) gates the flat-tape
+    backend, the knob the benchmarks use for their tape-off control. *)
 
 val prepare_native :
   ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
   ?parallel:B.Exec.par_strategy ->
+  ?tape:bool ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->
@@ -76,6 +79,7 @@ val prepare_native :
 
 val run_native :
   ?parallel:B.Exec.par_strategy ->
+  ?tape:bool ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->

@@ -21,6 +21,7 @@
 module L = Tiramisu_codegen.Loop_ir
 module Passes = Tiramisu_codegen.Passes
 module Plan = Tiramisu_codegen.Parallel_plan
+module Tape_gen = Tiramisu_codegen.Tape_gen
 module Lower = Tiramisu_core.Lower
 module Ir = Tiramisu_core.Ir
 module B = Tiramisu_backends
@@ -223,11 +224,16 @@ type knobs = {
   sched : B.Exec.schedule;
       (** pool schedule for parallel loops (static ranges vs dynamic
           chunking vs per-loop automatic choice). *)
+  tape : bool;
+      (** flat-tape backend: rectangular nests compile to register-file
+          bytecode (see {!Tiramisu_backends.Tape}), with the closure path
+          as the checked fallback.  Also steers the parallel planner away
+          from coalescing nests the tape would claim. *)
 }
 
 let default_knobs =
   { parallel = `Pool; specialize = true; narrow = true; plan = `Auto;
-    sched = `Auto }
+    sched = `Auto; tape = true }
 
 (** Layer IV → loop IR, as three traced passes: [lower] (scheduled-domain
     AST generation), [legalize] (vector/unroll legality rewrites, the one
@@ -280,6 +286,7 @@ let plan_pass ?tracer ~knobs ~params (s : L.stmt) =
               ~min_work:(B.Pool.min_work ())
               ~params
               ~force:(knobs.plan = `Force)
+              ~tape:knobs.tape
               s
           in
           report := r;
@@ -295,14 +302,28 @@ let compile_with_report ?tracer ?(knobs = default_knobs) ~params ~buffers
     (s : L.stmt) =
   let s = prepare ?tracer ~knobs ~params s in
   let s, report = plan_pass ?tracer ~knobs ~params s in
+  (* The tape claim itself happens inside [Exec.compile_prepared]; this
+     named identity pass exists for observability — its note lists every
+     nest the tape backend will claim ([--trace-passes]), and its dump
+     hook ([--dump-after=tape-compile]) is where the disassembler binds. *)
+  let s =
+    if not knobs.tape then s
+    else
+      stmt_pass ?tracer ~name:"tape-compile" ~context:"statement"
+        ~note:(fun () ->
+          match Tape_gen.scan s with
+          | [] -> "no nest claimed"
+          | ps -> String.concat "; " (List.map Tape_gen.summary ps))
+        (fun s -> s) s
+  in
   (* When the planner ran it already made every serialize/keep decision, so
      the executor's own demotion heuristic is switched off — a loop is
      never profitability-tested twice. *)
   let demote = knobs.parallel <> `Pool || knobs.plan = `Off in
   let do_compile s =
     B.Exec.compile_prepared ~parallel:knobs.parallel
-      ~specialize:knobs.specialize ~sched:knobs.sched ~demote ~params
-      ~buffers s
+      ~specialize:knobs.specialize ~sched:knobs.sched ~demote
+      ~tape:knobs.tape ~params ~buffers s
   in
   let exec =
     match tracer with
@@ -345,6 +366,11 @@ type ckey = {
   k_narrow : bool;
   k_plan : [ `Auto | `Off | `Force ];
   k_sched : B.Exec.schedule;
+  k_tape : bool;
+  k_tapegen : int;
+    (* {!Tape_gen.version}: a cached artifact compiled by an older tape
+       generator must miss, never be served — the same determinism class
+       as the pool-environment fields below *)
   k_pool : int * int * int;
     (* (num_workers, min_work, effective_parallelism) sampled at build
        time: planner decisions and the compiled schedule depend on the
@@ -403,6 +429,7 @@ let make_key ~knobs ~params ~extents hash =
     k_params = List.sort (fun (a, _) (b, _) -> compare a b) params;
     k_parallel = knobs.parallel; k_specialize = knobs.specialize;
     k_narrow = knobs.narrow; k_plan = knobs.plan; k_sched = knobs.sched;
+    k_tape = knobs.tape; k_tapegen = Tape_gen.version;
     k_pool =
       ( B.Pool.num_workers (), B.Pool.min_work (),
         B.Pool.effective_parallelism () );

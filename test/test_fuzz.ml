@@ -117,6 +117,37 @@ let corpus_coalesce =
           rc_expr = Bin (Add, In ("a0", [ (0, 1); (1, -2) ]), Const 3) } ];
     steps = [ Parallelize ("c0", "i"); Parallelize ("c0", "j") ] }
 
+(* Doubly-parallel rectangular stencil, extents coprime: with the tape
+   knob on the planner keeps the nest intact (Keep_tape) and the executor
+   runs it as bytecode, so the differential configs now split three ways —
+   closure loops (tape off), fused-coalesced closures, and the tape — and
+   any cursor-addressing bug diverges bit-exactly.  Pinned as a corpus
+   seed so `make fuzz` replays it against all of them. *)
+let corpus_tape_stencil =
+  { extents = [ Lit 6; Lit 9 ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = None;
+          rc_expr =
+            Bin (Add, In ("a0", [ (0, -1); (1, 1) ]),
+                 Bin (Mul, In ("a0", [ (0, 1); (1, 0) ]), Const 2)) } ];
+    steps = [ Parallelize ("c0", "i"); Parallelize ("c0", "j") ] }
+
+(* Reduction with an offset input access: the tape's register-resident
+   accumulator (init/writeback outside the hot loop) against the
+   interpreter's per-iteration stores.  The consumer reads the final
+   accumulator, so a dropped writeback is visible downstream. *)
+let corpus_tape_reduction =
+  { extents = [ Lit 5; Lit 4 ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = Some 6;
+          rc_expr = In ("a0", [ (0, 1); (2, -2) ]) };
+        { rc_name = "c1"; rc_rank = 2; rc_red = None; rc_expr = Prod "c0" } ];
+    steps = [ Parallelize ("c0_upd", "i") ] }
+
 (* Symbolic extent N: tiling a parametric loop exercises Passes.narrow's
    symbolic min/max bounds, at N = 5 and at the N = 0 boundary. *)
 let corpus_nparam n =
@@ -137,8 +168,36 @@ let replay_corpus () =
   check_pass "vector epilogue" corpus_vector_epilogue;
   check_pass "reduction" corpus_reduction;
   check_pass "coalesced parallel nest" corpus_coalesce;
+  check_pass "tape stencil" corpus_tape_stencil;
+  check_pass "tape reduction" corpus_tape_reduction;
   check_pass "symbolic N = 5" (corpus_nparam 5);
   check_pass "symbolic N = 0" (corpus_nparam 0)
+
+(* The tape seeds must actually reach the tape: compile each through the
+   pipeline and check the per-compile counters, with the tape-off control
+   at zero.  Guards the corpus against rotting into closure-only paths. *)
+let tape_corpus_reaches_tape () =
+  List.iter
+    (fun (name, case) ->
+      let b = Case.build case in
+      let exec_of tape =
+        (Tiramisu_kernels.Runner.build_native ~tape ~fn:b.Case.fn
+           ~params:b.Case.params ~inputs:b.Case.fills ())
+          .Tiramisu_pipeline.Pipeline.exec
+      in
+      let on = exec_of true and off = exec_of false in
+      Alcotest.(check bool)
+        (name ^ ": tape claims at least one nest")
+        true
+        (B.Exec.tape_count on >= 1);
+      Alcotest.(check int)
+        (name ^ ": no runtime fallbacks")
+        0
+        (B.Exec.tape_fallbacks on);
+      Alcotest.(check int)
+        (name ^ ": tape-off control compiles zero tapes")
+        0 (B.Exec.tape_count off))
+    [ ("stencil", corpus_tape_stencil); ("reduction", corpus_tape_reduction) ]
 
 (* ---------- legality oracle ---------- *)
 
@@ -479,6 +538,8 @@ let tests =
     Alcotest.test_case "exec surfaces exceptions from parallel loops" `Quick
       exec_parallel_exceptions;
     Alcotest.test_case "counters are per-compile" `Quick counters_per_compile;
+    Alcotest.test_case "tape corpus reaches the tape" `Quick
+      tape_corpus_reaches_tape;
     QCheck_alcotest.to_alcotest prop_random_seeds;
   ]
 

@@ -1,0 +1,418 @@
+(* The flat-tape executor must be invisible: every nest it claims —
+   rectangular, accumulating, parallel-prefixed, zero-trip — must produce
+   bit-for-bit the floats the reference interpreter produces, the closure
+   fallback must still be taken (and counted) when the whole-box corner
+   check fails, and the compile cache must never serve a closure artifact
+   when the tape is requested (or vice versa). *)
+
+open Tiramisu_codegen
+module L = Loop_ir
+module B = Tiramisu_backends
+module P = Tiramisu_pipeline.Pipeline
+
+let bits_equal (a : B.Buffers.t) (b : B.Buffers.t) =
+  Array.length a.B.Buffers.data = Array.length b.B.Buffers.data
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a.B.Buffers.data b.B.Buffers.data
+
+(* Interp vs exec on identical fresh buffer sets; returns the compiled
+   program so callers can assert on the tape counters. *)
+let differential ?(strategy = `Seq) ?(tape = true) ?(params = []) ~shapes
+    ~fills stmt outs =
+  let mk () =
+    List.map
+      (fun (name, dims) ->
+        let b = B.Buffers.create name (Array.of_list dims) in
+        (match List.assoc_opt name fills with
+        | Some f -> B.Buffers.fill b f
+        | None -> ());
+        b)
+      shapes
+  in
+  let t = B.Interp.create ~params ~buffers:(mk ()) () in
+  B.Interp.run t stmt;
+  let c =
+    B.Exec.compile ~parallel:strategy ~tape ~params ~buffers:(mk ()) stmt
+  in
+  B.Exec.run c;
+  List.iter
+    (fun o ->
+      Alcotest.(check bool)
+        (o ^ " bit-identical to interpreter")
+        true
+        (bits_equal (B.Interp.buffer t o) (B.Exec.buffer c o)))
+    outs;
+  c
+
+let fill_a idx =
+  float_of_int (((idx.(0) * 13) + (idx.(1) * 7)) mod 29) /. 7.0
+
+let fill_b idx = float_of_int ((idx.(0) * 5) mod 17) /. 3.0
+
+let store buf idx v = L.Store (buf, idx, v)
+
+(* blur-like: 2-deep rectangular nest, 3-point stencil along j *)
+let blur_nest ?(tag_i = L.Seq) ?(tag_j = L.Seq) ?(hi_i = 19) ?(hi_j = 29) ()
+    =
+  L.For
+    { var = "i"; lo = L.Int 0; hi = L.Int hi_i; tag = tag_i;
+      body =
+        L.For
+          { var = "j"; lo = L.Int 0; hi = L.Int hi_j; tag = tag_j;
+            body =
+              store "out"
+                [ L.Var "i"; L.Var "j" ]
+                L.(
+                  Bin
+                    ( Mul,
+                      Bin
+                        ( Add,
+                          Bin
+                            ( Add,
+                              Load ("a", [ Var "i"; Var "j" ]),
+                              Load ("a", [ Var "i"; Bin (Add, Var "j", Int 1) ])
+                            ),
+                          Load ("a", [ Var "i"; Bin (Add, Var "j", Int 2) ]) ),
+                      Float (1.0 /. 3.0) )) } }
+
+let blur_shapes ?(hi_i = 19) ?(hi_j = 29) () =
+  [ ("a", [ hi_i + 1; hi_j + 3 ]); ("out", [ hi_i + 1; hi_j + 1 ]) ]
+
+(* sgemm-like: k-accumulation into out[i,j], read-modify-write leaf *)
+let gemm_nest ?(tag_i = L.Seq) ?(tag_j = L.Seq) ~n () =
+  L.For
+    { var = "i"; lo = L.Int 0; hi = L.Int (n - 1); tag = tag_i;
+      body =
+        L.For
+          { var = "j"; lo = L.Int 0; hi = L.Int (n - 1); tag = tag_j;
+            body =
+              L.For
+                { var = "k"; lo = L.Int 0; hi = L.Int (n - 1); tag = L.Seq;
+                  body =
+                    store "out"
+                      [ L.Var "i"; L.Var "j" ]
+                      L.(
+                        Bin
+                          ( Add,
+                            Load ("out", [ Var "i"; Var "j" ]),
+                            Bin
+                              ( Mul,
+                                Load ("a", [ Var "i"; Var "k" ]),
+                                Load ("b", [ Var "k"; Var "j" ]) ) )) } } }
+
+let gemm_shapes n = [ ("a", [ n; n ]); ("b", [ n; n ]); ("out", [ n; n ]) ]
+
+(* ---------- sequential claims ---------- *)
+
+let blur_claimed () =
+  let c =
+    differential (blur_nest ()) [ "out" ] ~shapes:(blur_shapes ())
+      ~fills:[ ("a", fill_a) ]
+  in
+  Alcotest.(check bool) "tape claimed the nest" true (B.Exec.tape_count c >= 1);
+  Alcotest.(check bool) "instructions counted" true (B.Exec.tape_instrs c > 0);
+  Alcotest.(check int) "no runtime fallback" 0 (B.Exec.tape_fallbacks c)
+
+let gemm_accumulator () =
+  let c =
+    differential (gemm_nest ~n:17 ()) [ "out" ] ~shapes:(gemm_shapes 17)
+      ~fills:[ ("a", fill_a); ("b", fill_b) ]
+  in
+  Alcotest.(check bool) "tape claimed the nest" true (B.Exec.tape_count c >= 1)
+
+let gemm_disassembles_fma () =
+  match Tape_gen.compile_nest (gemm_nest ~n:8 ()) with
+  | None -> Alcotest.fail "gemm nest not claimable"
+  | Some p ->
+      let dis = Tape_gen.disassemble p in
+      Alcotest.(check bool)
+        "accumulator fused to fma" true
+        (Astring.String.is_infix ~affix:"fma" dis);
+      Alcotest.(check bool)
+        "summary reports depth 3" true
+        (Astring.String.is_infix ~affix:"depth=3" (Tape_gen.summary p))
+
+let zero_trip () =
+  (* inner extent 0: nothing must be stored, nothing must crash *)
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 4; tag = L.Seq;
+        body =
+          L.For
+            { var = "j"; lo = L.Int 0; hi = L.Int (-1); tag = L.Seq;
+              body =
+                store "out" [ L.Var "i"; L.Var "j" ] (L.Load ("a", [ L.Var "i"; L.Var "j" ])) } }
+  in
+  let c =
+    differential stmt [ "out" ]
+      ~shapes:[ ("a", [ 5; 3 ]); ("out", [ 5; 3 ]) ]
+      ~fills:[ ("a", fill_a) ]
+  in
+  ignore c
+
+let one_trip () =
+  let stmt = blur_nest ~hi_i:0 ~hi_j:0 () in
+  let c =
+    differential stmt [ "out" ] ~shapes:(blur_shapes ~hi_i:0 ~hi_j:0 ())
+      ~fills:[ ("a", fill_a) ]
+  in
+  Alcotest.(check bool) "tape claimed 1x1 nest" true (B.Exec.tape_count c >= 1)
+
+(* Corner-check failure: i runs one row past [out]'s extent.  The tape
+   detects it at nest entry, counts a fallback, and the closure path
+   raises the same per-access error the interpreter raises. *)
+let fallback_parity () =
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 5; tag = L.Seq;
+        body = store "out" [ L.Var "i" ] (L.Float 1.0) }
+  in
+  let bufs () = [ B.Buffers.create "out" [| 5 |] ] in
+  let interp_err =
+    let t = B.Interp.create ~buffers:(bufs ()) () in
+    try
+      B.Interp.run t stmt;
+      None
+    with Invalid_argument m -> Some m
+  in
+  let c = B.Exec.compile ~parallel:`Seq ~params:[] ~buffers:(bufs ()) stmt in
+  Alcotest.(check bool) "tape claimed" true (B.Exec.tape_count c = 1);
+  let exec_err =
+    try
+      B.Exec.run c;
+      None
+    with Invalid_argument m -> Some m
+  in
+  Alcotest.(check bool) "interpreter raised" true (interp_err <> None);
+  Alcotest.(check (option string)) "same error" interp_err exec_err;
+  Alcotest.(check int) "fallback counted" 1 (B.Exec.tape_fallbacks c);
+  (* the first 5 stores land before the raise, exactly like the interp *)
+  Alcotest.(check (float 0.0))
+    "stores before the fault landed" 1.0
+    (B.Exec.buffer c "out").B.Buffers.data.(4)
+
+let tape_off_control () =
+  let c =
+    differential ~tape:false (blur_nest ()) [ "out" ]
+      ~shapes:(blur_shapes ()) ~fills:[ ("a", fill_a) ]
+  in
+  Alcotest.(check int) "no nest claimed with tape off" 0 (B.Exec.tape_count c);
+  Alcotest.(check int) "no instructions" 0 (B.Exec.tape_instrs c)
+
+(* ---------- parallel claims ---------- *)
+
+let parallel_fused () =
+  B.Pool.set_num_workers 4;
+  let stmt = blur_nest ~tag_i:L.Parallel ~tag_j:L.Parallel () in
+  let c =
+    differential ~strategy:`Pool stmt [ "out" ] ~shapes:(blur_shapes ())
+      ~fills:[ ("a", fill_a) ]
+  in
+  Alcotest.(check bool)
+    "tape claimed the doubly-parallel nest" true
+    (B.Exec.tape_count c >= 1)
+
+let parallel_accumulator () =
+  B.Pool.set_num_workers 4;
+  let stmt = gemm_nest ~tag_i:L.Parallel ~n:13 () in
+  let c =
+    differential ~strategy:`Pool stmt [ "out" ] ~shapes:(gemm_shapes 13)
+      ~fills:[ ("a", fill_a); ("b", fill_b) ]
+  in
+  Alcotest.(check bool)
+    "tape claimed the parallel reduction nest" true
+    (B.Exec.tape_count c >= 1)
+
+(* ---------- qcheck properties ---------- *)
+
+(* Random rectangular 2-deep nests with random affine cursor addressing:
+   out[i, a·i + b·j + c] <- in[i, a·i + b·j + c] * 2 + j.  The buffer's
+   inner dimension is sized to the maximal index, so the whole box is in
+   bounds and the tape must claim and agree with the interpreter — this
+   is the cursor-addressing-vs-flat-offsets property. *)
+let gen_affine_case =
+  QCheck.Gen.(
+    let* ei = int_range 1 6 in
+    let* ej = int_range 1 6 in
+    let* a = int_range 0 3 in
+    let* b = int_range 1 3 in
+    let* c = int_range 0 4 in
+    return (ei, ej, a, b, c))
+
+let affine_nest (ei, ej, a, b, c) =
+  let idx =
+    L.(
+      Bin
+        ( Add,
+          Bin
+            ( Add,
+              Bin (Mul, Int a, Var "i"),
+              Bin (Mul, Int b, Var "j") ),
+          Int c ))
+  in
+  L.For
+    { var = "i"; lo = L.Int 0; hi = L.Int (ei - 1); tag = L.Seq;
+      body =
+        L.For
+          { var = "j"; lo = L.Int 0; hi = L.Int (ej - 1); tag = L.Seq;
+            body =
+              store "out"
+                [ L.Var "i"; idx ]
+                L.(
+                  Bin
+                    ( Add,
+                      Bin (Mul, Load ("inp", [ Var "i"; idx ]), Float 2.0),
+                      Var "j" )) } }
+
+let run_affine_case ?(strategy = `Seq) ((ei, ej, a, b, c) as case) =
+  let width = (a * (ei - 1)) + (b * (ej - 1)) + c + 1 in
+  let shapes = [ ("inp", [ ei; width ]); ("out", [ ei; width ]) ] in
+  let stmt = affine_nest case in
+  let mk () =
+    List.map
+      (fun (name, dims) ->
+        let b = B.Buffers.create name (Array.of_list dims) in
+        if name = "inp" then B.Buffers.fill b fill_a;
+        b)
+      shapes
+  in
+  let t = B.Interp.create ~buffers:(mk ()) () in
+  B.Interp.run t stmt;
+  let cc = B.Exec.compile ~parallel:strategy ~params:[] ~buffers:(mk ()) stmt in
+  B.Exec.run cc;
+  bits_equal (B.Interp.buffer t "out") (B.Exec.buffer cc "out")
+  && B.Exec.tape_count cc = 1
+  && B.Exec.tape_fallbacks cc = 0
+
+let qcheck_cursor_addressing =
+  QCheck.Test.make ~count:200
+    ~name:"tape cursor addressing = interpreter flat offsets"
+    (QCheck.make gen_affine_case) run_affine_case
+
+(* Random extents drawn from {0, 1, 2}: the degenerate-trip property. *)
+let qcheck_degenerate_extents =
+  QCheck.Test.make ~count:100 ~name:"tape zero/one-trip extents"
+    (QCheck.make
+       QCheck.Gen.(
+         let* ei = int_range 0 2 in
+         let* ej = int_range 0 2 in
+         return (ei, ej)))
+    (fun (ei, ej) ->
+      let stmt =
+        L.For
+          { var = "i"; lo = L.Int 0; hi = L.Int (ei - 1); tag = L.Seq;
+            body =
+              L.For
+                { var = "j"; lo = L.Int 0; hi = L.Int (ej - 1); tag = L.Seq;
+                  body =
+                    store "out"
+                      [ L.Var "i"; L.Var "j" ]
+                      L.(
+                        Bin
+                          (Add, Load ("inp", [ Var "i"; Var "j" ]), Float 1.0))
+                } }
+      in
+      let mk () =
+        [
+          (let b = B.Buffers.create "inp" [| 3; 3 |] in
+           B.Buffers.fill b fill_a;
+           b);
+          B.Buffers.create "out" [| 3; 3 |];
+        ]
+      in
+      let t = B.Interp.create ~buffers:(mk ()) () in
+      B.Interp.run t stmt;
+      let cc = B.Exec.compile ~parallel:`Seq ~params:[] ~buffers:(mk ()) stmt in
+      B.Exec.run cc;
+      bits_equal (B.Interp.buffer t "out") (B.Exec.buffer cc "out"))
+
+(* ---------- pipeline integration ---------- *)
+
+(* The PR-4 determinism class: flipping only the tape knob must miss the
+   compile cache and recompile — a closure artifact must never be served
+   for a tape request (or vice versa). *)
+let cache_key_includes_tape () =
+  P.clear_cache ();
+  let stmt = blur_nest () in
+  let extents =
+    List.map
+      (fun (n, dims) -> (n, Array.of_list dims, L.Host))
+      (blur_shapes ())
+  in
+  let inputs = [ ("a", fill_a) ] in
+  let on =
+    P.build_stmt ~knobs:{ P.default_knobs with P.tape = true } ~params:[]
+      ~extents ~inputs stmt
+  in
+  let off =
+    P.build_stmt ~knobs:{ P.default_knobs with P.tape = false } ~params:[]
+      ~extents ~inputs stmt
+  in
+  Alcotest.(check bool) "first build misses" true (on.P.cache = P.Miss);
+  Alcotest.(check bool)
+    "tape-off build misses too (knob is in the key)" true
+    (off.P.cache = P.Miss);
+  Alcotest.(check bool) "tape artifact uses the tape" true
+    (B.Exec.tape_count on.P.exec >= 1);
+  Alcotest.(check int) "tape-off artifact does not" 0
+    (B.Exec.tape_count off.P.exec);
+  (* same knobs again: a genuine hit, and it still reports tape use *)
+  let again =
+    P.build_stmt ~knobs:{ P.default_knobs with P.tape = true } ~params:[]
+      ~extents ~inputs stmt
+  in
+  Alcotest.(check bool) "same knobs hit" true (again.P.cache = P.Hit)
+
+(* The planner must keep a tape-claimable fusible nest intact (the tape
+   linearizes the prefix itself) instead of emitting div/mod binder loops
+   that would destroy eligibility. *)
+let planner_keeps_tape_nests () =
+  let stmt = blur_nest ~tag_i:L.Parallel ~tag_j:L.Parallel () in
+  let planned, rep =
+    Parallel_plan.plan ~workers:4 ~min_work:0 ~params:[] ~force:true
+      ~tape:true stmt
+  in
+  Alcotest.(check bool)
+    "decision is tape[i+j]" true
+    (List.exists
+       (fun d ->
+         match d.Parallel_plan.d_action with
+         | `Keep_tape [ "i"; "j" ] -> true
+         | _ -> false)
+       rep.Parallel_plan.r_decisions);
+  Alcotest.(check bool)
+    "planned nest still claimable" true
+    (Tape_gen.claimable planned);
+  (* without the tape the same nest is coalesced into binder loops *)
+  let planned', rep' =
+    Parallel_plan.plan ~workers:4 ~min_work:0 ~params:[] ~force:true stmt
+  in
+  Alcotest.(check int) "control coalesces" 1 rep'.Parallel_plan.r_coalesced;
+  Alcotest.(check bool)
+    "binder loops are not claimable" false
+    (Tape_gen.claimable planned')
+
+let tests =
+  [
+    Alcotest.test_case "blur nest claimed and bit-exact" `Quick blur_claimed;
+    Alcotest.test_case "gemm accumulator bit-exact" `Quick gemm_accumulator;
+    Alcotest.test_case "gemm disassembles with fma" `Quick
+      gemm_disassembles_fma;
+    Alcotest.test_case "zero-trip inner extent" `Quick zero_trip;
+    Alcotest.test_case "one-trip extents" `Quick one_trip;
+    Alcotest.test_case "corner-check fallback parity" `Quick fallback_parity;
+    Alcotest.test_case "tape=off control" `Quick tape_off_control;
+    Alcotest.test_case "doubly-parallel nest on the pool" `Quick
+      parallel_fused;
+    Alcotest.test_case "parallel reduction nest on the pool" `Quick
+      parallel_accumulator;
+    QCheck_alcotest.to_alcotest qcheck_cursor_addressing;
+    QCheck_alcotest.to_alcotest qcheck_degenerate_extents;
+    Alcotest.test_case "compile-cache key includes the tape knob" `Quick
+      cache_key_includes_tape;
+    Alcotest.test_case "planner keeps tape-claimable nests" `Quick
+      planner_keeps_tape_nests;
+  ]
+
+let () = Alcotest.run "tape" [ ("flat-tape", tests) ]
