@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke clean
+.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke autosched-smoke clean
 
 all: build
 
@@ -27,6 +27,15 @@ fuzz:
 pipeline-smoke:
 	dune exec bench/main.exe -- pipeline-smoke
 
+# Budgeted autoscheduler search on the smoke kernels (small extents):
+# the searched schedule must never regress the measured default (the
+# search's incumbent starts there), every winner must replay bit-exactly
+# against the interpreter, and the emitted JSON must match the golden
+# schema in bench/autosched.golden (regenerate with
+# TIRAMISU_UPDATE_GOLDEN=1).
+autosched-smoke:
+	dune exec bench/main.exe -- autosched-smoke
+
 # Perf regression gate: on the smoke kernels, pool execution (with the
 # parallel planner on) must stay within 1.1x of sequential by min-over-reps
 # — i.e. planning must never make things worse, whatever the core count of
@@ -45,6 +54,7 @@ check:
 	dune exec bench/main.exe -- exec-smoke
 	$(MAKE) pipeline-smoke
 	$(MAKE) bench-smoke
+	$(MAKE) autosched-smoke
 	$(MAKE) fuzz
 
 clean:

@@ -65,6 +65,10 @@ type case = {
   c_inputs : (string * (int array -> float)) list;
   c_build : unit -> Tiramisu_core.Ir.fn;
   c_sched : Tiramisu_core.Ir.fn -> unit;
+  c_outputs : string list;
+      (* output buffers, compared bitwise by per-pass differential
+         verification (the pipeline probe) and by the autoscheduler's
+         winner replay *)
 }
 
 let cases ~smoke =
@@ -82,6 +86,7 @@ let cases ~smoke =
           let f, _, _ = Image.blur () in
           f);
       c_sched = blur_inner_par ~t:8;
+      c_outputs = [ "by" ];
     };
     {
       c_name = "nb_unfused";
@@ -93,6 +98,7 @@ let cases ~smoke =
           let f, _, _, _, _ = Image.nb () in
           f);
       c_sched = Schedules.cpu_nb ~fuse:false;
+      c_outputs = [ "negative"; "brightened" ];
     };
     {
       c_name = "sgemm_tuned";
@@ -107,6 +113,7 @@ let cases ~smoke =
           let f, _, _ = Linalg.sgemm () in
           f);
       c_sched = Linalg.sgemm_tuned ~bi:8 ~bj:8 ~bk:8 ~vec:4 ~unr:2;
+      c_outputs = [ "C" ];
     };
   ]
 
@@ -192,12 +199,28 @@ let cache_bench case =
          case.c_name (cold_ms /. hit_ms) cold_ms hit_ms);
   (cold_ms, hit_ms)
 
-(* One traced build per kernel (cold, so every pass actually runs). *)
+(* A differential-verification probe over the case's own inputs and output
+   buffers: verifiable statement passes interp the IR before and after on
+   this probe and require bitwise-equal outputs. *)
+let probe_of case fn =
+  (* lowering materializes the auto and input buffers (idempotently), so
+     the probe's extents cover every buffer the interpreter needs *)
+  ignore (P.lower fn : Lower.t);
+  {
+    P.probe_params = case.c_params;
+    probe_extents = P.extents_of_fn fn ~params:case.c_params;
+    probe_fills = case.c_inputs;
+    probe_outputs = case.c_outputs;
+  }
+
+(* One traced build per kernel (cold, so every pass actually runs), with
+   the probe attached: smoke-path compiles carry per-pass differential
+   verification rather than reporting every row "skipped". *)
 let trace_case case =
   let fn = case.c_build () in
   case.c_sched fn;
   P.clear_cache ();
-  let tracer = P.make_tracer ~name:case.c_name () in
+  let tracer = P.make_tracer ~probe:(probe_of case fn) ~name:case.c_name () in
   ignore
     (Runner.build_native ~tracer ~fn ~params:case.c_params
        ~inputs:case.c_inputs ());

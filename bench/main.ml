@@ -2,7 +2,7 @@
    evaluation (CGO'19).  Run with no argument for everything, or with a
    subset of: fig1 table1 fig5 fig6 fig7 micro. *)
 
-let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec" ]
+let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec"; "autosched" ]
 (* "exec-smoke" is invocable but not part of the default sweep: it is the
    tier-1 fast path (1 rep, tiny sizes, no JSON). *)
 
@@ -23,6 +23,8 @@ let () =
       | "exec-smoke" -> Exec_bench.run ~smoke:true ()
       | "bench-smoke" -> Exec_bench.smoke_gate ()
       | "pipeline-smoke" -> Pipeline_smoke.run ()
+      | "autosched" -> Autosched_bench.run ()
+      | "autosched-smoke" -> Autosched_bench.run ~smoke:true ()
       | other ->
           Printf.eprintf "unknown benchmark %s (available: %s)\n" other
             (String.concat " " all);

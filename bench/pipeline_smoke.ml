@@ -64,7 +64,9 @@ let run () =
           let fn = case.Exec_bench.c_build () in
           case.Exec_bench.c_sched fn;
           let tracer =
-            P.make_tracer ~name:(case.Exec_bench.c_name ^ tag) ()
+            P.make_tracer
+              ~probe:(Exec_bench.probe_of case fn)
+              ~name:(case.Exec_bench.c_name ^ tag) ()
           in
           let art =
             Tiramisu_kernels.Runner.build_native ~tracer ~fn
@@ -83,7 +85,29 @@ let run () =
           failwith
             (case.Exec_bench.c_name
            ^ ": warm-cache recompile did not report a hit");
-        P.trace_of tracer)
+        let trace = P.trace_of tracer in
+        (* The probe must actually engage: at least one verifiable pass
+           per kernel differentially verified (not merely skipped), and
+           none may report a semantics change. *)
+        let verified, mismatched =
+          List.fold_left
+            (fun (v, m) (p : P.pass_trace) ->
+              match p.P.p_verify with
+              | P.Verified -> (v + 1, m)
+              | P.Mismatch why -> (v, (p.P.p_name ^ ": " ^ why) :: m)
+              | P.Skipped -> (v, m))
+            (0, []) trace.P.t_passes
+        in
+        if mismatched <> [] then
+          failwith
+            (case.Exec_bench.c_name
+            ^ ": pass verification mismatch — "
+            ^ String.concat "; " mismatched);
+        if verified = 0 then
+          failwith
+            (case.Exec_bench.c_name
+           ^ ": no pass was differentially verified (all skipped)");
+        trace)
       (Exec_bench.cases ~smoke:true)
   in
   let json =

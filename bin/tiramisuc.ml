@@ -376,6 +376,55 @@ let legal_cmd =
   in
   Cmd.v (Cmd.info "legal" ~doc) Term.(const run $ kernel_arg $ sched_arg)
 
+let autoschedule_cmd =
+  let doc =
+    "Search the schedule space (beam search over tile/fuse/interchange/\
+     parallelize/vectorize/unroll pipelines, legality-oracle pruned, \
+     cost-model ranked, measured through the compile cache) and print the \
+     best schedule found as a replayable OCaml action list."
+  in
+  let budget_arg =
+    Arg.(
+      value & opt float 30.0
+      & info [ "budget" ] ~docv:"SECONDS"
+          ~doc:"Wall-clock budget for the whole search (anytime).")
+  in
+  let rounds_arg =
+    Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"N" ~doc:"Beam rounds.")
+  in
+  let beam_arg =
+    Arg.(value & opt int 4 & info [ "beam" ] ~docv:"N" ~doc:"Beam width.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose" ] ~doc:"Progress on stderr.")
+  in
+  let run name paper budget rounds beam verbose =
+    let k = find_kernel name in
+    let params = if paper then k.params_paper else k.params_small in
+    let config =
+      {
+        Tiramisu_autosched.Search.default_config with
+        Tiramisu_autosched.Search.budget_ms = budget *. 1000.0;
+        rounds;
+        beam_width = beam;
+        verbose;
+      }
+    in
+    let r =
+      Runner.autoschedule ~config ~name:k.k_name ~build:k.build ~params
+        ~inputs:k.inputs ()
+    in
+    Format.printf "%a@." Tiramisu_autosched.Search.pp_result r;
+    if not r.Tiramisu_autosched.Search.r_verified then begin
+      prerr_endline "autoschedule: winner failed bit-exact replay";
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "autoschedule" ~doc)
+    Term.(
+      const run $ kernel_arg $ paper_arg $ budget_arg $ rounds_arg $ beam_arg
+      $ verbose_arg)
+
 let compile_cmd =
   let doc = "Compile a textual .tir pipeline (see lib/frontend)." in
   let file_arg =
@@ -430,4 +479,4 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "tiramisuc" ~doc ~version:"1.0")
           [ list_cmd; show_cmd; cc_cmd; run_cmd; model_cmd; legal_cmd;
-            compile_cmd ]))
+            autoschedule_cmd; compile_cmd ]))

@@ -1,0 +1,514 @@
+(* Measurement-driven autoscheduling: beam search over schedule pipelines
+   with the legality oracle as the pruner, the (tape-aware) cost model as
+   the prior, and measured wall-clock through the compile cache as the
+   objective — the Mullapudi-2016 / Adams-2019 recipe over this repo's
+   own verification and caching machinery.
+
+   One search round expands every beam state with (a) single actions
+   enumerated against the tracked dynamic-dim names (Sched_space.enumerate)
+   and (b), in the first round, composite expert templates — register
+   blocking for init/upd reduction pairs, tile + compute_at + vectorize for
+   producer/consumer pairs — instantiated over the power-of-two menu.  Each
+   candidate is rebuilt from scratch, pruned by Deps.legal_under_schedule,
+   lowered and prepared, and ranked by Cost.estimate ~tape:true; the top of
+   the beam is then measured for real through Pipeline.build, where the
+   structural-hash compile cache deduplicates candidates that lower to the
+   same statement.  Measurement keeps a best-so-far incumbent and abandons
+   a candidate as soon as a rep exceeds the incumbent by the cutoff ratio.
+   The whole search is anytime: the wall-clock budget is checked between
+   candidates and the incumbent is always a legal, measured schedule.
+
+   The winner is replayed bit-exactly against the interpreter on every
+   output buffer before being reported (exec vs interp on the same
+   scheduled IR is bitwise identical; a mismatch marks the result
+   unverified and the caller should not trust it). *)
+
+open Tiramisu_core
+module B = Tiramisu_backends
+module P = Tiramisu_pipeline.Pipeline
+module D = Tiramisu_deps.Deps
+module Lower = Tiramisu_core.Lower
+module S = Sched_space
+
+type problem = {
+  name : string;
+  build : unit -> Ir.fn;  (** fresh, unscheduled pipeline *)
+  params : (string * int) list;
+  inputs : (string * (int array -> float)) list;
+  outputs : string list;  (** buffer names to verify bit-exactly *)
+}
+
+type config = {
+  beam_width : int;  (** states kept per round *)
+  measure_top : int;  (** states measured per round *)
+  rounds : int;
+  reps : int;  (** timing reps per measured candidate *)
+  budget_ms : float;  (** whole-search wall-clock budget *)
+  cutoff_ratio : float;
+      (** abandon a candidate once a rep exceeds incumbent * ratio *)
+  max_frontier : int;  (** candidates vetted per round (cost-ordered) *)
+  menu : S.menu;
+  templates : bool;  (** seed round 1 with composite expert templates *)
+  strategy : [ `Seq | `Pool | `Spawn ];
+      (** execution strategy measured; [`Seq] is deterministic and matches
+          the exec-bench headline medians *)
+  try_notape : bool;  (** also measure the incumbent with the tape off *)
+  timeout_s : int;
+      (** per-candidate alarm on vetting and measuring: deeply stacked
+          schedules can blow up the Omega-test elimination (exponential
+          constraint growth), and the wall-clock budget is only checked
+          between candidates — the same guard the fuzz campaign uses *)
+  verbose : bool;
+}
+
+let default_config =
+  {
+    beam_width = 4;
+    measure_top = 4;
+    rounds = 3;
+    reps = 5;
+    budget_ms = 120_000.0;
+    cutoff_ratio = 1.5;
+    max_frontier = 200;
+    menu = S.default_menu;
+    templates = true;
+    strategy = `Seq;
+    try_notape = true;
+    timeout_s = 5;
+    verbose = false;
+  }
+
+type trajectory_point = { tp_candidates : int; tp_best_ms : float }
+
+type result = {
+  r_best : S.action list;
+  r_best_ms : float;
+  r_best_tape : bool;
+  r_default_ms : float;
+  r_enumerated : int;
+  r_vetted : int;  (** survived the oracle and lowering *)
+  r_illegal : int;  (** rejected by the legality oracle *)
+  r_errored : int;  (** apply/lower raised *)
+  r_measured : int;
+  r_cutoffs : int;  (** measurements abandoned early *)
+  r_dropped : int;  (** frontier candidates dropped by max_frontier *)
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_trajectory : trajectory_point list;  (** oldest first *)
+  r_verified : bool;
+  r_elapsed_ms : float;
+}
+
+let literal actions =
+  "[ " ^ String.concat ";\n  " (List.map S.to_literal actions) ^ " ]"
+
+(* ---------- building and vetting candidates ---------- *)
+
+let scheduled problem actions =
+  let fn = problem.build () in
+  List.iter (S.apply fn) actions;
+  fn
+
+let initial_entries problem : S.entry list =
+  let fn = problem.build () in
+  List.filter_map
+    (fun (c : Ir.computation) ->
+      if c.Ir.kind = Ir.Regular && not c.Ir.inlined then
+        Some
+          ( c.Ir.comp_name,
+            ref (List.map (fun d -> d.Ir.d_name) (Ir.dyn_dims c.Ir.sched)) )
+      else None)
+    fn.Ir.comps
+
+let replay_entries base actions =
+  let entries = S.copy_entries base in
+  List.iter (S.commit entries) actions;
+  entries
+
+(* Oracle + lowering + preparation; `Ok carries the prepared statement the
+   cost prior scores (narrowed bounds let the tape-claim check in the model
+   see the concrete rectangles the backend will see). *)
+let vet problem actions =
+  match scheduled problem actions with
+  | exception e -> `Err (Printexc.to_string e)
+  | fn -> (
+      match D.legal_under_schedule fn with
+      | Error e -> `Illegal e
+      | Ok () -> (
+          match
+            let lowered = P.lower fn in
+            P.prepare ~params:problem.params lowered.Lower.ast
+          with
+          | exception e -> `Err (Printexc.to_string e)
+          | stmt -> `Ok (fn, stmt)))
+
+let prior problem fn stmt =
+  (B.Cost.estimate ~tape:true ~params:problem.params
+     ~buffers:(P.extents_of_fn fn ~params:problem.params)
+     stmt)
+    .B.Cost.time_ns
+
+(* ---------- composite expert templates ---------- *)
+
+(* Register blocking for a reduction pair base_init/base_upd (the
+   sgemm_tuned shape, §VI-A): tile the two free dims, split the reduction,
+   hoist the reduction block above the intra-tile loops, vectorize the
+   innermost free dim and unroll the reduction remainder. *)
+let blocking_templates menu (entries : S.entry list) =
+  List.concat_map
+    (fun (uname, uref) ->
+      match Filename.chop_suffix_opt ~suffix:"_upd" uname with
+      | None -> []
+      | Some base -> (
+          let iname = base ^ "_init" in
+          match (List.assoc_opt iname entries, !uref) with
+          | Some iref, [ i; j; k ] when List.length !iref >= 2 ->
+              let i' = List.nth !iref 0 and j' = List.nth !iref 1 in
+              List.concat_map
+                (fun b ->
+                  List.concat_map
+                    (fun bk ->
+                      List.concat_map
+                        (fun vec ->
+                          List.map
+                            (fun unr ->
+                              [
+                                S.Tile (uname, i, j, b, b);
+                                S.Split (uname, k, bk);
+                                S.Interchange (uname, i ^ "1", k ^ "0");
+                                S.Interchange (uname, j ^ "1", i ^ "1");
+                                S.Vectorize (uname, j ^ "1", vec);
+                                S.Unroll (uname, k ^ "1", unr);
+                                S.Parallelize (uname, i ^ "0");
+                                S.Tile (iname, i', j', b, b);
+                                S.Parallelize (iname, i' ^ "0");
+                                S.Vectorize (iname, j' ^ "1", vec);
+                              ])
+                            menu.S.unroll_factors)
+                        menu.S.vec_widths)
+                    menu.S.split_factors)
+                menu.S.tile_sizes
+          | _ -> []))
+    entries
+
+(* Stencil fusion (the cpu_blur shape): tile a consumer, parallelize the
+   outer tile loop, compute the producer at the tile, vectorize the
+   intra-tile column loop.  Proposed for every ordered pair — the oracle
+   and the apply step prune pairs that are not producer/consumer. *)
+let stencil_templates menu (entries : S.entry list) =
+  List.concat_map
+    (fun (prod, _) ->
+      List.concat_map
+        (fun (cons, cref) ->
+          if prod = cons || List.length !cref < 2 then []
+          else
+            let i = List.nth !cref 0 and j = List.nth !cref 1 in
+            List.concat_map
+              (fun t ->
+                List.map
+                  (fun vec ->
+                    [
+                      S.Tile (cons, i, j, t, t);
+                      S.Parallelize (cons, i ^ "0");
+                      S.Compute_at (prod, cons, j ^ "0");
+                      S.Vectorize (cons, j ^ "1", vec);
+                    ])
+                  menu.S.vec_widths)
+              menu.S.tile_sizes)
+        entries)
+    entries
+
+(* Pluto-with-vectorization: tile + outer parallel + vectorize, per
+   computation (what the beam would assemble in three rounds, offered in
+   one). *)
+let tile_par_vec_templates menu (entries : S.entry list) =
+  List.concat_map
+    (fun (c, nref) ->
+      if List.length !nref < 2 then []
+      else
+        let i = List.nth !nref 0 and j = List.nth !nref 1 in
+        List.concat_map
+          (fun t ->
+            List.map
+              (fun vec ->
+                [
+                  S.Tile (c, i, j, t, t);
+                  S.Parallelize (c, i ^ "0");
+                  S.Vectorize (c, j ^ "1", vec);
+                ])
+              menu.S.vec_widths)
+          menu.S.tile_sizes)
+    entries
+
+let templates menu entries =
+  blocking_templates menu entries
+  @ stencil_templates menu entries
+  @ tile_par_vec_templates menu entries
+
+(* ---------- measurement ---------- *)
+
+let knobs_of cfg ~tape =
+  { P.default_knobs with P.parallel = (cfg.strategy :> B.Exec.par_strategy);
+    P.tape = tape }
+
+(* Median wall-clock of [reps] runs with early cutoff against the
+   incumbent: once the best rep so far cannot beat [cutoff], stop — the
+   candidate has lost, and its partial minimum is score enough. *)
+let measure cfg problem ~tape ~cutoff actions =
+  let fn = scheduled problem actions in
+  let art =
+    P.build ~knobs:(knobs_of cfg ~tape) ~fn ~params:problem.params
+      ~inputs:problem.inputs ()
+  in
+  let c = art.P.exec in
+  B.Exec.run c (* warmup; surfaces bounds failures before timing *);
+  let samples = ref [] in
+  let best = ref infinity in
+  let cut = ref false in
+  (try
+     for _ = 1 to cfg.reps do
+       let t0 = B.Clock.now_ms () in
+       B.Exec.run c;
+       let ms = B.Clock.now_ms () -. t0 in
+       samples := ms :: !samples;
+       best := Float.min !best ms;
+       if !best > cutoff then begin
+         cut := true;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let sorted = List.sort compare !samples in
+  let n = List.length sorted in
+  let median =
+    if n = 0 then infinity
+    else if n mod 2 = 1 then List.nth sorted (n / 2)
+    else (List.nth sorted ((n / 2) - 1) +. List.nth sorted (n / 2)) /. 2.0
+  in
+  (median, !cut)
+
+(* Bit-exact replay of the winner against the interpreter: rebuild through
+   the cache (restoring buffers to their freshly-filled snapshot), run the
+   executor once, and compare every output buffer with an interpreter run
+   of the same scheduled IR. *)
+let verify cfg problem ~tape actions =
+  match
+    let fn = scheduled problem actions in
+    let art =
+      P.build ~knobs:(knobs_of cfg ~tape) ~fn ~params:problem.params
+        ~inputs:problem.inputs ()
+    in
+    B.Exec.run art.P.exec;
+    let fn2 = scheduled problem actions in
+    let lowered = P.lower fn2 in
+    let extents = P.extents_of_fn fn2 ~params:problem.params in
+    let interp = B.Interp.create ~params:problem.params () in
+    List.iter
+      (fun (name, dims, mem) ->
+        B.Interp.add_buffer interp (B.Buffers.create ~mem name dims))
+      extents;
+    List.iter
+      (fun (name, fill) ->
+        B.Buffers.fill (B.Interp.buffer interp name) fill)
+      problem.inputs;
+    B.Interp.run interp lowered.Lower.ast;
+    List.for_all
+      (fun out ->
+        let ib = B.Interp.buffer interp out in
+        match
+          List.find_opt (fun b -> b.B.Buffers.name = out) art.P.buffers
+        with
+        | None -> false
+        | Some eb ->
+            Array.length ib.B.Buffers.data = Array.length eb.B.Buffers.data
+            && (let ok = ref true in
+                Array.iteri
+                  (fun k v ->
+                    if
+                      Int64.bits_of_float v
+                      <> Int64.bits_of_float eb.B.Buffers.data.(k)
+                    then ok := false)
+                  ib.B.Buffers.data;
+                !ok))
+      problem.outputs
+  with
+  | ok -> ok
+  | exception _ -> false
+
+(* ---------- the search ---------- *)
+
+type scored = { sc_actions : S.action list; sc_prior : float }
+
+let run ?(config = default_config) (problem : problem) : result =
+  let cfg = config in
+  let t_start = B.Clock.now_ms () in
+  let elapsed () = B.Clock.now_ms () -. t_start in
+  let over_budget () = elapsed () > cfg.budget_ms in
+  let stats0 = P.cache_stats () in
+  let base_entries = initial_entries problem in
+  let enumerated = ref 0
+  and vetted = ref 0
+  and illegal = ref 0
+  and errored = ref 0
+  and measured = ref 0
+  and cutoffs = ref 0
+  and dropped = ref 0 in
+  let seen = Hashtbl.create 256 in
+  let trajectory = ref [] in
+  let say fmt =
+    Printf.ksprintf (fun s -> if cfg.verbose then prerr_endline s) fmt
+  in
+  let limited f =
+    Tiramisu_support.Limits.with_time_limit cfg.timeout_s f
+  in
+  (* Incumbent: the default (empty) schedule, measured first — so "searched
+     >= default" holds by construction and the trajectory starts anchored.
+     The default gets a generous multiple of the per-candidate limit: if
+     even it cannot compile and run, the search has no incumbent and no
+     legal answer, so failing loudly beats searching blind. *)
+  let default_ms, _ =
+    match
+      Tiramisu_support.Limits.with_time_limit (8 * cfg.timeout_s) (fun () ->
+          measure cfg problem ~tape:true ~cutoff:infinity [])
+    with
+    | Some r -> r
+    | None ->
+        failwith
+          (problem.name
+         ^ ": default schedule did not compile and measure within the limit")
+  in
+  incr measured;
+  Hashtbl.replace seen (literal []) ();
+  let best = ref [] and best_ms = ref default_ms and best_tape = ref true in
+  trajectory := { tp_candidates = !measured; tp_best_ms = !best_ms } :: [];
+  say "autosched %s: default %.3f ms" problem.name default_ms;
+  let consider ~tape actions =
+    if not (over_budget ()) then begin
+      let cutoff = cfg.cutoff_ratio *. !best_ms in
+      match limited (fun () -> measure cfg problem ~tape ~cutoff actions) with
+      | exception _ -> ()
+      | None -> ()
+      | Some (ms, cut) ->
+          incr measured;
+          if cut then incr cutoffs;
+          if ms < !best_ms then begin
+            best := actions;
+            best_ms := ms;
+            best_tape := tape;
+            say "autosched %s: new best %.3f ms (%d actions, tape=%b)"
+              problem.name ms (List.length actions) tape
+          end;
+          trajectory :=
+            { tp_candidates = !measured; tp_best_ms = !best_ms } :: !trajectory
+    end
+  in
+  let beam = ref [ { sc_actions = []; sc_prior = infinity } ] in
+  (try
+     for round = 1 to cfg.rounds do
+       if over_budget () then raise Exit;
+       (* frontier: template pipelines (first round) + one-action
+          expansions of every beam state *)
+       let frontier =
+         (if cfg.templates && round = 1 then
+            List.map (fun t -> t) (templates cfg.menu base_entries)
+          else [])
+         @ List.concat_map
+             (fun st ->
+               let entries = replay_entries base_entries st.sc_actions in
+               List.map
+                 (fun a -> st.sc_actions @ [ a ])
+                 (S.enumerate ~menu:cfg.menu entries))
+             !beam
+       in
+       let frontier =
+         List.filter
+           (fun acts ->
+             let key = literal acts in
+             if Hashtbl.mem seen key then false
+             else begin
+               Hashtbl.replace seen key ();
+               true
+             end)
+           frontier
+       in
+       enumerated := !enumerated + List.length frontier;
+       let frontier =
+         if List.length frontier <= cfg.max_frontier then frontier
+         else begin
+           dropped := !dropped + List.length frontier - cfg.max_frontier;
+           List.filteri (fun k _ -> k < cfg.max_frontier) frontier
+         end
+       in
+       say "autosched %s: round %d, %d candidates" problem.name round
+         (List.length frontier);
+       (* oracle-prune, lower, cost-rank *)
+       let survivors =
+         List.filter_map
+           (fun acts ->
+             if over_budget () then None
+             else
+               match limited (fun () -> vet problem acts) with
+               | None (* Omega blowup: the alarm fired mid-vet *)
+               | Some (`Err _) ->
+                   incr errored;
+                   None
+               | Some (`Illegal _) ->
+                   incr illegal;
+                   None
+               | Some (`Ok (fn, stmt)) ->
+                   incr vetted;
+                   Some { sc_actions = acts; sc_prior = prior problem fn stmt })
+           frontier
+       in
+       let ranked =
+         List.sort (fun a b -> compare a.sc_prior b.sc_prior) survivors
+       in
+       let top = List.filteri (fun k _ -> k < cfg.beam_width) ranked in
+       if top = [] then raise Exit;
+       beam := top;
+       (* measure the head of the beam; the compile cache deduplicates
+          candidates that lower to an already-compiled statement *)
+       List.iteri
+         (fun k st ->
+           if k < cfg.measure_top then consider ~tape:true st.sc_actions)
+         top
+     done
+   with Exit -> ());
+  (* the tape knob: challenge the incumbent with the tape off *)
+  if cfg.try_notape && not (over_budget ()) then consider ~tape:false !best;
+  (* the verify rebuild goes through the cache too — a hit, since the
+     winner was measured moments ago — so snapshot the stats after it *)
+  let verified = verify cfg problem ~tape:!best_tape !best in
+  let stats1 = P.cache_stats () in
+  {
+    r_best = !best;
+    r_best_ms = !best_ms;
+    r_best_tape = !best_tape;
+    r_default_ms = default_ms;
+    r_enumerated = !enumerated;
+    r_vetted = !vetted;
+    r_illegal = !illegal;
+    r_errored = !errored;
+    r_measured = !measured;
+    r_cutoffs = !cutoffs;
+    r_dropped = !dropped;
+    r_cache_hits = stats1.P.hits - stats0.P.hits;
+    r_cache_misses = stats1.P.misses - stats0.P.misses;
+    r_trajectory = List.rev !trajectory;
+    r_verified = verified;
+    r_elapsed_ms = elapsed ();
+  }
+
+let pp_result ppf (r : result) =
+  Format.fprintf ppf
+    "best %.3f ms (default %.3f ms, %.2fx) in %.0f ms@\n\
+     candidates: %d enumerated, %d vetted, %d illegal, %d errored, %d \
+     dropped@\n\
+     measured: %d (%d cutoffs), cache %d hits / %d misses@\n\
+     verified: %b, tape: %b@\n\
+     schedule:@\n%s@\n"
+    r.r_best_ms r.r_default_ms
+    (r.r_default_ms /. r.r_best_ms)
+    r.r_elapsed_ms r.r_enumerated r.r_vetted r.r_illegal r.r_errored
+    r.r_dropped r.r_measured r.r_cutoffs r.r_cache_hits r.r_cache_misses
+    r.r_verified r.r_best_tape (literal r.r_best)

@@ -1,0 +1,68 @@
+(** Measurement-driven autoscheduler: beam search over schedule pipelines.
+
+    Candidates are enumerated from {!Sched_space} (plus composite expert
+    templates in the first round), pruned by the dependence legality
+    oracle, ranked by the tape-aware analytical cost model as a prior, and
+    the top of the beam is measured for real through {!Pipeline.build} —
+    the structural-hash compile cache deduplicates candidates that lower
+    to the same statement, and an early-cutoff incumbent keeps bad
+    candidates cheap.  The winner is replayed bit-exactly against the
+    interpreter before it is reported. *)
+
+type problem = {
+  name : string;
+  build : unit -> Tiramisu_core.Ir.fn;  (** fresh, unscheduled pipeline *)
+  params : (string * int) list;
+  inputs : (string * (int array -> float)) list;
+  outputs : string list;  (** buffer names to verify bit-exactly *)
+}
+
+type config = {
+  beam_width : int;
+  measure_top : int;
+  rounds : int;
+  reps : int;
+  budget_ms : float;  (** whole-search wall-clock budget (anytime) *)
+  cutoff_ratio : float;
+  max_frontier : int;  (** vetting cap per round; overflow is counted *)
+  menu : Sched_space.menu;
+  templates : bool;
+  strategy : [ `Seq | `Pool | `Spawn ];
+  try_notape : bool;  (** also challenge the incumbent with the tape off *)
+  timeout_s : int;
+      (** per-candidate alarm on vetting and measuring (Omega-test
+          blowup guard, as in the fuzz campaign); timed-out candidates
+          count as errored *)
+  verbose : bool;  (** progress on stderr *)
+}
+
+val default_config : config
+
+type trajectory_point = { tp_candidates : int; tp_best_ms : float }
+
+type result = {
+  r_best : Sched_space.action list;
+  r_best_ms : float;
+  r_best_tape : bool;
+  r_default_ms : float;  (** the measured empty schedule (the incumbent's
+                             floor: searched <= default by construction) *)
+  r_enumerated : int;
+  r_vetted : int;
+  r_illegal : int;
+  r_errored : int;
+  r_measured : int;
+  r_cutoffs : int;
+  r_dropped : int;
+  r_cache_hits : int;
+  r_cache_misses : int;
+  r_trajectory : trajectory_point list;  (** oldest first *)
+  r_verified : bool;  (** winner matched the interpreter bitwise *)
+  r_elapsed_ms : float;
+}
+
+val run : ?config:config -> problem -> result
+
+val literal : Sched_space.action list -> string
+(** The winning schedule as a replayable OCaml action-list literal. *)
+
+val pp_result : Format.formatter -> result -> unit

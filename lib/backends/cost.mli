@@ -25,11 +25,17 @@ type report = {
 
 val estimate :
   ?machine:Machine.t ->
+  ?tape:bool ->
   params:(string * int) list ->
   buffers:(string * int array * Tiramisu_codegen.Loop_ir.mem_space) list ->
   Tiramisu_codegen.Loop_ir.stmt ->
   report
 (** [buffers] gives each buffer's dimensions and memory space (for stride,
-    footprint and GPU memory-hierarchy computation). *)
+    footprint and GPU memory-hierarchy computation).  [tape] (default off,
+    preserving the paper-figure calibration) additionally models the flat
+    instruction-tape backend: loop control inside a nest [Tape_gen] would
+    claim is charged at bytecode-cursor cost, which is what lets the
+    autoscheduler's prior rank tape-friendly schedules above
+    structurally-equal ones the tape cannot claim. *)
 
 val pp_report : Format.formatter -> report -> unit

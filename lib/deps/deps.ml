@@ -556,15 +556,70 @@ let legal_under_schedule fn =
    is a perfectly-nested [Parallel] chain the planner can coalesce into one
    fused loop.  Widening is greedy and order-deterministic; the returned
    closure undoes every accepted mutation, so callers can widen, lower, and
-   restore the user's schedule. *)
+   restore the user's schedule.
+
+   Cost: each trial used to re-run {!check_legality} from scratch — flow
+   dependence computation plus an Omega-test per dependence — which
+   dominated whole-pipeline compiles (BENCH_pass_trace.json showed 32ms of
+   439ms on sgemm_tuned in widening alone).  Both halves are memoizable
+   exactly: [flow_deps] reads only domains and access relations, never
+   tags, so it is hoisted out of the trial loop; and [check_dep_legality]
+   sees the trial tags only through the two endpoints' effective-tag
+   vectors, so its verdict is cached keyed by (dependence index, source
+   tag signature, destination tag signature).  A rejected trial's revert
+   restores a previously-seen signature, so subsequent trials hit the
+   cache instead of re-eliminating. *)
 let widen_parallel fn =
+  let deps =
+    Array.of_list
+      (List.filter
+         (fun d -> d.src.computed_at = None && d.dst.computed_at = None)
+         (flow_deps fn))
+  in
+  (* Tag signatures cover every level a dependence check can query:
+     check_dep_legality looks at levels < max (length time_desc) over the
+     two endpoints, and time_desc has one slot per schedule dim. *)
+  let nlev =
+    List.fold_left
+      (fun acc (c : computation) -> max acc (List.length c.sched.dims))
+      0 fn.comps
+  in
+  let verdicts = Hashtbl.create 64 in
+  let all_legal () =
+    let tags = effective_tags fn in
+    let sigs = Hashtbl.create 8 in
+    let sg name =
+      match Hashtbl.find_opt sigs name with
+      | Some s -> s
+      | None ->
+          let s = List.init nlev (tags name) in
+          Hashtbl.add sigs name s;
+          s
+    in
+    try
+      Array.iteri
+        (fun i d ->
+          let key = (i, sg d.src.comp_name, sg d.dst.comp_name) in
+          let ok =
+            match Hashtbl.find_opt verdicts key with
+            | Some ok -> ok
+            | None ->
+                let ok = check_dep_legality ~tags ~params:fn.params d = [] in
+                Hashtbl.add verdicts key ok;
+                ok
+          in
+          if not ok then raise Exit)
+        deps;
+      true
+    with Exit -> false
+  in
   let widened = ref [] in
   let undos = ref [] in
   let try_widen (c : computation) (d : dim) =
     d.d_tag = LT.Seq
     && begin
          d.d_tag <- LT.Parallel;
-         if check_legality fn = [] then begin
+         if all_legal () then begin
            widened := (c.comp_name, d.d_name) :: !widened;
            undos := (fun () -> d.d_tag <- LT.Seq) :: !undos;
            true

@@ -44,7 +44,10 @@ type rcomp = {
   rc_expr : cexpr;
 }
 
-type step =
+(* The schedule-step vocabulary is shared with the beam search
+   (lib/autosched/sched_space.ml); re-exporting the constructors keeps the
+   pinned corpus literals in test/test_fuzz.ml source-compatible. *)
+type step = Tiramisu_autosched.Sched_space.action =
   | Split of string * string * int
       (** comp, dyn name v, factor — derived names [v0], [v1] *)
   | Tile of string * string * string * int * int
@@ -57,6 +60,8 @@ type step =
   | Vectorize of string * string * int  (** derived inner name [v_v] *)
   | Unroll of string * string * int  (** derived inner name [v_u] *)
   | Fuse of string * string * string  (** [after c b lvl], lvl = "root" or a loop of b *)
+  | Compute_at of string * string * string
+      (** [compute_at producer consumer lvl]; search-only *)
 
 type t = {
   extents : ext list;  (** one per dimension; length = dimensionality *)
@@ -97,18 +102,7 @@ type built = {
   outputs : string list;  (** buffer names whose contents to compare *)
 }
 
-let apply_step fn = function
-  | Split (c, v, f) -> split (find_comp fn c) v f (v ^ "0") (v ^ "1")
-  | Tile (c, i, j, t1, t2) ->
-      tile (find_comp fn c) i j t1 t2 (i ^ "0") (j ^ "0") (i ^ "1") (j ^ "1")
-  | Interchange (c, i, j) -> interchange (find_comp fn c) i j
-  | Shift (c, i, s) -> shift (find_comp fn c) i s
-  | Skew (c, i, j, f) -> skew (find_comp fn c) i j f
-  | Reverse (c, i) -> reverse (find_comp fn c) i
-  | Parallelize (c, i) -> parallelize (find_comp fn c) i
-  | Vectorize (c, i, w) -> vectorize (find_comp fn c) i w
-  | Unroll (c, i, f) -> unroll (find_comp fn c) i f
-  | Fuse (c, b, lvl) -> after (find_comp fn c) (find_comp fn b) lvl
+let apply_step = Tiramisu_autosched.Sched_space.apply
 
 let build ?(with_steps = true) (t : t) : built =
   let has_n = List.exists (fun e -> e = NParam) t.extents in
@@ -227,17 +221,7 @@ let rec expr_lit = function
   | Bin (op, a, b) ->
       Printf.sprintf "Bin (%s, %s, %s)" (op_name op) (expr_lit a) (expr_lit b)
 
-let step_lit = function
-  | Split (c, v, f) -> Printf.sprintf "Split (%S, %S, %d)" c v f
-  | Tile (c, i, j, a, b) -> Printf.sprintf "Tile (%S, %S, %S, %d, %d)" c i j a b
-  | Interchange (c, i, j) -> Printf.sprintf "Interchange (%S, %S, %S)" c i j
-  | Shift (c, i, s) -> Printf.sprintf "Shift (%S, %S, %d)" c i s
-  | Skew (c, i, j, f) -> Printf.sprintf "Skew (%S, %S, %S, %d)" c i j f
-  | Reverse (c, i) -> Printf.sprintf "Reverse (%S, %S)" c i
-  | Parallelize (c, i) -> Printf.sprintf "Parallelize (%S, %S)" c i
-  | Vectorize (c, i, w) -> Printf.sprintf "Vectorize (%S, %S, %d)" c i w
-  | Unroll (c, i, f) -> Printf.sprintf "Unroll (%S, %S, %d)" c i f
-  | Fuse (c, b, l) -> Printf.sprintf "Fuse (%S, %S, %S)" c b l
+let step_lit = Tiramisu_autosched.Sched_space.to_literal
 
 let ext_lit = function Lit n -> Printf.sprintf "Lit %d" n | NParam -> "NParam"
 

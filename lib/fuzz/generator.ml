@@ -41,10 +41,11 @@ type stats = {
 let mk_stats () =
   { cases = 0; steps_accepted = 0; steps_illegal = 0; steps_errored = 0 }
 
-let pick rng arr = arr.(R.int rng (Array.length arr))
-let pick_list rng l = List.nth l (R.int rng (List.length l))
+module S = Tiramisu_autosched.Sched_space
+
+let pick = S.pick
+let pick_list = S.pick_list
 let extent_pool = [| 0; 1; 2; 3; 3; 4; 5; 8; 17 |]
-let factor_pool = [| 2; 2; 3; 4 |]
 
 (* Magnitude cap keeping every intermediate integer exactly representable
    (reductions multiply by at most 4, leaving headroom below 2^53). *)
@@ -88,103 +89,11 @@ let rec gen_expr rng ~depth ~nall ~inputs ~prods =
 
 (* ---------- schedule candidates against tracked dim names ---------- *)
 
-let replace1 l v repl =
-  List.concat_map (fun s -> if s = v then repl else [ s ]) l
-
-let replace_pair l i j repl =
-  let rec go = function
-    | a :: b :: tl when a = i && b = j -> repl @ tl
-    | a :: tl -> a :: go tl
-    | [] -> []
-  in
-  go l
-
-let swap l a b =
-  List.map (fun s -> if s = a then b else if s = b then a else s) l
-
-(* One candidate step, or None when the drawn shape does not apply.
-   Returns the step plus a commit thunk updating the tracked names. *)
-let candidate rng entries =
-  let cname, nref = pick_list rng entries in
-  let names = !nref in
-  let nn = List.length names in
-  if nn = 0 then None
-  else
-    let nm i = List.nth names i in
-    let rand_name () = nm (R.int rng nn) in
-    match R.int rng 11 with
-    | 0 | 1 ->
-        let v = rand_name () in
-        if
-          String.length v > 2
-          || List.mem (v ^ "0") names
-          || List.mem (v ^ "1") names
-        then None
-        else
-          Some
-            ( Case.Split (cname, v, pick rng factor_pool),
-              fun () -> nref := replace1 !nref v [ v ^ "0"; v ^ "1" ] )
-    | 2 ->
-        if nn < 2 then None
-        else
-          let p = R.int rng (nn - 1) in
-          let i = nm p and j = nm (p + 1) in
-          let derived = [ i ^ "0"; j ^ "0"; i ^ "1"; j ^ "1" ] in
-          if
-            String.length i > 2 || String.length j > 2
-            || List.exists (fun s -> List.mem s names) derived
-          then None
-          else
-            Some
-              ( Case.Tile (cname, i, j, pick rng factor_pool, pick rng factor_pool),
-                fun () -> nref := replace_pair !nref i j derived )
-    | 3 ->
-        if nn < 2 then None
-        else
-          let a = rand_name () and b = rand_name () in
-          if a = b then None
-          else
-            Some
-              ( Case.Interchange (cname, a, b),
-                fun () -> nref := swap !nref a b )
-    | 4 -> Some (Case.Shift (cname, rand_name (), R.int rng 7 - 3), fun () -> ())
-    | 5 ->
-        if nn < 2 then None
-        else
-          let a = rand_name () and b = rand_name () in
-          if a = b then None
-          else Some (Case.Skew (cname, a, b, 1 + R.int rng 2), fun () -> ())
-    | 6 -> Some (Case.Reverse (cname, rand_name ()), fun () -> ())
-    | 7 ->
-        let v = rand_name () in
-        if v.[0] = 'r' then None
-        else Some (Case.Parallelize (cname, v), fun () -> ())
-    | 8 ->
-        let v = nm (nn - 1) in
-        if v.[0] = 'r' || List.mem (v ^ "_v") names then None
-        else
-          Some
-            ( Case.Vectorize (cname, v, pick rng [| 2; 4; 8 |]),
-              fun () -> nref := replace1 !nref v [ v; v ^ "_v" ] )
-    | 9 ->
-        let v = nm (nn - 1) in
-        if List.mem (v ^ "_u") names then None
-        else
-          Some
-            ( Case.Unroll (cname, v, pick rng [| 2; 3; 4 |]),
-              fun () -> nref := replace1 !nref v [ v; v ^ "_u" ] )
-    | _ ->
-        if List.length entries < 2 then None
-        else
-          let c, _ = pick_list rng entries in
-          let b, bref = pick_list rng entries in
-          if c = b then None
-          else
-            let lvl =
-              if R.int rng 3 = 0 && !bref <> [] then pick_list rng !bref
-              else "root"
-            in
-            Some (Case.Fuse (c, b, lvl), fun () -> ())
+(* The candidate draw lives in Sched_space (shared with the beam search);
+   the R.int stream it consumes is unchanged, so pinned sweep seeds and the
+   replay corpus are unaffected by the factoring. *)
+let candidate : R.t -> S.entry list -> (Case.step * (unit -> unit)) option =
+  S.random_candidate
 
 let debug = Sys.getenv_opt "TIRAMISU_FUZZ_DEBUG" <> None
 

@@ -1,20 +1,4 @@
-(* Wall-clock guard for the polyhedral machinery.  Deeply stacked
-   split/tile schedules can blow up the Omega-test elimination in the
-   legality check (exponential constraint growth), so both candidate
-   vetting and case execution run under an alarm: a candidate that cannot
-   be decided in time is dropped, never allowed to wedge the campaign.
-   SIGALRM raises at the next allocation point — the presburger code
-   allocates constantly, so delivery is prompt. *)
-
-exception Timeout
-
-let with_time_limit secs f =
-  let old =
-    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timeout))
-  in
-  ignore (Unix.alarm secs);
-  Fun.protect
-    ~finally:(fun () ->
-      ignore (Unix.alarm 0);
-      Sys.set_signal Sys.sigalrm old)
-    (fun () -> try Some (f ()) with Timeout -> None)
+(* Moved to lib/support so the autoscheduler's candidate vetting can use
+   the same wall-clock guard as the fuzz campaign; re-exported here to
+   keep fuzz-internal call sites unchanged. *)
+include Tiramisu_support.Limits

@@ -25,7 +25,8 @@ let step_touches names = function
   | Case.Vectorize (c, _, _)
   | Case.Unroll (c, _, _) ->
       List.mem c names
-  | Case.Fuse (c, b, _) -> List.mem c names || List.mem b names
+  | Case.Fuse (c, b, _) | Case.Compute_at (c, b, _) ->
+      List.mem c names || List.mem b names
 
 (* Every variant with one schedule step removed. *)
 let drop_steps (t : Case.t) =

@@ -79,3 +79,24 @@ let run_native ?parallel ?tape ~fn ~params ~inputs () =
   let compiled = prepare_native ?parallel ?tape ~fn ~params ~inputs () in
   B.Exec.run compiled;
   compiled
+
+module Search = Tiramisu_autosched.Search
+
+let autoschedule ?config ~name ~build ~params ~inputs ?outputs () =
+  (* Measurement-driven schedule search (see {!Tiramisu_autosched.Search}).
+     [outputs] defaults to every non-input buffer of the pipeline — the
+     winner is replayed bit-exactly against the interpreter on all of
+     them. *)
+  let outputs =
+    match outputs with
+    | Some o -> o
+    | None ->
+        let fn = build () in
+        (* lowering materializes the auto buffers the defaults range over *)
+        ignore (P.lower fn : Lower.t);
+        List.filter_map
+          (fun (n, _, _) ->
+            if List.mem_assoc n inputs then None else Some n)
+          (P.extents_of_fn fn ~params)
+  in
+  Search.run ?config { Search.name; build; params; inputs; outputs }

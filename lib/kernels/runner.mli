@@ -87,3 +87,17 @@ val run_native :
   B.Exec.compiled
 (** Closure-compiled execution with real multicore parallelism (OCaml 5
     domains on the persistent pool); the fast counterpart of {!run}. *)
+
+val autoschedule :
+  ?config:Tiramisu_autosched.Search.config ->
+  name:string ->
+  build:(unit -> Ir.fn) ->
+  params:(string * int) list ->
+  inputs:(string * (int array -> float)) list ->
+  ?outputs:string list ->
+  unit ->
+  Tiramisu_autosched.Search.result
+(** Measurement-driven schedule search over [build ()]'s schedule space
+    (see {!Tiramisu_autosched.Search}).  [outputs] — the buffers the
+    winner must replay bit-exactly against the interpreter — defaults to
+    every non-input buffer of the pipeline. *)

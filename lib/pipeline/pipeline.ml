@@ -142,7 +142,11 @@ let probe_run (p : probe) (s : L.stmt) =
    run fails, the pass broke the program: Mismatch. *)
 let differential_verify p ~before ~after =
   match probe_run p before with
-  | exception _ -> Skipped
+  | exception e ->
+      if Sys.getenv_opt "TIRAMISU_DEBUG_PROBE" <> None then
+        Printf.eprintf "probe reference run failed: %s\n"
+          (Printexc.to_string e);
+      Skipped
   | ref_out -> (
       match probe_run p after with
       | exception e ->

@@ -5,6 +5,11 @@
 open Tiramisu_kernels
 module A = Tiramisu_autosched.Autosched
 module B = Tiramisu_backends
+module S = Tiramisu_autosched.Search
+module Sp = Tiramisu_autosched.Sched_space
+module P = Tiramisu_pipeline.Pipeline
+module L = Tiramisu_codegen.Loop_ir
+module Tape_gen = Tiramisu_codegen.Tape_gen
 
 let n = 14
 let m = 12
@@ -131,4 +136,241 @@ let tests =
         | Error e -> Alcotest.fail e);
   ]
 
-let () = Alcotest.run "autosched" [ ("autosched", tests) ]
+(* ---------- the beam-search autoscheduler (Search) ---------- *)
+
+(* Predicted time of a scheduled pipeline under the tape-aware prior the
+   search ranks with. *)
+let predicted fn params =
+  let lowered = P.lower fn in
+  let stmt = P.prepare ~params lowered.Tiramisu_core.Lower.ast in
+  (B.Cost.estimate ~tape:true ~params
+     ~buffers:(P.extents_of_fn fn ~params)
+     stmt)
+    .B.Cost.time_ns
+
+(* Measured sequential min-of-reps, through the same build path the
+   search measures with.  Min, not median: timer noise is strictly
+   additive, and a scheduler hiccup spanning most of one candidate's
+   window would poison its median and scramble the rank comparison. *)
+let measured fn params inputs =
+  let knobs = { P.default_knobs with P.parallel = `Seq } in
+  let art = P.build ~knobs ~fn ~params ~inputs () in
+  B.Exec.run art.P.exec;
+  let samples =
+    Array.init 7 (fun _ ->
+        let t0 = B.Clock.now_ms () in
+        B.Exec.run art.P.exec;
+        B.Clock.now_ms () -. t0)
+  in
+  Array.fold_left min samples.(0) samples
+
+(* qcheck: on a dense elementwise kernel whose whole nest the tape claims,
+   an evenly-dividing tile must not worsen the predicted cost — inside a
+   claimed nest the model charges loop control at bytecode-cursor cost, so
+   the extra loop levels tiling introduces are noise (< 5%), not a
+   penalty.  This is the property that lets the prior rank tilings of a
+   claimed nest by locality rather than by loop-control bookkeeping. *)
+let prop_tile_claimed_nest =
+  QCheck.Test.make ~count:40
+    ~name:"legal tile never worsens predicted cost on a claimed nest"
+    (QCheck.make
+       QCheck.Gen.(
+         let* t = oneofl [ 4; 8; 16 ] in
+         let* kn = int_range 1 3 in
+         let* km = int_range 1 3 in
+         return (t, t * kn, t * km)))
+    (fun (t, n, m) ->
+      let params = [ ("N", n); ("M", m) ] in
+      let base =
+        let f, _ = Image.cvt_color () in
+        predicted f params
+      in
+      let tiled =
+        let f, _ = Image.cvt_color () in
+        Sp.apply f (Sp.Tile ("gray", "i", "j", t, t));
+        predicted f params
+      in
+      tiled <= base *. 1.05)
+
+(* Rank correlation between the cost prior and measured medians on sgemm
+   schedule candidates spanning a real locality range: tilings (which the
+   model credits with footprint reuse) must land on the fast side, and
+   the locality-destroying interchanges and the k-split (which break
+   inner-loop line reuse) on the slow side, the same way the measurements
+   order them.  Candidates stay inside one execution regime — no
+   vectorize/unroll, which can push a nest off the tape's claimed path
+   and flip the measured order for reasons the analytical model cannot
+   see (DESIGN.md 12 pins that effect; the search handles it by
+   measuring, not predicting).  S = 128 so locality dominates timer
+   noise.  Spearman > 0 is deliberately weak — the prior only has to
+   sort the beam, not predict milliseconds. *)
+let spearman xs ys =
+  let rank vs =
+    let idx = Array.init (Array.length vs) (fun i -> i) in
+    Array.sort (fun a b -> compare vs.(a) vs.(b)) idx;
+    let r = Array.make (Array.length vs) 0.0 in
+    Array.iteri (fun pos i -> r.(i) <- float_of_int pos) idx;
+    r
+  in
+  let rx = rank xs and ry = rank ys in
+  let n = float_of_int (Array.length xs) in
+  let d2 =
+    Array.fold_left ( +. ) 0.0
+      (Array.mapi (fun i x -> (x -. ry.(i)) ** 2.0) rx)
+  in
+  1.0 -. (6.0 *. d2 /. (n *. ((n *. n) -. 1.0)))
+
+let sgemm_inputs =
+  [ ("A", fun i -> float_of_int (((i.(0) * 7) + (i.(1) * 3)) mod 11));
+    ("B", fun i -> float_of_int (((i.(0) * 5) + i.(1)) mod 9));
+    ("C0", fun i -> float_of_int ((i.(0) + i.(1)) mod 7)) ]
+
+let rank_correlation_test () =
+  let s = 128 in
+  let params = [ ("S", s) ] in
+  let candidates =
+    [
+      [];
+      [ Sp.Tile ("c_upd", "i", "j", 8, 8) ];
+      [ Sp.Tile ("c_upd", "i", "j", 16, 16) ];
+      [ Sp.Interchange ("c_upd", "j", "k") ];
+      [ Sp.Interchange ("c_upd", "i", "j") ];
+      [ Sp.Interchange ("c_upd", "i", "k");
+        Sp.Interchange ("c_upd", "j", "k") ];
+      [ Sp.Split ("c_upd", "k", 8) ];
+    ]
+  in
+  let scored =
+    List.map
+      (fun acts ->
+        let build () =
+          let f, _, _ = Linalg.sgemm () in
+          f
+        in
+        let f = build () in
+        List.iter (Sp.apply f) acts;
+        (match Tiramisu_deps.Deps.legal_under_schedule f with
+        | Ok () -> ()
+        | Error e -> Alcotest.failf "candidate unexpectedly illegal: %s" e);
+        let cost = predicted f params in
+        let f2 = build () in
+        List.iter (Sp.apply f2) acts;
+        let ms = measured f2 params sgemm_inputs in
+        Printf.eprintf "cand %-24s prior %12.0f measured %8.4f ms\n%!"
+          (String.concat ";"
+             (List.map
+                (function
+                  | Sp.Tile (_, _, _, a, b) -> Printf.sprintf "tile%dx%d" a b
+                  | Sp.Interchange (_, a, b) -> Printf.sprintf "ix:%s,%s" a b
+                  | Sp.Split (_, v, k) -> Printf.sprintf "split:%s/%d" v k
+                  | _ -> "other")
+                acts))
+        cost ms;
+        (cost, ms))
+      candidates
+  in
+  let xs = Array.of_list (List.map fst scored)
+  and ys = Array.of_list (List.map snd scored) in
+  let rho = spearman xs ys in
+  if rho <= 0.0 then
+    Alcotest.failf "prior vs measurement rank correlation %.2f <= 0" rho
+
+(* The search itself, end to end on a tiny budget: the incumbent starts
+   at the measured default schedule, so the result can never regress it;
+   the winner must replay bit-exactly; the trajectory is monotone. *)
+let search_smoke_test () =
+  let config =
+    {
+      S.default_config with
+      S.beam_width = 2;
+      measure_top = 2;
+      rounds = 1;
+      reps = 2;
+      budget_ms = 20_000.0;
+      max_frontier = 30;
+      menu =
+        { Sp.tile_sizes = [ 8 ]; split_factors = [ 8 ]; vec_widths = [ 4 ];
+          unroll_factors = [ 2 ] };
+    }
+  in
+  let problem =
+    {
+      S.name = "nb-test";
+      build =
+        (fun () ->
+          let f, _, _, _, _ = Image.nb () in
+          f);
+      params = [ ("N", 24); ("M", 24) ];
+      inputs = [ ("img", img3) ];
+      outputs = [ "negative"; "brightened" ];
+    }
+  in
+  let r = S.run ~config problem in
+  if r.S.r_best_ms > r.S.r_default_ms then
+    Alcotest.failf "searched %.4f ms regressed default %.4f ms" r.S.r_best_ms
+      r.S.r_default_ms;
+  if not r.S.r_verified then
+    Alcotest.fail "winner failed bit-exact interpreter replay";
+  if r.S.r_measured < 2 then Alcotest.fail "search measured nothing";
+  let rec monotone = function
+    | (a : S.trajectory_point) :: (b :: _ as rest) ->
+        a.S.tp_best_ms >= b.S.tp_best_ms && monotone rest
+    | _ -> true
+  in
+  if not (monotone r.S.r_trajectory) then
+    Alcotest.fail "trajectory best-so-far is not monotone"
+
+(* Satellite: why blur's tape win is weak (1.13x vs 1.9-2.8x elsewhere).
+   The bench schedule computes bx at by's tile column, so the outer
+   parallel nest carries an Alloc + two computations — Tape_gen refuses
+   it by design (the tape models one perfect rectangular nest over one
+   store), and only the depth-1/2 inner nests are claimed.  Pinned here
+   so a future Tape_gen generalization flips this test rather than
+   silently changing the bench's character.  See DESIGN.md §12. *)
+let blur_tape_claim_test () =
+  let f, _, _ = Image.blur () in
+  let open Tiramisu_core.Tiramisu in
+  let bx = find_comp f "bx" and by = find_comp f "by" in
+  tile by "i" "j" 8 8 "i0" "j0" "i1" "j1";
+  parallelize by "j0";
+  compute_at bx by "j0";
+  vectorize by "j1" 8;
+  let params = [ ("N", 32); ("M", 32) ] in
+  let lowered = P.lower f in
+  let stmt = P.prepare ~params lowered.Tiramisu_core.Lower.ast in
+  (* the schedule's parallel loop is not claimable... *)
+  let rec first_par = function
+    | L.For { tag = L.Parallel; _ } as s -> Some s
+    | L.For { body; _ } | L.Alloc { body; _ } -> first_par body
+    | L.Block ss -> List.find_map first_par ss
+    | L.If (_, a, b) -> (
+        match first_par a with
+        | Some s -> Some s
+        | None -> Option.bind b first_par)
+    | _ -> None
+  in
+  (match first_par stmt with
+  | None -> Alcotest.fail "no parallel loop in the lowered blur schedule"
+  | Some par ->
+      if Tape_gen.claimable par then
+        Alcotest.fail
+          "blur's compute_at parallel nest became tape-claimable — \
+           revisit DESIGN.md §12 and the exec-bench expectations");
+  (* ...but the tape still claims the inner rectangular nests. *)
+  if Tape_gen.scan stmt = [] then
+    Alcotest.fail "tape claimed nothing in the blur schedule"
+
+let search_tests =
+  [
+    QCheck_alcotest.to_alcotest prop_tile_claimed_nest;
+    Alcotest.test_case "cost prior rank-correlates with measured medians"
+      `Quick rank_correlation_test;
+    Alcotest.test_case "beam search: incumbent, verify, trajectory" `Quick
+      search_smoke_test;
+    Alcotest.test_case "blur compute_at nest stays tape-unclaimed (pinned)"
+      `Quick blur_tape_claim_test;
+  ]
+
+let () =
+  Alcotest.run "autosched"
+    [ ("autosched", tests); ("search", search_tests) ]
