@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke autosched-smoke clean
+.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke autosched-smoke service-smoke clean
 
 all: build
 
@@ -36,6 +36,16 @@ pipeline-smoke:
 autosched-smoke:
 	dune exec bench/main.exe -- autosched-smoke
 
+# Compile-service gate: closed-loop clients at 1/8/64 concurrency against
+# the worker-domain compile server.  Asserts exactly one pipeline compile
+# per unique kernel hash (in-flight dedup + memory + disk tiers), the
+# 64-clients-one-kernel dedup headline, incremental LRU eviction in the
+# pipeline cache (never a wipe, hot entry survives), warm p50 beating
+# cold, and pins the BENCH_service.json schema against
+# bench/service.golden (regenerate with TIRAMISU_UPDATE_GOLDEN=1).
+service-smoke:
+	dune exec bench/main.exe -- service-smoke
+
 # Perf regression gate: on the smoke kernels, pool execution (with the
 # parallel planner on) must stay within 1.1x of sequential by min-over-reps
 # — i.e. planning must never make things worse, whatever the core count of
@@ -46,8 +56,9 @@ bench-smoke:
 # The pre-commit gate: tier-1 (build + tests) plus a 1-rep smoke run of the
 # exec-strategy bench, which exercises the kernel specializer, the domain
 # pool and the demotion heuristic end-to-end without touching BENCH_exec.json,
-# the pipeline/compile-cache smoke gate, the pool-vs-seq perf gate, plus the
-# 500-case differential fuzz sweep.
+# the pipeline/compile-cache smoke gate, the pool-vs-seq perf gate, the
+# autoscheduler and compile-service gates, plus the 500-case differential
+# fuzz sweep.
 check:
 	dune build
 	dune runtest
@@ -55,6 +66,7 @@ check:
 	$(MAKE) pipeline-smoke
 	$(MAKE) bench-smoke
 	$(MAKE) autosched-smoke
+	$(MAKE) service-smoke
 	$(MAKE) fuzz
 
 clean:

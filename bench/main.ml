@@ -2,7 +2,9 @@
    evaluation (CGO'19).  Run with no argument for everything, or with a
    subset of: fig1 table1 fig5 fig6 fig7 micro. *)
 
-let all = [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec"; "autosched" ]
+let all =
+  [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec"; "autosched";
+    "service" ]
 (* "exec-smoke" is invocable but not part of the default sweep: it is the
    tier-1 fast path (1 rep, tiny sizes, no JSON). *)
 
@@ -25,6 +27,8 @@ let () =
       | "pipeline-smoke" -> Pipeline_smoke.run ()
       | "autosched" -> Autosched_bench.run ()
       | "autosched-smoke" -> Autosched_bench.run ~smoke:true ()
+      | "service" -> Service_bench.run ()
+      | "service-smoke" -> Service_bench.run ~smoke:true ()
       | other ->
           Printf.eprintf "unknown benchmark %s (available: %s)\n" other
             (String.concat " " all);

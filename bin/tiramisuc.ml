@@ -473,10 +473,234 @@ let compile_cmd =
   Cmd.v (Cmd.info "compile" ~doc)
     Term.(const run $ file_arg $ emit_c_arg $ trace_arg $ dump_after_arg)
 
+(* ---------------- compile service over a unix-domain socket ---------------- *)
+
+module S = Tiramisu_service.Service
+
+(* One-shot wire protocol, shared by [serve] and [client] (both ends are
+   this binary, so Marshal is safe): magic, then a marshalled request,
+   then a marshalled reply.  The magic guards against pointing the client
+   at something that is not a tiramisuc server. *)
+let wire_magic = "TIRSRV1\n"
+
+type wire_request = {
+  w_kernel : string;
+  w_sched : string;
+  w_paper : bool;
+  w_deadline_s : float option;
+}
+
+type wire_reply =
+  | Wire_done of S.response
+  | Wire_rejected
+  | Wire_failed of string
+
+let source_name = function
+  | `Compiled -> "compiled"
+  | `Disk -> "disk"
+  | `Mem -> "mem"
+
+(* Registry lookup that reports instead of exiting: the server must
+   survive a client asking for a kernel that does not exist. *)
+let kernel_request ?deadline_s ~kernel ~sched ~paper () =
+  match List.find_opt (fun k -> k.k_name = kernel) kernels with
+  | None -> Error (Printf.sprintf "unknown kernel %s" kernel)
+  | Some k -> (
+      match List.assoc_opt sched k.schedules with
+      | None ->
+          Error
+            (Printf.sprintf "kernel %s has no schedule %s (available: %s)"
+               kernel sched
+               (String.concat ", " (List.map fst k.schedules)))
+      | Some apply ->
+          let f = k.build () in
+          apply f;
+          let params = if paper then k.params_paper else k.params_small in
+          Ok (k, S.request_of_fn ?deadline_s ~fn:f ~params ()))
+
+let handle_connection sv fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      let reply =
+        try
+          let magic = really_input_string ic (String.length wire_magic) in
+          if not (String.equal magic wire_magic) then
+            Wire_failed "bad protocol magic"
+          else
+            let (w : wire_request) = Marshal.from_channel ic in
+            match
+              kernel_request ?deadline_s:w.w_deadline_s ~kernel:w.w_kernel
+                ~sched:w.w_sched ~paper:w.w_paper ()
+            with
+            | Error msg -> Wire_failed msg
+            | Ok (_, req) -> (
+                match S.submit sv req with
+                | S.Done rs -> Wire_done rs
+                | S.Rejected -> Wire_rejected
+                | S.Failed msg -> Wire_failed msg)
+        with e -> Wire_failed (Printexc.to_string e)
+      in
+      (try
+         Marshal.to_channel oc reply [];
+         flush oc
+       with Sys_error _ -> ()))
+
+let serve_cmd =
+  let doc =
+    "Run the compile service on a unix-domain socket: worker-domain pool, \
+     in-flight dedup, in-memory LRU and the persistent content-addressed \
+     artifact store."
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/tiramisuc.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Compile worker domains (0 = one per available core).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string "_tiramisu_artifacts"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Root of the on-disk artifact store.")
+  in
+  let max_requests_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "max-requests" ] ~docv:"N"
+          ~doc:
+            "Exit after accepting N connections (0 = serve forever).  For \
+             scripted smoke tests.")
+  in
+  let run socket workers cache_dir max_requests =
+    (try Sys.remove socket with Sys_error _ -> ());
+    let sv =
+      S.create
+        ?workers:(if workers > 0 then Some workers else None)
+        ~root:cache_dir ()
+    in
+    let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind srv (Unix.ADDR_UNIX socket);
+    Unix.listen srv 64;
+    Printf.printf "tiramisuc serve: listening on %s (store: %s)\n%!" socket
+      cache_dir;
+    let threads = ref [] in
+    let served = ref 0 in
+    while max_requests = 0 || !served < max_requests do
+      match Unix.accept srv with
+      | fd, _ ->
+          incr served;
+          threads := Thread.create (handle_connection sv) fd :: !threads
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done;
+    List.iter Thread.join !threads;
+    Unix.close srv;
+    (try Sys.remove socket with Sys_error _ -> ());
+    S.shutdown sv;
+    let st = S.stats sv in
+    Printf.printf
+      "served %d requests: %d compiled, %d mem hits, %d disk hits, %d dedup \
+       waits, %d rejected, %d failed\n"
+      st.S.requests st.S.compiles st.S.mem_hits st.S.disk_hits
+      st.S.dedup_waits st.S.rejected st.S.failed
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ socket_arg $ workers_arg $ cache_dir_arg $ max_requests_arg)
+
+let client_cmd =
+  let doc =
+    "Submit a kernel to a running $(b,tiramisuc serve) and report where \
+     the artifact came from."
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt string "/tmp/tiramisuc.sock"
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "n" ] ~docv:"N" ~doc:"Submit the request N times.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request compile deadline (cooperative).")
+  in
+  let run_flag =
+    Arg.(
+      value & flag
+      & info [ "run" ]
+          ~doc:
+            "Compile the returned prepared statement locally (backend stage \
+             only) and execute it once.")
+  in
+  let run name sched paper socket repeats deadline do_run =
+    let submit () =
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          let oc = Unix.out_channel_of_descr fd in
+          output_string oc wire_magic;
+          Marshal.to_channel oc
+            { w_kernel = name; w_sched = sched; w_paper = paper;
+              w_deadline_s = deadline }
+            [];
+          flush oc;
+          (Marshal.from_channel (Unix.in_channel_of_descr fd) : wire_reply))
+    in
+    let failures = ref 0 in
+    for i = 1 to repeats do
+      match submit () with
+      | Wire_done rs ->
+          Printf.printf "[%d/%d] %s  key=%s  source=%s  %.3f ms\n" i repeats
+            name rs.S.rs_key (source_name rs.S.rs_source) rs.S.rs_ms;
+          if do_run then begin
+            match kernel_request ~kernel:name ~sched ~paper () with
+            | Error msg ->
+                Printf.eprintf "local instantiation failed: %s\n" msg;
+                incr failures
+            | Ok (k, req) ->
+                let exec = S.instantiate req rs ~inputs:k.inputs in
+                let t0 = B.Clock.now_ms () in
+                B.Exec.run exec;
+                Printf.printf "  ran locally in %.3f ms\n"
+                  (B.Clock.now_ms () -. t0)
+          end
+      | Wire_rejected ->
+          Printf.printf "[%d/%d] %s  REJECTED (admission queue full)\n" i
+            repeats name;
+          incr failures
+      | Wire_failed msg ->
+          Printf.printf "[%d/%d] %s  FAILED: %s\n" i repeats name msg;
+          incr failures
+    done;
+    if !failures > 0 then exit 1
+  in
+  Cmd.v (Cmd.info "client" ~doc)
+    Term.(
+      const run $ kernel_arg $ sched_arg $ paper_arg $ socket_arg
+      $ repeat_arg $ deadline_arg $ run_flag)
+
 let () =
   let doc = "Tiramisu-OCaml compiler driver (CGO'19 reproduction)" in
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "tiramisuc" ~doc ~version:"1.0")
           [ list_cmd; show_cmd; cc_cmd; run_cmd; model_cmd; legal_cmd;
-            autoschedule_cmd; compile_cmd ]))
+            autoschedule_cmd; compile_cmd; serve_cmd; client_cmd ]))

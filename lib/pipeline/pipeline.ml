@@ -48,8 +48,15 @@ let () =
 
 (* Wrap only the exception families the stages are specified to raise on
    unsupported programs.  Everything else — notably the fuzzer's
-   [Limits.Timeout] — must propagate untouched. *)
+   [Limits.Timeout] — must propagate untouched.
+
+   Every pass boundary is also a cooperative cancellation point: when the
+   caller (the compile service) set a domain-local deadline via
+   [Limits.with_deadline], an expired budget raises [Limits.Timeout] here
+   instead of letting a slow pass run to completion.  With no deadline set
+   (every pre-service caller) the check is a few loads and never fires. *)
 let guard ~stage ~context f x =
+  Tiramisu_support.Limits.check_deadline ();
   try f x with
   | Failure m -> raise (Error { err_stage = stage; err_context = context; err_msg = m })
   | Lower.Unsupported m ->
@@ -300,12 +307,21 @@ let plan_pass ?tracer ~knobs ~params (s : L.stmt) =
     (s, !report)
   end
 
-(** [prepare] + parallel planning + closure compilation, each stage traced.
-    Buffers are captured by reference, exactly as with [Exec.compile]. *)
-let compile_with_report ?tracer ?(knobs = default_knobs) ~params ~buffers
-    (s : L.stmt) =
+(** The whole statement-level rewrite sequence — [prepare] then the
+    parallel-planning pass — as one function: what the compile service
+    persists in its on-disk artifact tier is exactly this function's
+    result (a prepared+planned statement plus the planner's report), so
+    a warm service load skips every pass and goes straight to
+    {!compile_stage}. *)
+let prepare_and_plan ?tracer ?(knobs = default_knobs) ~params (s : L.stmt) =
   let s = prepare ?tracer ~knobs ~params s in
-  let s, report = plan_pass ?tracer ~knobs ~params s in
+  plan_pass ?tracer ~knobs ~params s
+
+(** Closure-compile an already prepared+planned statement (the backend
+    stage alone, traced).  Buffers are captured by reference, exactly as
+    with [Exec.compile]. *)
+let compile_stage ?tracer ?(knobs = default_knobs) ~params ~buffers
+    (s : L.stmt) =
   (* The tape claim itself happens inside [Exec.compile_prepared]; this
      named identity pass exists for observability — its note lists every
      nest the tape backend will claim ([--trace-passes]), and its dump
@@ -329,33 +345,49 @@ let compile_with_report ?tracer ?(knobs = default_knobs) ~params ~buffers
       ~specialize:knobs.specialize ~sched:knobs.sched ~demote
       ~tape:knobs.tape ~params ~buffers s
   in
-  let exec =
-    match tracer with
-    | None -> guard ~stage:"compile" ~context:"statement" do_compile s
-    | Some tr ->
-        let meta = L.analyze_loops s in
-        let t0 = B.Clock.now_ms () in
-        let exec = guard ~stage:"compile" ~context:"statement" do_compile s in
-        let ms = B.Clock.now_ms () -. t0 in
-        record tr
-          { p_name = "compile"; p_ms = ms; p_before = Some meta;
-            p_after = Some meta; p_verify = Skipped; p_note = "" };
-        exec
-  in
-  (exec, report)
+  match tracer with
+  | None -> guard ~stage:"compile" ~context:"statement" do_compile s
+  | Some tr ->
+      let meta = L.analyze_loops s in
+      let t0 = B.Clock.now_ms () in
+      let exec = guard ~stage:"compile" ~context:"statement" do_compile s in
+      let ms = B.Clock.now_ms () -. t0 in
+      record tr
+        { p_name = "compile"; p_ms = ms; p_before = Some meta;
+          p_after = Some meta; p_verify = Skipped; p_note = "" };
+      exec
+
+(** [prepare] + parallel planning + closure compilation, each stage traced.
+    Returns the compiled executor, the prepared statement it was compiled
+    from (what the cache stores so contended hits can re-compile without
+    re-running any pass) and the planner's report. *)
+let compile_with_report ?tracer ?(knobs = default_knobs) ~params ~buffers
+    (s : L.stmt) =
+  let s, report = prepare_and_plan ?tracer ~knobs ~params s in
+  let exec = compile_stage ?tracer ~knobs ~params ~buffers s in
+  (exec, s, report)
 
 let compile ?tracer ?(knobs = default_knobs) ~params ~buffers (s : L.stmt) =
-  fst (compile_with_report ?tracer ~knobs ~params ~buffers s)
+  let exec, _, _ = compile_with_report ?tracer ~knobs ~params ~buffers s in
+  exec
 
 (* ---------- compile cache ---------- *)
 
 type artifact = {
   exec : B.Exec.compiled;
-  buffers : B.Buffers.t list;  (** owned by the cache across hits *)
+  buffers : B.Buffers.t list;
+      (** leased to this artifact: exclusively owned by the caller's domain
+          until {!field-release} is called (see the lease model below) *)
   cache : cache_status;
   key_hash : int;              (** structural hash of the source statement *)
   plan_report : Plan.report;   (** parallel-planner decisions (empty when
                                    the pass did not run) *)
+  release : unit -> unit;
+      (** return the leased executor+buffers to the cache so another domain
+          can check them out.  Idempotent; never required for correctness —
+          an unreleased lease stays pinned to its domain (sequential reuse
+          by that domain keeps hitting it) and other domains get their own
+          clone — but releasing keeps the lease pool minimal. *)
 }
 
 (* The key is pure data (no closures): structural equality and the
@@ -383,29 +415,122 @@ type ckey = {
   k_extents : (string * int array * L.mem_space) list;
 }
 
+(* A lease is one (compiled executor, buffer set) pair.  The executor
+   captures its buffers by reference at compile time, so the two are
+   inseparable: handing out fresh buffers means handing out a fresh
+   executor.  [l_owner] is the domain id currently holding the pair
+   ([None] = checked in):
+
+   - the same domain re-hitting an entry reuses its own lease — the
+     pre-lease semantics, and the pure lookup+blit fast path the warm-hit
+     benchmark gate measures;
+   - a hit from a *different* domain while every lease is held checks out
+     nothing shared: it compiles a clone pair from the stored prepared
+     statement (no pass re-runs, just closure compilation) and registers
+     it as a new lease.  Two concurrent users of one entry can therefore
+     never alias mutable buffers — the shared-state class the `Spawn`
+     race in PR 3 was. *)
+type lease = {
+  l_exec : B.Exec.compiled;
+  l_buffers : B.Buffers.t list;
+  mutable l_owner : int option;  (* domain id holding the pair *)
+}
+
 type centry = {
   ce_stmt : L.stmt;  (* collision guard: must equal the requested stmt *)
-  ce_exec : B.Exec.compiled;
-  ce_buffers : B.Buffers.t list;
+  ce_prepared : L.stmt;  (* post prepare+plan: clones skip every pass *)
+  ce_knobs : knobs;
+  ce_params : (string * int) list;
+  ce_extents : (string * int array * L.mem_space) list;
+  mutable ce_leases : lease list;
   ce_snapshot : (string * float array) list;  (* initial buffer contents *)
   ce_fills : (string * (int array -> float)) list;
   ce_plan : Plan.report;
+  mutable ce_gen : int;  (* LRU generation: bumped on every hit/insert *)
 }
 
 let cache : (ckey, centry list) Hashtbl.t = Hashtbl.create 64
-let cache_cap = 512
+let default_cache_cap = 512
+let cache_cap_ref = ref default_cache_cap
 let cache_entries = ref 0
 let cache_hits = ref 0
 let cache_misses = ref 0
+let cache_evictions = ref 0
+let cache_resets = ref 0
+let cache_clones = ref 0
+let cache_tick = ref 0
 
+(* One lock for the table, the counters and the hash memo.  Everything it
+   guards is O(entries) bookkeeping; compiles, pass runs and buffer
+   restores all happen outside it. *)
+let cache_mutex = Mutex.create ()
+let locked f = Mutex.protect cache_mutex f
+let self_id () = (Domain.self () :> int)
+
+let cache_cap () = !cache_cap_ref
+
+(* with the mutex held: evict the least-recently-used entry, preferring
+   entries with no lease checked out (an evicted busy lease stays valid
+   for its holder — it just no longer belongs to the cache). *)
+let evict_one_locked () =
+  let is_free e = List.for_all (fun l -> l.l_owner = None) e.ce_leases in
+  let best_free = ref None and best_any = ref None in
+  let consider slot (c : ckey * centry) =
+    match !slot with
+    | None -> slot := Some c
+    | Some (_, e') -> if (snd c).ce_gen < e'.ce_gen then slot := Some c
+  in
+  Hashtbl.iter
+    (fun k es ->
+      List.iter
+        (fun e ->
+          consider best_any (k, e);
+          if is_free e then consider best_free (k, e))
+        es)
+    cache;
+  match (match !best_free with Some _ as c -> c | None -> !best_any) with
+  | None -> ()
+  | Some (k, victim) ->
+      let rest = List.filter (fun e -> e != victim) (Hashtbl.find cache k) in
+      if rest = [] then Hashtbl.remove cache k
+      else Hashtbl.replace cache k rest;
+      decr cache_entries;
+      incr cache_evictions
+
+let set_cache_cap n =
+  if n < 1 then invalid_arg "Pipeline.set_cache_cap";
+  locked (fun () ->
+      cache_cap_ref := n;
+      while !cache_entries > n do
+        evict_one_locked ()
+      done)
+
+(* Explicit full reset (tests, bench isolation).  The capacity-overflow
+   path never comes here: reaching [cache_cap] evicts exactly one entry
+   ({!evict_one_locked}), so warm state is shed incrementally, never
+   destroyed wholesale. *)
 let clear_cache () =
-  Hashtbl.reset cache;
-  cache_entries := 0
+  locked (fun () ->
+      Hashtbl.reset cache;
+      cache_entries := 0;
+      incr cache_resets)
 
-type cache_stats = { hits : int; misses : int; entries : int }
+type cache_stats = {
+  hits : int;
+  misses : int;
+  entries : int;
+  evictions : int;  (** single-entry LRU evictions at capacity *)
+  resets : int;     (** explicit {!clear_cache} calls — never incremented
+                        by the eviction path *)
+  clones : int;     (** hits served by compiling a fresh lease because every
+                        existing one was held by another domain *)
+}
 
 let cache_stats () =
-  { hits = !cache_hits; misses = !cache_misses; entries = !cache_entries }
+  locked (fun () ->
+      { hits = !cache_hits; misses = !cache_misses;
+        entries = !cache_entries; evictions = !cache_evictions;
+        resets = !cache_resets; clones = !cache_clones })
 
 (* Hashing is a full statement traversal; rebuilding the *same* statement
    value (benchmark reps, fuzz replay of one case, repeated autoscheduler
@@ -416,16 +541,19 @@ let hash_memo : (L.stmt * int) list ref = ref []
 let hash_memo_cap = 16
 
 let structural_hash_memo s =
-  match List.find_opt (fun (s', _) -> s' == s) !hash_memo with
+  match
+    locked (fun () -> List.find_opt (fun (s', _) -> s' == s) !hash_memo)
+  with
   | Some (_, h) -> h
   | None ->
       let h = L.structural_hash s in
-      let kept =
-        if List.length !hash_memo >= hash_memo_cap then
-          List.filteri (fun i _ -> i < hash_memo_cap - 1) !hash_memo
-        else !hash_memo
-      in
-      hash_memo := (s, h) :: kept;
+      locked (fun () ->
+          let kept =
+            if List.length !hash_memo >= hash_memo_cap then
+              List.filteri (fun i _ -> i < hash_memo_cap - 1) !hash_memo
+            else !hash_memo
+          in
+          hash_memo := (s, h) :: kept);
       h
 
 let make_key ~knobs ~params ~extents hash =
@@ -452,12 +580,12 @@ let fill_inputs ~stage buffers inputs =
                          err_msg = "unknown input buffer " ^ name }))
     inputs
 
-(* Restore a cached entry's buffers to the initial state implied by
-   [fills].  When the fill closures are the very same functions the entry
-   was built with (the common case: call sites pass top-level functions),
-   blitting the snapshot back is both exact and allocation-free.
-   Otherwise zero everything and re-fill. *)
-let restore entry fills =
+(* Restore a lease's buffers to the initial state implied by [fills].
+   When the fill closures are the very same functions the entry was built
+   with (the common case: call sites pass top-level functions), blitting
+   the snapshot back is both exact and allocation-free.  Otherwise zero
+   everything and re-fill. *)
+let restore entry lease fills =
   let same =
     List.length fills = List.length entry.ce_fills
     && List.for_all2
@@ -467,7 +595,7 @@ let restore entry fills =
   if same then
     List.iter
       (fun (name, snap) ->
-        match find_buffer entry.ce_buffers name with
+        match find_buffer lease.l_buffers name with
         | Some b -> Array.blit snap 0 b.B.Buffers.data 0 (Array.length snap)
         | None -> ())
       entry.ce_snapshot
@@ -475,15 +603,36 @@ let restore entry fills =
     List.iter
       (fun b ->
         Array.fill b.B.Buffers.data 0 (Array.length b.B.Buffers.data) 0.)
-      entry.ce_buffers;
-    fill_inputs ~stage:"cache" entry.ce_buffers fills
+      lease.l_buffers;
+    fill_inputs ~stage:"cache" lease.l_buffers fills
   end
+
+let release_of lease () = locked (fun () -> lease.l_owner <- None)
+
+(* bump the entry's LRU generation; with the mutex held *)
+let touch_locked entry =
+  incr cache_tick;
+  entry.ce_gen <- !cache_tick
+
+let artifact_of_lease entry lease ~hash ~status =
+  { exec = lease.l_exec; buffers = lease.l_buffers; cache = status;
+    key_hash = hash; plan_report = entry.ce_plan;
+    release = release_of lease }
+
+(** Serializable digest of a cache key — what the on-disk service tier is
+    content-addressed by.  [ckey] is pure data (the structural hash stands
+    in for the statement), so marshalling it is well-defined. *)
+let key_digest (k : ckey) = Digest.to_hex (Digest.string (Marshal.to_string k []))
 
 (** Compile a statement through the cache.  [extents] declares every
     buffer the program touches ([(name, dims, mem_space)]); [inputs] are
     fill functions applied before the snapshot is taken.  On a hit the
-    cached executor is returned with its buffers restored to their
-    initial contents — bit-identical to what a cold build would produce. *)
+    caller's domain checks out an exclusive (executor, buffers) lease with
+    the buffers restored to their initial contents — bit-identical to what
+    a cold build would produce — and concurrent hits from other domains
+    are served disjoint leases (see {!type-lease}).  At capacity the
+    least-recently-used entry is evicted; the cache never resets
+    wholesale on its own. *)
 let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
     (s : L.stmt) : artifact =
   let t0 = B.Clock.now_ms () in
@@ -496,23 +645,66 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
            p_note = "" }
    | None -> ());
   let key = make_key ~knobs ~params ~extents hash in
-  let bucket = try Hashtbl.find cache key with Not_found -> [] in
-  match List.find_opt (fun e -> e.ce_stmt = s) bucket with
-  | Some entry ->
-      incr cache_hits;
-      restore entry inputs;
+  let find_entry_locked () =
+    match Hashtbl.find_opt cache key with
+    | None -> None
+    | Some bucket -> List.find_opt (fun e -> e.ce_stmt = s) bucket
+  in
+  (* claim: on a hit, either check out a free lease (or the one this very
+     domain already holds — sequential reuse) or decide to clone. *)
+  let claim =
+    locked (fun () ->
+        match find_entry_locked () with
+        | None -> None
+        | Some entry ->
+            touch_locked entry;
+            incr cache_hits;
+            let self = self_id () in
+            (match
+               List.find_opt
+                 (fun l -> l.l_owner = None || l.l_owner = Some self)
+                 entry.ce_leases
+             with
+            | Some l ->
+                l.l_owner <- Some self;
+                Some (entry, Some l)
+            | None ->
+                incr cache_clones;
+                Some (entry, None)))
+  in
+  match claim with
+  | Some (entry, Some lease) ->
+      restore entry lease inputs;
       (match tracer with Some tr -> tr.tr_cache <- Hit | None -> ());
-      { exec = entry.ce_exec; buffers = entry.ce_buffers; cache = Hit;
-        key_hash = hash; plan_report = entry.ce_plan }
+      artifact_of_lease entry lease ~hash ~status:Hit
+  | Some (entry, None) ->
+      (* every lease is checked out by some other domain: compile a clone
+         pair from the stored prepared statement — no pass re-runs, only
+         the backend closure compilation — and lease it to this domain. *)
+      let buffers =
+        List.map
+          (fun (name, dims, mem) -> B.Buffers.create ~mem name dims)
+          entry.ce_extents
+      in
+      fill_inputs ~stage:"cache" buffers inputs;
+      let exec =
+        compile_stage ?tracer ~knobs:entry.ce_knobs ~params:entry.ce_params
+          ~buffers entry.ce_prepared
+      in
+      let lease = { l_exec = exec; l_buffers = buffers;
+                    l_owner = Some (self_id ()) } in
+      locked (fun () -> entry.ce_leases <- entry.ce_leases @ [ lease ]);
+      (match tracer with Some tr -> tr.tr_cache <- Hit | None -> ());
+      artifact_of_lease entry lease ~hash ~status:Hit
   | None ->
-      incr cache_misses;
+      locked (fun () -> incr cache_misses);
       let buffers =
         List.map
           (fun (name, dims, mem) -> B.Buffers.create ~mem name dims)
           extents
       in
       fill_inputs ~stage:"buffers" buffers inputs;
-      let exec, report =
+      let exec, prepared, report =
         compile_with_report ?tracer ~knobs ~params ~buffers s
       in
       let snapshot =
@@ -520,14 +712,39 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
           (fun b -> (b.B.Buffers.name, Array.copy b.B.Buffers.data))
           buffers
       in
-      if !cache_entries >= cache_cap then clear_cache ();
-      Hashtbl.replace cache key
-        ({ ce_stmt = s; ce_exec = exec; ce_buffers = buffers;
-           ce_snapshot = snapshot; ce_fills = inputs; ce_plan = report }
-         :: bucket);
-      incr cache_entries;
+      let lease =
+        { l_exec = exec; l_buffers = buffers; l_owner = Some (self_id ()) }
+      in
+      let entry =
+        locked (fun () ->
+            match find_entry_locked () with
+            | Some entry ->
+                (* another domain compiled the same configuration while we
+                   did: keep one entry and register our pair as an extra
+                   lease of it *)
+                touch_locked entry;
+                entry.ce_leases <- entry.ce_leases @ [ lease ];
+                entry
+            | None ->
+                if !cache_entries >= !cache_cap_ref then evict_one_locked ();
+                let entry =
+                  { ce_stmt = s; ce_prepared = prepared; ce_knobs = knobs;
+                    ce_params = params; ce_extents = extents;
+                    ce_leases = [ lease ]; ce_snapshot = snapshot;
+                    ce_fills = inputs; ce_plan = report; ce_gen = 0 }
+                in
+                touch_locked entry;
+                let bucket =
+                  match Hashtbl.find_opt cache key with
+                  | Some b -> b
+                  | None -> []
+                in
+                Hashtbl.replace cache key (entry :: bucket);
+                incr cache_entries;
+                entry)
+      in
       (match tracer with Some tr -> tr.tr_cache <- Miss | None -> ());
-      { exec; buffers; cache = Miss; key_hash = hash; plan_report = report }
+      artifact_of_lease entry lease ~hash ~status:Miss
 
 let extents_of_fn fn ~params =
   List.map
@@ -544,7 +761,8 @@ let extents_of_fn fn ~params =
     dependence oracle proves safe — handing the planner a deeper perfectly
     nested [Parallel] chain to coalesce.  The user's schedule is restored
     after lowering whatever happens. *)
-let build ?tracer ?(knobs = default_knobs) ~fn ~params ~inputs () : artifact =
+let lower_for_build ?tracer ?(knobs = default_knobs) fn
+    (k : Lower.t -> 'a) : 'a =
   let context = "function " ^ fn.Ir.fn_name in
   let widen () =
     if knobs.parallel = `Pool && knobs.plan <> `Off then begin
@@ -569,8 +787,10 @@ let build ?tracer ?(knobs = default_knobs) ~fn ~params ~inputs () : artifact =
     else fun () -> ()
   in
   let undo = widen () in
-  Fun.protect ~finally:undo (fun () ->
-      let lowered = lower ?tracer fn in
+  Fun.protect ~finally:undo (fun () -> k (lower ?tracer fn))
+
+let build ?tracer ?(knobs = default_knobs) ~fn ~params ~inputs () : artifact =
+  lower_for_build ?tracer ~knobs fn (fun lowered ->
       build_stmt ?tracer ~knobs ~params ~extents:(extents_of_fn fn ~params)
         ~inputs lowered.Lower.ast)
 

@@ -1,0 +1,142 @@
+module L = Tiramisu_codegen.Loop_ir
+module Plan = Tiramisu_codegen.Parallel_plan
+module Tape_gen = Tiramisu_codegen.Tape_gen
+
+type payload = {
+  p_src : L.stmt;
+  p_stmt : L.stmt;
+  p_plan : Plan.report;
+}
+
+type verdict =
+  | Hit of payload
+  | Miss
+  | Quarantined of string
+
+let format_version = 1
+
+(* What one artifact file holds (after the leading whole-payload digest).
+   Pure data — Marshal with no flags, so a closure sneaking in is a loud
+   error at [put] time, never a poisoned file. *)
+type persisted = {
+  f_format : int;
+  f_tapegen : int;
+  f_key : string;
+  f_prep_hash : int;  (* structural hash of [f_stmt], recomputed on load *)
+  f_payload : payload;
+}
+
+type t = {
+  st_root : string;
+  st_locks : Mutex.t array;  (* one per shard *)
+  st_quarantined : int Atomic.t;
+}
+
+let n_shards = 256
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.file_exists dir -> ()  (* lost a race: fine *)
+  end
+
+let open_store root =
+  mkdir_p root;
+  { st_root = root;
+    st_locks = Array.init n_shards (fun _ -> Mutex.create ());
+    st_quarantined = Atomic.make 0 }
+
+let root t = t.st_root
+let quarantined t = Atomic.get t.st_quarantined
+
+(* Keys are hex digests ([Pipeline.key_digest]); reject anything else so a
+   key can never traverse outside the store directory. *)
+let check_key key =
+  if key = ""
+     || not
+          (String.for_all
+             (fun c -> (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+             key)
+  then invalid_arg ("Store: malformed key " ^ String.escaped key)
+
+let shard_of_key key =
+  check_key key;
+  if String.length key >= 2 then String.sub key 0 2 else key ^ "0"
+
+let shard_index key =
+  let s = shard_of_key key in
+  int_of_string ("0x" ^ s) mod n_shards
+
+let path_of_key t key =
+  Filename.concat (Filename.concat t.st_root (shard_of_key key)) (key ^ ".art")
+
+let with_shard t key f =
+  let m = t.st_locks.(shard_index key) in
+  Mutex.protect m f
+
+let digest_len = 16
+
+let put ?(tapegen = Tape_gen.version) t ~key payload =
+  check_key key;
+  let record =
+    { f_format = format_version; f_tapegen = tapegen; f_key = key;
+      f_prep_hash = L.structural_hash payload.p_stmt; f_payload = payload }
+  in
+  let body = Marshal.to_string record [] in
+  let digest = Digest.string body in
+  with_shard t key (fun () ->
+      let path = path_of_key t key in
+      mkdir_p (Filename.dirname path);
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      output_string oc digest;
+      output_string oc body;
+      close_out oc;
+      Sys.rename tmp path)
+
+let quarantine t key path reason =
+  let qdir = Filename.concat t.st_root "quarantine" in
+  mkdir_p qdir;
+  (try Sys.rename path (Filename.concat qdir (key ^ ".art"))
+   with Sys_error _ -> (try Sys.remove path with Sys_error _ -> ()));
+  Atomic.incr t.st_quarantined;
+  Quarantined reason
+
+let get t ~key ~src =
+  check_key key;
+  with_shard t key (fun () ->
+      let path = path_of_key t key in
+      if not (Sys.file_exists path) then Miss
+      else begin
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let raw =
+          try Some (really_input_string ic n) with End_of_file -> None
+        in
+        close_in ic;
+        match raw with
+        | None -> quarantine t key path "short read"
+        | Some raw when String.length raw < digest_len ->
+            quarantine t key path "truncated: shorter than its digest"
+        | Some raw -> (
+            let digest = String.sub raw 0 digest_len in
+            let body = String.sub raw digest_len (String.length raw - digest_len) in
+            if not (String.equal (Digest.string body) digest) then
+              quarantine t key path "payload digest mismatch"
+            else
+              match (Marshal.from_string body 0 : persisted) with
+              | exception _ -> quarantine t key path "unmarshal failed"
+              | r ->
+                  if r.f_format <> format_version then Miss  (* stale format *)
+                  else if r.f_tapegen <> Tape_gen.version then
+                    Miss  (* compiled by another tape generator: stale *)
+                  else if not (String.equal r.f_key key) then
+                    quarantine t key path "stored under a foreign key"
+                  else if
+                    L.structural_hash r.f_payload.p_stmt <> r.f_prep_hash
+                  then quarantine t key path "rehash mismatch"
+                  else if r.f_payload.p_src <> src then
+                    Miss  (* digest collision on a different statement *)
+                  else Hit r.f_payload)
+      end)

@@ -1,20 +1,76 @@
-(* Wall-clock guard for the polyhedral machinery.  Deeply stacked
-   split/tile schedules can blow up the Omega-test elimination in the
-   legality check (exponential constraint growth), so both candidate
-   vetting and case execution run under an alarm: a candidate that cannot
-   be decided in time is dropped, never allowed to wedge the campaign.
-   SIGALRM raises at the next allocation point — the presburger code
-   allocates constantly, so delivery is prompt. *)
+(* Wall-clock guards for the polyhedral machinery and the compile service.
+
+   Two mechanisms, picked by context:
+
+   - [with_time_limit]: the SIGALRM guard.  Deeply stacked split/tile
+     schedules can blow up the Omega-test elimination in the legality
+     check (exponential constraint growth), so both candidate vetting and
+     case execution run under an alarm: a candidate that cannot be
+     decided in time is dropped, never allowed to wedge the campaign.
+     SIGALRM raises at the next allocation point — the presburger code
+     allocates constantly, so delivery is prompt.  But the alarm and the
+     handler are PROCESS-GLOBAL state: two domains arming alarms race
+     each other's [Unix.alarm] resets, and the signal is delivered to
+     whichever domain the runtime picks — a slow Omega-test query on one
+     domain could fire [Timeout] into an unrelated domain's compile.
+     [with_time_limit] therefore only arms the alarm on the main domain.
+
+   - [with_deadline] / [check_deadline]: the cooperative guard.  The
+     deadline is domain-local state; the guarded code observes it by
+     calling [check_deadline] at its safe points (the pipeline checks at
+     every pass boundary).  No signals, no cross-domain interference —
+     this is the only guard the concurrent compile service uses, and
+     what [with_time_limit] degrades to off the main domain. *)
 
 exception Timeout
 
-let with_time_limit secs f =
-  let old =
-    Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timeout))
-  in
-  ignore (Unix.alarm secs);
+(* ---------- cooperative deadline guard (domain-safe) ---------- *)
+
+(* Absolute deadline (epoch seconds) for the current domain, [None] when
+   unguarded.  Domain-local: a deadline set by a service worker is
+   invisible to every other domain. *)
+let deadline_key : float option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let deadline_remaining () =
+  match Domain.DLS.get deadline_key with
+  | None -> None
+  | Some t -> Some (t -. Unix.gettimeofday ())
+
+let deadline_expired () =
+  match deadline_remaining () with Some r -> r <= 0.0 | None -> false
+
+let check_deadline () = if deadline_expired () then raise Timeout
+
+(** [with_deadline secs f] runs [f] with the current domain's deadline set
+    [secs] from now (nested deadlines keep the tighter one) and returns
+    [Some (f ())], or [None] if [f] raised {!Timeout} — which only happens
+    at [f]'s own {!check_deadline} points; nothing fires asynchronously. *)
+let with_deadline secs f =
+  let prev = Domain.DLS.get deadline_key in
+  let t = Unix.gettimeofday () +. secs in
+  let t = match prev with Some p -> Float.min p t | None -> t in
+  Domain.DLS.set deadline_key (Some t);
   Fun.protect
-    ~finally:(fun () ->
-      ignore (Unix.alarm 0);
-      Sys.set_signal Sys.sigalrm old)
+    ~finally:(fun () -> Domain.DLS.set deadline_key prev)
     (fun () -> try Some (f ()) with Timeout -> None)
+
+(* ---------- SIGALRM guard (main domain only) ---------- *)
+
+let with_time_limit secs f =
+  if Domain.is_main_domain () then begin
+    let old =
+      Sys.signal Sys.sigalrm (Sys.Signal_handle (fun _ -> raise Timeout))
+    in
+    ignore (Unix.alarm secs);
+    Fun.protect
+      ~finally:(fun () ->
+        ignore (Unix.alarm 0);
+        Sys.set_signal Sys.sigalrm old)
+      (fun () -> try Some (f ()) with Timeout -> None)
+  end
+  else
+    (* Arming SIGALRM here would race the main domain's alarms and could
+       deliver the signal into unrelated code; degrade to the cooperative
+       deadline — [f] is interrupted at its [check_deadline] points. *)
+    with_deadline (float_of_int secs) f

@@ -199,6 +199,111 @@ let knob_change_misses () =
   Alcotest.(check bool) "param change misses" true
     (params_changed.P.cache = P.Miss)
 
+(* ---------- eviction policy ---------- *)
+
+(* A family of tiny distinct statements: each [c] lowers, hashes and
+   caches independently. *)
+let storm_stmt c =
+  L.For
+    { var = "i"; lo = L.Int 0; hi = L.Int 7; tag = L.Seq;
+      body =
+        L.Store ("out", [ L.Var "i" ], L.Bin (L.Add, L.Var "i", L.Int c)) }
+
+let storm_extents = [ ("out", [| 8 |], L.Host) ]
+
+let storm_build c =
+  P.build_stmt
+    ~knobs:{ P.default_knobs with P.parallel = `Seq }
+    ~params:[] ~extents:storm_extents ~inputs:[] (storm_stmt c)
+
+(* An insert storm past [cache_cap] must evict exactly one entry per
+   insert — LRU by generation — and never wipe the table: entries stay at
+   the cap, [resets] stays untouched, and an entry kept warm by hits
+   survives the whole storm. *)
+let eviction_storm () =
+  P.clear_cache ();
+  let base = P.cache_stats () in
+  let old_cap = P.cache_cap () in
+  P.set_cache_cap 16;
+  Fun.protect ~finally:(fun () -> P.set_cache_cap old_cap) @@ fun () ->
+  ignore (storm_build 0);
+  for c = 1 to 48 do
+    ignore (storm_build c);
+    ignore (storm_build 0);  (* keep entry 0 the most recently used *)
+    let s = P.cache_stats () in
+    Alcotest.(check bool) "entries never exceed the cap" true
+      (s.P.entries <= 16);
+    Alcotest.(check bool) "entries never collapse to zero" true
+      (s.P.entries > 0)
+  done;
+  let s = P.cache_stats () in
+  Alcotest.(check bool) "evicted one-at-a-time past the cap" true
+    (s.P.evictions >= 49 - 16);
+  Alcotest.(check int) "no full reset during the storm" base.P.resets
+    s.P.resets;
+  Alcotest.(check bool) "warm entry survived the storm" true
+    ((storm_build 0).P.cache = P.Hit)
+
+(* ---------- concurrent hit safety ---------- *)
+
+(* Two domains hitting the same cache entry concurrently must not be
+   handed the same mutable buffers.  Before the lease model, every hit
+   returned the one [ce_buffers] list owned by the cache — this test
+   fails on that code with physically equal arrays. *)
+let concurrent_hits_do_not_alias () =
+  P.clear_cache ();
+  let stmt =
+    L.For
+      { var = "i"; lo = L.Int 0; hi = L.Int 63; tag = L.Seq;
+        body =
+          L.Store ("out", [ L.Var "i" ], L.Bin (L.Mul, L.Var "i", L.Int 3)) }
+  in
+  let knobs = { P.default_knobs with P.parallel = `Seq } in
+  let build () =
+    P.build_stmt ~knobs ~params:[]
+      ~extents:[ ("out", [| 64 |], L.Host) ]
+      ~inputs:[] stmt
+  in
+  (* warm the cache from the main domain, which keeps its lease *)
+  ignore (build ());
+  let clones0 = (P.cache_stats ()).P.clones in
+  let job () =
+    let art = build () in
+    Alcotest.(check bool) "spawned-domain rebuild is a hit" true
+      (art.P.cache = P.Hit);
+    B.Exec.run art.P.exec;
+    (art, Array.copy (B.Exec.buffer art.P.exec "out").B.Buffers.data)
+  in
+  let d1 = Domain.spawn job and d2 = Domain.spawn job in
+  let a1, out1 = Domain.join d1 and a2, out2 = Domain.join d2 in
+  Alcotest.(check bool) "concurrent hits got distinct buffers" true
+    ((B.Exec.buffer a1.P.exec "out").B.Buffers.data
+    != (B.Exec.buffer a2.P.exec "out").B.Buffers.data);
+  let check_out out =
+    Alcotest.(check int) "output length" 64 (Array.length out);
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check (float 0.0)) "output element" (float_of_int (3 * i)) v)
+      out
+  in
+  check_out out1;
+  check_out out2;
+  Alcotest.(check bool) "contended hits cloned fresh leases" true
+    ((P.cache_stats ()).P.clones >= clones0 + 2);
+  (* released leases are reused, not recloned *)
+  a1.P.release ();
+  a2.P.release ();
+  let clones1 = (P.cache_stats ()).P.clones in
+  let d3 = Domain.spawn (fun () ->
+      let art = build () in
+      let r = (B.Exec.buffer art.P.exec "out").B.Buffers.data in
+      art.P.release ();
+      r)
+  in
+  ignore (Domain.join d3);
+  Alcotest.(check int) "released lease reused without a clone" clones1
+    (P.cache_stats ()).P.clones
+
 (* ---------- typed pass errors ---------- *)
 
 let error_names_stage () =
@@ -271,6 +376,10 @@ let () =
             cache_hit_bit_identical;
           Alcotest.test_case "knob or param change misses" `Quick
             knob_change_misses;
+          Alcotest.test_case "insert storm evicts one-at-a-time, never wipes"
+            `Quick eviction_storm;
+          Alcotest.test_case "concurrent hits never alias buffers" `Quick
+            concurrent_hits_do_not_alias;
         ] );
       ( "pass-manager",
         [

@@ -1,0 +1,322 @@
+(* The compile service and its persistent store: on-disk integrity
+   (truncation, bit flips, stale tape-generator versions), in-flight
+   dedup, bounded admission, cooperative deadlines, and the end-to-end
+   submit -> instantiate -> run path checked against the interpreter. *)
+
+module L = Tiramisu_codegen.Loop_ir
+module B = Tiramisu_backends
+module P = Tiramisu_pipeline.Pipeline
+module S = Tiramisu_service.Service
+module Store = Tiramisu_service.Store
+module Tape_gen = Tiramisu_codegen.Tape_gen
+module Limits = Tiramisu_support.Limits
+
+let fresh_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tiramisu_service_test_%d_%d" (Unix.getpid ()) !n)
+
+(* A family of tiny kernels: out[i] = i * 2 + c over 16 elements. *)
+let test_stmt c =
+  L.For
+    { var = "i"; lo = L.Int 0; hi = L.Int 15; tag = L.Seq;
+      body =
+        L.Store
+          ( "out", [ L.Var "i" ],
+            L.Bin (L.Add, L.Bin (L.Mul, L.Var "i", L.Int 2), L.Int c) ) }
+
+let test_req ?deadline_s c =
+  { S.rq_name = Printf.sprintf "t%d" c;
+    rq_stmt = test_stmt c;
+    rq_knobs = { P.default_knobs with P.parallel = `Seq };
+    rq_params = [];
+    rq_extents = [ ("out", [| 16 |], L.Host) ];
+    rq_deadline_s = deadline_s }
+
+let expect_done = function
+  | S.Done rs -> rs
+  | S.Rejected -> Alcotest.fail "expected Done, got Rejected"
+  | S.Failed m -> Alcotest.fail ("expected Done, got Failed: " ^ m)
+
+let interp_out stmt =
+  let interp = B.Interp.create ~params:[] () in
+  B.Interp.add_buffer interp (B.Buffers.create "out" [| 16 |]);
+  B.Interp.run interp stmt;
+  Array.copy (B.Interp.buffer interp "out").B.Buffers.data
+
+(* ---------- the store on its own ---------- *)
+
+let payload_of c =
+  let prepared, plan =
+    P.prepare_and_plan
+      ~knobs:{ P.default_knobs with P.parallel = `Seq }
+      ~params:[] (test_stmt c)
+  in
+  { Store.p_src = test_stmt c; p_stmt = prepared; p_plan = plan }
+
+let store_roundtrip () =
+  let st = Store.open_store (fresh_root ()) in
+  let key = S.key_of (test_req 1) in
+  let payload = payload_of 1 in
+  Store.put st ~key payload;
+  (match Store.get st ~key ~src:(test_stmt 1) with
+  | Store.Hit p ->
+      Alcotest.(check bool) "prepared statement survives the disk" true
+        (p.Store.p_stmt = payload.Store.p_stmt)
+  | Store.Miss -> Alcotest.fail "roundtrip missed"
+  | Store.Quarantined r -> Alcotest.fail ("roundtrip quarantined: " ^ r));
+  (* same key, different source statement: the digest-collision guard
+     must report a miss, never hand back someone else's artifact *)
+  (match Store.get st ~key ~src:(test_stmt 2) with
+  | Store.Miss -> ()
+  | _ -> Alcotest.fail "collision guard failed to miss");
+  Alcotest.(check int) "nothing quarantined" 0 (Store.quarantined st)
+
+(* Corrupt the artifact file via [mutate path], then check that the load
+   quarantines it: verdict, file moved aside, subsequent load misses. *)
+let corruption_case mutate =
+  let st = Store.open_store (fresh_root ()) in
+  let key = S.key_of (test_req 3) in
+  Store.put st ~key (payload_of 3);
+  let path = Store.path_of_key st key in
+  mutate path;
+  (match Store.get st ~key ~src:(test_stmt 3) with
+  | Store.Quarantined _ -> ()
+  | Store.Hit _ -> Alcotest.fail "corrupt file loaded as a hit"
+  | Store.Miss -> Alcotest.fail "corrupt file reported a clean miss");
+  Alcotest.(check int) "quarantine counted" 1 (Store.quarantined st);
+  Alcotest.(check bool) "corpse moved out of the shard" false
+    (Sys.file_exists path);
+  Alcotest.(check bool) "corpse kept for post-mortem" true
+    (Sys.file_exists
+       (Filename.concat
+          (Filename.concat (Store.root st) "quarantine")
+          (key ^ ".art")));
+  (match Store.get st ~key ~src:(test_stmt 3) with
+  | Store.Miss -> ()
+  | _ -> Alcotest.fail "quarantined key should now miss");
+  (* recompile repairs the key *)
+  Store.put st ~key (payload_of 3);
+  match Store.get st ~key ~src:(test_stmt 3) with
+  | Store.Hit _ -> ()
+  | _ -> Alcotest.fail "re-put after quarantine should hit"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let store_truncation () =
+  corruption_case (fun path ->
+      let raw = read_file path in
+      write_file path (String.sub raw 0 (String.length raw / 2)))
+
+let store_bitflip () =
+  corruption_case (fun path ->
+      let raw = Bytes.of_string (read_file path) in
+      let i = Bytes.length raw - 3 in
+      Bytes.set raw i (Char.chr (Char.code (Bytes.get raw i) lxor 0x40));
+      write_file path (Bytes.to_string raw))
+
+let store_stale_tapegen () =
+  let st = Store.open_store (fresh_root ()) in
+  let key = S.key_of (test_req 4) in
+  Store.put ~tapegen:(Tape_gen.version + 1) st ~key (payload_of 4);
+  (match Store.get st ~key ~src:(test_stmt 4) with
+  | Store.Miss -> ()
+  | Store.Hit _ -> Alcotest.fail "stale tape-generator artifact hit"
+  | Store.Quarantined r ->
+      Alcotest.fail ("stale artifact quarantined as corrupt: " ^ r));
+  (* stale is not corrupt: no quarantine, file left in place for overwrite *)
+  Alcotest.(check int) "stale entries are not quarantined" 0
+    (Store.quarantined st);
+  Alcotest.(check bool) "stale file left for the next put" true
+    (Sys.file_exists (Store.path_of_key st key))
+
+(* ---------- the service ---------- *)
+
+let with_service ?workers ?queue_cap ?mem_cap ?before_compile ?root f =
+  let root = match root with Some r -> r | None -> fresh_root () in
+  let sv = S.create ?workers ?queue_cap ?mem_cap ?before_compile ~root () in
+  Fun.protect ~finally:(fun () -> S.shutdown sv) (fun () -> f sv)
+
+let service_tiers () =
+  let root = fresh_root () in
+  (* first server: cold compile, then a memory hit *)
+  with_service ~workers:2 ~root (fun sv ->
+      let req = test_req 10 in
+      let rs = expect_done (S.submit sv req) in
+      Alcotest.(check bool) "cold submit compiled" true
+        (rs.S.rs_source = `Compiled);
+      (* run the artifact and compare against the interpreter *)
+      let exec = S.instantiate req rs ~inputs:[] in
+      B.Exec.run exec;
+      let got = (B.Exec.buffer exec "out").B.Buffers.data in
+      let want = interp_out (test_stmt 10) in
+      Alcotest.(check int) "output length" (Array.length want)
+        (Array.length got);
+      Array.iteri
+        (fun i v -> Alcotest.(check (float 0.0)) "element" want.(i) v)
+        got;
+      let rs2 = expect_done (S.submit sv req) in
+      Alcotest.(check bool) "second submit served from memory" true
+        (rs2.S.rs_source = `Mem);
+      let st = S.stats sv in
+      Alcotest.(check int) "one compile" 1 st.S.compiles;
+      Alcotest.(check int) "one memory hit" 1 st.S.mem_hits);
+  (* second server on the same root: disk tier, no pass re-runs *)
+  with_service ~workers:1 ~root (fun sv ->
+      let rs = expect_done (S.submit sv (test_req 10)) in
+      Alcotest.(check bool) "warm server hit the disk tier" true
+        (rs.S.rs_source = `Disk);
+      Alcotest.(check int) "no compiles on a warm store" 0
+        (S.stats sv).S.compiles);
+  (* third server: corrupt the artifact on disk; the service must
+     quarantine and recompile, not crash or serve garbage *)
+  with_service ~workers:1 ~root (fun sv ->
+      let key = S.key_of (test_req 10) in
+      let path = Store.path_of_key (S.store sv) key in
+      let raw = read_file path in
+      write_file path (String.sub raw 0 (String.length raw - 4));
+      let rs = expect_done (S.submit sv (test_req 10)) in
+      Alcotest.(check bool) "corrupt artifact recompiled" true
+        (rs.S.rs_source = `Compiled);
+      Alcotest.(check int) "corruption quarantined" 1
+        (S.stats sv).S.quarantined)
+
+let service_inflight_dedup () =
+  (* the hook stalls the one real compile long enough that every other
+     client observes the in-flight job and waits on it *)
+  with_service ~workers:2
+    ~before_compile:(fun _ -> Unix.sleepf 0.15)
+    (fun sv ->
+      let outcomes = Array.make 8 S.Rejected in
+      let threads =
+        List.init 8 (fun i ->
+            Thread.create (fun () -> outcomes.(i) <- S.submit sv (test_req 20)) ())
+      in
+      List.iter Thread.join threads;
+      Array.iter (fun o -> ignore (expect_done o)) outcomes;
+      let st = S.stats sv in
+      Alcotest.(check int) "eight clients, one compile" 1 st.S.compiles;
+      Alcotest.(check int) "everyone else shared it" 7
+        (st.S.dedup_waits + st.S.mem_hits))
+
+let service_bounded_admission () =
+  (* one worker stalled 300 ms, queue of one: near-simultaneous distinct
+     keys past the first two must shed at admission *)
+  with_service ~workers:1 ~queue_cap:1
+    ~before_compile:(fun _ -> Unix.sleepf 0.3)
+    (fun sv ->
+      let n = 6 in
+      let outcomes = Array.make n (S.Failed "unset") in
+      let threads =
+        List.init n (fun i ->
+            Thread.create
+              (fun () -> outcomes.(i) <- S.submit sv (test_req (30 + i)))
+              ())
+      in
+      List.iter Thread.join threads;
+      let done_, rejected, failed =
+        Array.fold_left
+          (fun (d, r, f) -> function
+            | S.Done _ -> (d + 1, r, f)
+            | S.Rejected -> (d, r + 1, f)
+            | S.Failed _ -> (d, r, f + 1))
+          (0, 0, 0) outcomes
+      in
+      Alcotest.(check int) "no failures" 0 failed;
+      Alcotest.(check int) "every request got an outcome" n (done_ + rejected);
+      Alcotest.(check bool) "full queue sheds load" true (rejected >= 1);
+      Alcotest.(check bool) "accepted requests complete" true (done_ >= 1);
+      Alcotest.(check int) "stats agree" rejected (S.stats sv).S.rejected)
+
+let service_deadline () =
+  with_service ~workers:1
+    ~before_compile:(fun _ -> Unix.sleepf 0.2)
+    (fun sv ->
+      (match S.submit sv (test_req ~deadline_s:0.01 40) with
+      | S.Failed msg ->
+          Alcotest.(check bool) "failure names the deadline" true
+            (Astring.String.is_infix ~affix:"deadline" msg)
+      | S.Done _ -> Alcotest.fail "deadline-expired request succeeded"
+      | S.Rejected -> Alcotest.fail "deadline request was rejected");
+      Alcotest.(check int) "failure counted" 1 (S.stats sv).S.failed;
+      (* the worker survives a timed-out job *)
+      let rs = expect_done (S.submit sv (test_req 41)) in
+      Alcotest.(check bool) "next request compiles normally" true
+        (rs.S.rs_source = `Compiled))
+
+(* ---------- the cooperative deadline guard ---------- *)
+
+let limits_deadline () =
+  (* a loop that polls the guard times out... *)
+  let r =
+    Limits.with_deadline 0.005 (fun () ->
+        let rec spin () =
+          Limits.check_deadline ();
+          spin ()
+        in
+        spin ())
+  in
+  Alcotest.(check bool) "polling loop hits the deadline" true (r = None);
+  (* ...a fast function does not... *)
+  Alcotest.(check bool) "fast body completes" true
+    (Limits.with_deadline 5.0 (fun () -> 42) = Some 42);
+  (* ...nesting keeps the tighter deadline... *)
+  let nested =
+    Limits.with_deadline 10.0 (fun () ->
+        Limits.with_deadline 0.005 (fun () ->
+            let rec spin () =
+              Limits.check_deadline ();
+              spin ()
+            in
+            spin ()))
+  in
+  Alcotest.(check bool) "inner deadline wins" true (nested = Some None);
+  (* ...and [with_time_limit] degrades to the cooperative guard off the
+     main domain instead of arming a process-global SIGALRM *)
+  let in_domain =
+    Domain.join
+      (Domain.spawn (fun () -> Limits.with_time_limit 5 (fun () -> 7)))
+  in
+  Alcotest.(check bool) "with_time_limit works off-main" true
+    (in_domain = Some 7)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "put/get roundtrip + collision guard" `Quick
+            store_roundtrip;
+          Alcotest.test_case "truncated file quarantined then repaired"
+            `Quick store_truncation;
+          Alcotest.test_case "bit flip quarantined" `Quick store_bitflip;
+          Alcotest.test_case "stale tape-generator version misses cleanly"
+            `Quick store_stale_tapegen;
+        ] );
+      ( "service",
+        [
+          Alcotest.test_case "compile/mem/disk tiers + quarantine repair"
+            `Quick service_tiers;
+          Alcotest.test_case "in-flight dedup: 8 clients, 1 compile" `Quick
+            service_inflight_dedup;
+          Alcotest.test_case "bounded admission sheds load" `Quick
+            service_bounded_admission;
+          Alcotest.test_case "cooperative deadline fails the request" `Quick
+            service_deadline;
+        ] );
+      ( "limits",
+        [ Alcotest.test_case "cooperative deadline guard" `Quick
+            limits_deadline ] );
+    ]
