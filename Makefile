@@ -1,6 +1,6 @@
 # Convenience targets; dune is the real build system.
 
-.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke autosched-smoke service-smoke clean
+.PHONY: all build test bench bench-smoke fuzz check pipeline-smoke autosched-smoke service-smoke gpu-smoke dist-smoke clean
 
 all: build
 
@@ -46,6 +46,20 @@ autosched-smoke:
 service-smoke:
 	dune exec bench/main.exe -- service-smoke
 
+# GPU-sim backend gate: the GPU expert schedules executed on the
+# Target.Gpu_sim backend, every point verified bit-exactly against the
+# interpreter, and the BENCH_gpu.json schema pinned against
+# bench/gpu.golden (regenerate with TIRAMISU_UPDATE_GOLDEN=1).
+gpu-smoke:
+	dune exec bench/main.exe -- gpu-smoke
+
+# Distributed backend gate: the Fig. 3c halo-exchange schedules executed
+# rank-by-rank on the Target.Distributed backend, bit-exact against the
+# interpreter, comm volume priced on the α–β network model, and the
+# BENCH_dist.json schema pinned against bench/dist.golden.
+dist-smoke:
+	dune exec bench/main.exe -- dist-smoke
+
 # Perf regression gate: on the smoke kernels, pool execution (with the
 # parallel planner on) must stay within 1.1x of sequential by min-over-reps
 # — i.e. planning must never make things worse, whatever the core count of
@@ -57,8 +71,8 @@ bench-smoke:
 # exec-strategy bench, which exercises the kernel specializer, the domain
 # pool and the demotion heuristic end-to-end without touching BENCH_exec.json,
 # the pipeline/compile-cache smoke gate, the pool-vs-seq perf gate, the
-# autoscheduler and compile-service gates, plus the 500-case differential
-# fuzz sweep.
+# autoscheduler and compile-service gates, the GPU-sim and distributed
+# backend gates, plus the 500-case differential fuzz sweep.
 check:
 	dune build
 	dune runtest
@@ -67,6 +81,8 @@ check:
 	$(MAKE) bench-smoke
 	$(MAKE) autosched-smoke
 	$(MAKE) service-smoke
+	$(MAKE) gpu-smoke
+	$(MAKE) dist-smoke
 	$(MAKE) fuzz
 
 clean:

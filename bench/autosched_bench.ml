@@ -29,7 +29,7 @@ let golden_path = "bench/autosched.golden"
 let measure_ms ~reps (case : Exec_bench.case) sched =
   let fn = case.Exec_bench.c_build () in
   sched fn;
-  let knobs = { P.default_knobs with P.parallel = `Seq } in
+  let knobs = { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () } in
   let art =
     P.build ~knobs ~fn ~params:case.Exec_bench.c_params
       ~inputs:case.Exec_bench.c_inputs ()

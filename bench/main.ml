@@ -4,7 +4,7 @@
 
 let all =
   [ "fig1"; "table1"; "fig5"; "fig6"; "fig7"; "micro"; "exec"; "autosched";
-    "service" ]
+    "service"; "gpu"; "dist" ]
 (* "exec-smoke" is invocable but not part of the default sweep: it is the
    tier-1 fast path (1 rep, tiny sizes, no JSON). *)
 
@@ -29,6 +29,10 @@ let () =
       | "autosched-smoke" -> Autosched_bench.run ~smoke:true ()
       | "service" -> Service_bench.run ()
       | "service-smoke" -> Service_bench.run ~smoke:true ()
+      | "gpu" -> Gpu_dist_bench.run_gpu ()
+      | "gpu-smoke" -> Gpu_dist_bench.run_gpu ~smoke:true ()
+      | "dist" -> Gpu_dist_bench.run_dist ()
+      | "dist-smoke" -> Gpu_dist_bench.run_dist ~smoke:true ()
       | other ->
           Printf.eprintf "unknown benchmark %s (available: %s)\n" other
             (String.concat " " all);

@@ -61,7 +61,7 @@ let bench_stmt c =
 let bench_req c =
   { S.rq_name = Printf.sprintf "svc%d" c;
     rq_stmt = bench_stmt c;
-    rq_knobs = { P.default_knobs with P.parallel = `Seq };
+    rq_knobs = { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () };
     rq_params = [];
     rq_extents = [ ("out", [| 4096 |], L.Host) ];
     rq_deadline_s = None }
@@ -202,7 +202,7 @@ let eviction_storm () =
   Fun.protect ~finally:(fun () -> P.set_cache_cap old_cap) @@ fun () ->
   let build c =
     P.build_stmt
-      ~knobs:{ P.default_knobs with P.parallel = `Seq }
+      ~knobs:{ P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () }
       ~params:[]
       ~extents:[ ("out", [| 4096 |], L.Host) ]
       ~inputs:[] (bench_stmt c)

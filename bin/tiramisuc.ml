@@ -227,6 +227,25 @@ let trace_arg =
           "Print the pipeline pass trace (per-pass wall-clock time and \
            loop-metadata deltas) after compiling.")
 
+(* --target=cpu|cpu:pool|cpu:spawn|cpu:seq|gpu-sim|dist:N, parsed by
+   Target.of_string so the CLI grammar and the cache-key grammar cannot
+   drift apart. *)
+let target_arg =
+  let parse s =
+    match B.Target.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt t = Format.fprintf fmt "%s" (B.Target.to_string t) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) B.Target.default
+    & info [ "target" ] ~docv:"TARGET"
+        ~doc:
+          "Execution target: $(b,cpu) (optionally $(b,cpu:pool), \
+           $(b,cpu:spawn), $(b,cpu:seq)), $(b,gpu-sim), or $(b,dist:N) \
+           for N simulated ranks.")
+
 let dump_after_arg =
   Arg.(
     value
@@ -238,8 +257,11 @@ let dump_after_arg =
            tape-compile the dump is the disassembled instruction tape of \
            every claimed nest rather than the loop IR.")
 
-(* A tracer when either observation flag is set, [None] otherwise. *)
-let cli_tracer ~trace ~dump_after ~name =
+(* A tracer when either observation flag is set, [None] otherwise.  The
+   resolved target is stamped on the tracer up front so even lower-only
+   runs (cc, compile) print it in the pass-trace header; compile-stage
+   runs overwrite it with the same string. *)
+let cli_tracer ?(target = B.Target.default) ~trace ~dump_after ~name () =
   if (not trace) && dump_after = None then None
   else
     let on_after =
@@ -263,7 +285,9 @@ let cli_tracer ~trace ~dump_after ~name =
                 (Tiramisu_codegen.Loop_ir.to_string s))
         dump_after
     in
-    Some (P.make_tracer ?on_after ~name ())
+    let tr = P.make_tracer ?on_after ~name () in
+    tr.P.tr_target <- B.Target.to_key_string target;
+    Some tr
 
 let report_tracer ~trace tracer =
   match tracer with
@@ -292,10 +316,10 @@ let show_cmd =
 
 let cc_cmd =
   let doc = "Emit C source for a kernel." in
-  let run name sched paper trace dump_after =
+  let run name sched paper target trace dump_after =
     let k = find_kernel name in
     let f = scheduled k sched in
-    let tracer = cli_tracer ~trace ~dump_after ~name:k.k_name in
+    let tracer = cli_tracer ~target ~trace ~dump_after ~name:k.k_name () in
     let lowered = P.lower ?tracer f in
     let params = if paper then k.params_paper else k.params_small in
     let buffers =
@@ -312,21 +336,24 @@ let cc_cmd =
   in
   Cmd.v (Cmd.info "cc" ~doc)
     Term.(
-      const run $ kernel_arg $ sched_arg $ paper_arg $ trace_arg
+      const run $ kernel_arg $ sched_arg $ paper_arg $ target_arg $ trace_arg
       $ dump_after_arg)
 
 let run_cmd =
   let doc = "Execute a kernel (small size) and report counters / time." in
-  let run name sched native trace dump_after =
+  let run name sched native target trace dump_after =
     let k = find_kernel name in
     let f = scheduled k sched in
-    let tracer = cli_tracer ~trace ~dump_after ~name:k.k_name in
+    let tracer = cli_tracer ~target ~trace ~dump_after ~name:k.k_name () in
     let params = k.params_small in
     if native then begin
       let t0 = Tiramisu_backends.Clock.now_ms () in
-      let art = Runner.build_native ?tracer ~fn:f ~params ~inputs:k.inputs () in
+      let art =
+        Runner.build_native ?tracer ~target ~fn:f ~params ~inputs:k.inputs ()
+      in
       B.Exec.run art.P.exec;
-      Printf.printf "native execution ok in %.3f ms\n"
+      Printf.printf "native execution (%s) ok in %.3f ms\n"
+        (B.Target.to_string target)
         (Tiramisu_backends.Clock.now_ms () -. t0)
     end
     else begin
@@ -345,7 +372,7 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ kernel_arg $ sched_arg $ native_arg $ trace_arg
+      const run $ kernel_arg $ sched_arg $ native_arg $ target_arg $ trace_arg
       $ dump_after_arg)
 
 let model_cmd =
@@ -398,7 +425,7 @@ let autoschedule_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose" ] ~doc:"Progress on stderr.")
   in
-  let run name paper budget rounds beam verbose =
+  let run name paper target budget rounds beam verbose =
     let k = find_kernel name in
     let params = if paper then k.params_paper else k.params_small in
     let config =
@@ -407,6 +434,7 @@ let autoschedule_cmd =
         Tiramisu_autosched.Search.budget_ms = budget *. 1000.0;
         rounds;
         beam_width = beam;
+        target;
         verbose;
       }
     in
@@ -422,8 +450,8 @@ let autoschedule_cmd =
   in
   Cmd.v (Cmd.info "autoschedule" ~doc)
     Term.(
-      const run $ kernel_arg $ paper_arg $ budget_arg $ rounds_arg $ beam_arg
-      $ verbose_arg)
+      const run $ kernel_arg $ paper_arg $ target_arg $ budget_arg
+      $ rounds_arg $ beam_arg $ verbose_arg)
 
 let compile_cmd =
   let doc = "Compile a textual .tir pipeline (see lib/frontend)." in
@@ -448,7 +476,7 @@ let compile_cmd =
                   Tiramisu_deps.Deps.pp_violation v)
               vs);
         let tracer =
-          cli_tracer ~trace ~dump_after ~name:f.Tiramisu_core.Ir.fn_name
+          cli_tracer ~trace ~dump_after ~name:f.Tiramisu_core.Ir.fn_name ()
         in
         (match
            if emit_c then begin

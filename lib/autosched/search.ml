@@ -49,9 +49,12 @@ type config = {
   max_frontier : int;  (** candidates vetted per round (cost-ordered) *)
   menu : S.menu;
   templates : bool;  (** seed round 1 with composite expert templates *)
-  strategy : [ `Seq | `Pool | `Spawn ];
-      (** execution strategy measured; [`Seq] is deterministic and matches
-          the exec-bench headline medians *)
+  target : B.Target.t;
+      (** execution target measured; the default is the sequential CPU —
+          deterministic, and matching the exec-bench headline medians.
+          GPU-sim and distributed candidates measure through the same
+          compile cache (their artifacts never alias the CPU ones: the
+          target is part of the cache key). *)
   try_notape : bool;  (** also measure the incumbent with the tape off *)
   timeout_s : int;
       (** per-candidate alarm on vetting and measuring: deeply stacked
@@ -72,7 +75,7 @@ let default_config =
     max_frontier = 200;
     menu = S.default_menu;
     templates = true;
-    strategy = `Seq;
+    target = B.Target.cpu ~parallel:`Seq ();
     try_notape = true;
     timeout_s = 5;
     verbose = false;
@@ -248,8 +251,7 @@ let templates menu entries =
 (* ---------- measurement ---------- *)
 
 let knobs_of cfg ~tape =
-  { P.default_knobs with P.parallel = (cfg.strategy :> B.Exec.par_strategy);
-    P.tape = tape }
+  { P.default_knobs with P.target = cfg.target; P.tape = tape }
 
 (* Median wall-clock of [reps] runs with early cutoff against the
    incumbent: once the best rep so far cannot beat [cutoff], stop — the

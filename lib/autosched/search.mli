@@ -27,7 +27,10 @@ type config = {
   max_frontier : int;  (** vetting cap per round; overflow is counted *)
   menu : Sched_space.menu;
   templates : bool;
-  strategy : [ `Seq | `Pool | `Spawn ];
+  target : Tiramisu_backends.Target.t;
+      (** execution target measured (default: sequential CPU); GPU-sim
+          and distributed candidates share the compile cache without
+          aliasing CPU artifacts *)
   try_notape : bool;  (** also challenge the incumbent with the tape off *)
   timeout_s : int;
       (** per-candidate alarm on vetting and measuring (Omega-test

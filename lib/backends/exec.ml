@@ -24,6 +24,23 @@ module L = Loop_ir
 type par_strategy = [ `Pool | `Spawn | `Seq ]
 type schedule = [ `Auto | `Static | `Dynamic ]
 
+(* Typed diagnostic for the distributed executor's communication faults:
+   a synchronous receive finding no message (the in-process analogue of an
+   MPI deadlock), a payload whose size disagrees with the receive count,
+   or a send left undelivered when the program finishes.  The pipeline's
+   [guard] wraps these into [Pipeline.Error] with the rank pair and the
+   channel (buffer) named, instead of a bare exception. *)
+exception
+  Comm_error of { src : int; dst : int; channel : string; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Comm_error { src; dst; channel; reason } ->
+        Some
+          (Printf.sprintf "Exec.Comm_error(rank %d -> rank %d on %S: %s)" src
+             dst channel reason)
+    | _ -> None)
+
 type compiled = {
   body : int array -> unit;
   regs0 : int array;             (* initial register file (params bound) *)
@@ -35,13 +52,16 @@ type compiled = {
   c_tape : int;                  (* nests claimed by the tape backend *)
   c_tape_instr : int;            (* total tape instructions across nests *)
   c_tape_fb : int Atomic.t;      (* runtime corner-check fallbacks (shared) *)
+  c_msgs : int Atomic.t;         (* messages sent at run time (shared) *)
+  c_bytes : int Atomic.t;        (* payload bytes sent at run time (shared) *)
 }
 
 type ctx = {
   slots : (string, int) Hashtbl.t;
   mutable nslots : int;
   cbufs : (string, Buffers.t) Hashtbl.t;
-  channels : (int * int, float array Queue.t) Hashtbl.t;
+  (* (src rank, dst rank) -> queued (channel buffer, payload) messages *)
+  channels : (int * int, (string * float array) Queue.t) Hashtbl.t;
   chan_mutex : Mutex.t;
   rank_slot : int;
   worker_slot : int;                 (* register holding the worker index *)
@@ -68,6 +88,8 @@ type ctx = {
   n_tape : int Atomic.t;             (* nests claimed by the tape *)
   n_tape_instr : int Atomic.t;       (* total tape instructions *)
   n_tape_fb : int Atomic.t;          (* runtime corner-check fallbacks *)
+  n_msgs : int Atomic.t;             (* runtime: messages sent *)
+  n_bytes : int Atomic.t;            (* runtime: payload bytes sent *)
 }
 
 let slot ctx name =
@@ -1149,8 +1171,11 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
       in
       let fcount = compile_int ctx count in
       let rs = ctx.rank_slot in
+      let msgs = ctx.n_msgs and bytes = ctx.n_bytes in
       fun env ->
         let payload = Array.sub bb.Buffers.data (foffs env) (fcount env) in
+        Atomic.incr msgs;
+        ignore (Atomic.fetch_and_add bytes (8 * Array.length payload));
         Mutex.lock ctx.chan_mutex;
         let key = (env.(rs), fdst env) in
         let q =
@@ -1161,7 +1186,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
               Hashtbl.replace ctx.channels key q;
               q
         in
-        Queue.push payload q;
+        Queue.push (b, payload) q;
         Mutex.unlock ctx.chan_mutex
   | L.Recv { src; buf = b; offset; count; _ } ->
       let bb = buf ctx b in
@@ -1173,18 +1198,29 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
       let rs = ctx.rank_slot in
       fun env ->
         Mutex.lock ctx.chan_mutex;
-        let key = (fsrc env, env.(rs)) in
-        (match Hashtbl.find_opt ctx.channels key with
+        let src = fsrc env and dst = env.(rs) in
+        (match Hashtbl.find_opt ctx.channels (src, dst) with
         | Some q when not (Queue.is_empty q) ->
-            let payload = Queue.pop q in
+            let channel, payload = Queue.pop q in
             Mutex.unlock ctx.chan_mutex;
-            if Array.length payload <> fcount env then
-              failwith "Exec: message size mismatch";
+            let want = fcount env in
+            if Array.length payload <> want then
+              raise
+                (Comm_error
+                   { src; dst; channel;
+                     reason =
+                       Printf.sprintf
+                         "message size mismatch: sent %d elements, recv \
+                          expects %d"
+                         (Array.length payload) want });
             Array.blit payload 0 bb.Buffers.data (foffs env)
               (Array.length payload)
         | _ ->
             Mutex.unlock ctx.chan_mutex;
-            failwith "Exec: synchronous recv with no message (deadlock)")
+            raise
+              (Comm_error
+                 { src; dst; channel = b;
+                   reason = "synchronous recv with no message (deadlock)" }))
   | L.Memcpy { dst; src; _ } ->
       let s = buf ctx src and d = buf ctx dst in
       fun _ ->
@@ -1200,15 +1236,94 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
    differential fuzzer runs both settings against each other.  Exposed
    separately so the pipeline pass manager can time the two stages
    individually. *)
+(* Whether the statement communicates at all: only then does the compiled
+   body pay for per-run channel reset and the unmatched-send drain check
+   (CPU kernels in timing loops stay untouched). *)
+let rec has_comm (s : L.stmt) =
+  match s with
+  | L.Send _ | L.Recv _ -> true
+  | L.Block l -> List.exists has_comm l
+  | L.If (_, t, e) -> (
+      has_comm t || match e with Some e -> has_comm e | None -> false)
+  | L.For { body; _ } | L.Alloc { body; _ } -> has_comm body
+  | L.Store _ | L.Comment _ | L.Barrier | L.Memcpy _ -> false
+
+(* Static thread-block check for the GPU simulator: the product of the
+   extents of nested [Gpu_thread] loops must fit the target's
+   [max_threads] ceiling (the per-SM cap of the machine model).  Raised
+   as [Failure] so the pipeline's guard reports it as a typed error. *)
+let check_gpu_grid ~max_threads ~params stmt =
+  let rec ev (e : L.expr) =
+    match e with
+    | L.Int n -> n
+    | L.Var v -> (
+        match List.assoc_opt v params with Some x -> x | None -> 0)
+    | L.Neg a -> -ev a
+    | L.Cast (_, a) -> ev a
+    | L.Select (_, a, _) -> ev a
+    | L.Bin (op, a, b) -> (
+        let x = ev a and y = ev b in
+        match op with
+        | L.Add -> x + y
+        | L.Sub -> x - y
+        | L.Mul -> x * y
+        | L.Div -> if y = 0 then 0 else x / y
+        | L.FloorDiv -> if y = 0 then 0 else Tiramisu_support.Ints.fdiv x y
+        | L.Mod -> if y = 0 then 0 else Tiramisu_support.Ints.emod x y
+        | L.MinOp -> min x y
+        | L.MaxOp -> max x y)
+    | L.Float _ | L.Load _ | L.Call _ -> 0
+  in
+  let rec walk threads (s : L.stmt) =
+    match s with
+    | L.Block l -> List.iter (walk threads) l
+    | L.If (_, t, e) ->
+        walk threads t;
+        Option.iter (walk threads) e
+    | L.Alloc { body; _ } -> walk threads body
+    | L.For { lo; hi; tag; body; _ } ->
+        let threads =
+          match tag with
+          | L.Gpu_thread _ ->
+              let ext = max 1 (ev hi - ev lo + 1) in
+              let t = threads * ext in
+              if t > max_threads then
+                failwith
+                  (Printf.sprintf
+                     "Exec: GPU thread block of %d threads exceeds the \
+                      target's max_threads=%d"
+                     t max_threads);
+              t
+          | L.Gpu_block _ -> 1
+          | _ -> threads
+        in
+        walk threads body
+    | L.Store _ | L.Comment _ | L.Barrier | L.Send _ | L.Recv _ | L.Memcpy _
+      ->
+        ()
+  in
+  walk 1 stmt
+
 let prepare ?(narrow = true) ~params stmt =
   let stmt =
     if narrow then Tiramisu_codegen.Passes.narrow ~params stmt else stmt
   in
   L.simplify_stmt (Tiramisu_codegen.Passes.unroll_expand stmt)
 
-(* Closure-compile an already-prepared (narrowed/simplified) statement. *)
-let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
+(* Closure-compile an already-prepared (narrowed/simplified) statement
+   for a given execution target.  The target decides the CPU parallel
+   strategy and pool schedule (its projections), whether the flat tape
+   may claim nests ([Target.tape_claimable]), and — for [Gpu_sim] — the
+   static thread-block validation. *)
+let compile_prepared ?(target = Target.default) ?(specialize = true)
     ?(demote = true) ?(tape = true) ~params ~buffers stmt =
+  let parallel = Target.par_strategy target in
+  let sched = Target.sched target in
+  let tape = tape && Target.tape_claimable target in
+  (match target with
+  | Target.Gpu_sim g ->
+      check_gpu_grid ~max_threads:g.Target.max_threads ~params stmt
+  | Target.Cpu _ | Target.Distributed _ -> ());
   let ctx =
     {
       slots = Hashtbl.create 32;
@@ -1235,6 +1350,8 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
       n_tape = Atomic.make 0;
       n_tape_instr = Atomic.make 0;
       n_tape_fb = Atomic.make 0;
+      n_msgs = Atomic.make 0;
+      n_bytes = Atomic.make 0;
     }
   in
   let rank_slot = slot ctx "__rank" in
@@ -1248,6 +1365,39 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
       Hashtbl.replace ctx.est_vars p v)
     params;
   let body = compile_stmt ctx stmt in
+  (* Communicating programs get a per-run envelope: channels start empty
+     (no stale messages from a previous run), and any payload still
+     queued when the program finishes is an unmatched send — the
+     deadlock-analogue fault — reported with its rank pair and channel. *)
+  let body =
+    if not (has_comm stmt) then body
+    else begin
+      let channels = ctx.channels and m = ctx.chan_mutex in
+      fun env ->
+        Mutex.lock m;
+        Hashtbl.reset channels;
+        Mutex.unlock m;
+        body env;
+        Mutex.lock m;
+        let leftover =
+          Hashtbl.fold
+            (fun (src, dst) q acc ->
+              if Queue.is_empty q then acc
+              else ((src, dst), fst (Queue.peek q), Queue.length q) :: acc)
+            channels []
+        in
+        Mutex.unlock m;
+        match leftover with
+        | [] -> ()
+        | ((src, dst), channel, n) :: _ ->
+            raise
+              (Comm_error
+                 { src; dst; channel;
+                   reason =
+                     Printf.sprintf
+                       "unmatched send: %d message(s) left undelivered" n })
+    end
+  in
   (* size the register file after compilation discovered all names *)
   let regs0 = Array.make (max 1 ctx.nslots) 0 in
   List.iter (fun (p, v) -> regs0.(Hashtbl.find ctx.slots p) <- v) params;
@@ -1260,13 +1410,14 @@ let compile_prepared ?(parallel = `Pool) ?(specialize = true) ?(sched = `Auto)
     c_static = Atomic.get ctx.n_static;
     c_tape = Atomic.get ctx.n_tape;
     c_tape_instr = Atomic.get ctx.n_tape_instr;
-    (* the fallback counter keeps accumulating at run time, so the
-       compiled value shares the Atomic instead of snapshotting it *)
-    c_tape_fb = ctx.n_tape_fb }
+    (* runtime counters (tape fallbacks, comm traffic) keep accumulating
+       as the compiled object runs, so the compiled value shares the
+       Atomics instead of snapshotting them *)
+    c_tape_fb = ctx.n_tape_fb; c_msgs = ctx.n_msgs; c_bytes = ctx.n_bytes }
 
-let compile ?(parallel = `Pool) ?(specialize = true) ?(narrow = true)
-    ?(sched = `Auto) ?(demote = true) ?(tape = true) ~params ~buffers stmt =
-  compile_prepared ~parallel ~specialize ~sched ~demote ~tape ~params ~buffers
+let compile ?(target = Target.default) ?(specialize = true) ?(narrow = true)
+    ?(demote = true) ?(tape = true) ~params ~buffers stmt =
+  compile_prepared ~target ~specialize ~demote ~tape ~params ~buffers
     (prepare ~narrow ~params stmt)
 
 let run c = c.body (Array.copy c.regs0)
@@ -1276,6 +1427,8 @@ let static_count c = c.c_static
 let tape_count c = c.c_tape
 let tape_instrs c = c.c_tape_instr
 let tape_fallbacks c = Atomic.get c.c_tape_fb
+let comm_msgs c = Atomic.get c.c_msgs
+let comm_bytes c = Atomic.get c.c_bytes
 
 let buffer c name =
   match Hashtbl.find_opt c.bufs name with

@@ -31,9 +31,21 @@
 
     GPU-tagged loops run as ordinary loops (a functional grid simulation);
     distributed loops run rank-by-rank with in-memory channels, exactly as
-    in {!Interp}. *)
+    in {!Interp}.  Which backend a compilation is for is named by a
+    {!Target.t}: the target decides the CPU parallel strategy and pool
+    schedule, whether the flat tape may claim nests, the GPU simulator's
+    thread-block ceiling, and the rank count/α–β model recorded with
+    distributed artifacts. *)
 
 type compiled
+
+exception
+  Comm_error of { src : int; dst : int; channel : string; reason : string }
+(** Typed diagnostic for distributed-executor communication faults: a
+    synchronous receive with no queued message (the in-process analogue
+    of an MPI deadlock), a payload size disagreeing with the receive
+    count, or a send left undelivered at program exit.  [channel] is the
+    buffer the message travels through; [src]/[dst] are ranks. *)
 
 type par_strategy = [ `Pool | `Spawn | `Seq ]
 (** How [Parallel]-tagged loops execute: on the persistent domain pool
@@ -63,9 +75,8 @@ val prepare :
     individually. *)
 
 val compile_prepared :
-  ?parallel:par_strategy ->
+  ?target:Target.t ->
   ?specialize:bool ->
-  ?sched:schedule ->
   ?demote:bool ->
   ?tape:bool ->
   params:(string * int) list ->
@@ -73,17 +84,20 @@ val compile_prepared :
   Tiramisu_codegen.Loop_ir.stmt ->
   compiled
 (** Closure-compile a statement that already went through {!prepare} (or
-    that the caller wants compiled verbatim).  [compile] is
+    that the caller wants compiled verbatim) for [target] (default
+    {!Target.default}, the pool CPU).  The target's projections replace
+    the old [?parallel]/[?sched] knobs; [tape] is additionally gated by
+    {!Target.tape_claimable}, and a [Gpu_sim] target statically validates
+    thread-block sizes against its [max_threads].  [compile] is
     [compile_prepared] after [prepare].  [demote] (default [true]) gates
     the executor's own profitability demotion of pool loops — the pipeline
     passes [~demote:false] when the parallel-planning pass has already made
     the serialize/keep decisions, so a loop is never tested twice. *)
 
 val compile :
-  ?parallel:par_strategy ->
+  ?target:Target.t ->
   ?specialize:bool ->
   ?narrow:bool ->
-  ?sched:schedule ->
   ?demote:bool ->
   ?tape:bool ->
   params:(string * int) list ->
@@ -92,11 +106,11 @@ val compile :
   compiled
 (** Compile once; buffers are captured by reference (re-fill between runs
     to reuse).  The knobs are orthogonal, so the differential fuzzer can
-    cross strategies with optimization settings: [specialize] (default
+    cross targets with optimization settings: [specialize] (default
     [true]) gates the kernel specializer, [narrow] (default [true]) gates
-    the {!Tiramisu_codegen.Passes.narrow} bound-narrowing pre-pass, [sched]
-    (default [`Auto]) selects the pool schedule; with specialize and narrow
-    off the executor is the plain hoisted-addressing closure compiler.
+    the {!Tiramisu_codegen.Passes.narrow} bound-narrowing pre-pass; with
+    specialize and narrow off the executor is the plain hoisted-addressing
+    closure compiler.
     @raise Failure on constructs the executor does not support. *)
 
 val run : compiled -> unit
@@ -146,3 +160,12 @@ val tape_fallbacks : compiled -> int
     time, falling back to the generic closure path (whose per-access checks
     raise at the faulting iteration).  Unlike the compile-time counters this
     accumulates across {!run} calls of the same [compiled] value. *)
+
+val comm_msgs : compiled -> int
+(** Messages sent through distributed channels so far.  Accumulates across
+    {!run} calls, like {!tape_fallbacks}; feeds the α–β model in the
+    distributed bench. *)
+
+val comm_bytes : compiled -> int
+(** Payload bytes sent through distributed channels so far (8 bytes per
+    element).  Accumulates across {!run} calls. *)

@@ -1,0 +1,77 @@
+(** First-class execution target: which backend a compilation is for.
+
+    Replaces the ad-hoc [(parallel, sched, ...)] knob tuples that used to
+    thread through Exec, Pipeline, Runner, Service, Autosched and the
+    fuzzer.  A target participates in compile-cache and service-store
+    keys via {!to_key_string}, so artifacts for different backends never
+    alias (DESIGN.md §14). *)
+
+type cpu_knobs = {
+  parallel : [ `Pool | `Spawn | `Seq ];
+  sched : [ `Auto | `Static | `Dynamic ];
+}
+
+type grid_cfg = {
+  max_threads : int;  (** thread-block size ceiling *)
+  shared_kb : int;    (** shared-memory budget per block, KiB *)
+}
+
+type dist_cfg = {
+  ranks : int;        (** number of in-process ranks *)
+  net : Machine.net;  (** α–β model for predicted communication time *)
+}
+
+type t =
+  | Cpu of cpu_knobs
+  | Gpu_sim of grid_cfg
+  | Distributed of dist_cfg
+
+val default : t
+(** [Cpu { parallel = `Pool; sched = `Auto }] — what every caller that
+    never asks for a target gets. *)
+
+val cpu :
+  ?parallel:[ `Pool | `Spawn | `Seq ] ->
+  ?sched:[ `Auto | `Static | `Dynamic ] ->
+  unit ->
+  t
+
+val gpu_sim : ?max_threads:int -> ?shared_kb:int -> unit -> t
+(** Defaults come from {!Machine.default}'s GPU record. *)
+
+val distributed : ?net:Machine.net -> ranks:int -> unit -> t
+(** @raise Invalid_argument if [ranks < 1]. *)
+
+(** {1 Capability flags} *)
+
+val tape_claimable : t -> bool
+(** Whether the flat instruction tape may claim nests when compiling for
+    this target.  True only for [Cpu]: the grid simulator and the
+    per-rank executor re-bind environment slots per grid point / rank,
+    which claimed rectangular nests cannot observe. *)
+
+val pool_schedulable : t -> bool
+(** Whether the compile-time parallel planner (trip counts, band
+    widening, static ranges) applies.  True only for [Cpu] with the
+    [`Pool] strategy. *)
+
+(** {1 Projections for Exec} *)
+
+val par_strategy : t -> [ `Pool | `Spawn | `Seq ]
+(** CPU strategy; [`Seq] for GPU-sim and distributed targets (their
+    parallelism is expressed by hardware tags, not the domain pool). *)
+
+val sched : t -> [ `Auto | `Static | `Dynamic ]
+val ranks : t -> int option
+
+(** {1 Naming} *)
+
+val to_key_string : t -> string
+(** Stable, total rendering folded into cache/store keys, e.g.
+    ["cpu:pool:auto"], ["gpu-sim:2048:48k"], ["dist:4:a1500:b0.180"]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** CLI grammar: [cpu | cpu:pool|spawn|seq | gpu-sim | dist:N]. *)

@@ -88,36 +88,52 @@ let interp_run ~params ~fills fn ast =
   B.Interp.run t ast;
   bufs
 
-(* Each config: (tag, strategy, specialize, narrow, plan, sched, tape).
-   For parallel schedules the pool rows cross the parallel planner
-   (coalescing forced on / off — [`Force] is machine-independent, it
-   fuses the maximal rectangular prefix regardless of core count) with
-   the pool schedule (static per-worker ranges / dynamic chunk stealing),
-   plus the default auto/auto row and the spawn baseline.  The tape axis
-   runs the flat-tape backend (default, on) against tape-off rows of the
-   same configuration: bit-exact interp-vs-tape diffing for sequential,
-   planned-static and default pool rows. *)
+(* Each config: (tag, pipeline knobs).  The CPU rows cross the parallel
+   strategy with the optimization knobs; for parallel schedules the pool
+   rows cross the parallel planner (coalescing forced on / off —
+   [`Force] is machine-independent, it fuses the maximal rectangular
+   prefix regardless of core count) with the pool schedule (static
+   per-worker ranges / dynamic chunk stealing), plus the default
+   auto/auto row and the spawn baseline.  The tape axis runs the
+   flat-tape backend (default, on) against tape-off rows of the same
+   configuration: bit-exact interp-vs-tape diffing for sequential,
+   planned-static and default pool rows.
+
+   Every case additionally runs on the GPU-sim and distributed targets:
+   their compiled executors (grid simulation / rank-by-rank channels)
+   must match the interpreter bit-exactly too, and their rows exercise
+   the target-keyed compile cache end to end. *)
 let exec_configs case =
+  let cpu ?(spec = true) ?(narrow = true) ?(plan = `Off) ?(sched = `Auto)
+      ?(tape = true) par =
+    { P.target = B.Target.cpu ~parallel:par ~sched ();
+      P.specialize = spec; P.narrow = narrow; P.plan = plan; P.tape = tape }
+  in
   let base =
     [
-      ("seq", `Seq, true, true, `Off, `Auto, true);
-      ("seq,notape", `Seq, true, true, `Off, `Auto, false);
-      ("seq,nospec", `Seq, false, true, `Off, `Auto, true);
-      ("seq,nonarrow", `Seq, true, false, `Off, `Auto, true);
-      ("seq,nospec,nonarrow", `Seq, false, false, `Off, `Auto, true);
+      ("seq", cpu `Seq);
+      ("seq,notape", cpu ~tape:false `Seq);
+      ("seq,nospec", cpu ~spec:false `Seq);
+      ("seq,nonarrow", cpu ~narrow:false `Seq);
+      ("seq,nospec,nonarrow", cpu ~spec:false ~narrow:false `Seq);
+      ("gpu-sim", { P.default_knobs with P.target = B.Target.gpu_sim () });
+      ( "dist",
+        { P.default_knobs with P.target = B.Target.distributed ~ranks:4 () }
+      );
     ]
   in
   if Case.has_parallel case then
     base
     @ [
-        ("pool", `Pool, true, true, `Auto, `Auto, true);
-        ("pool,notape", `Pool, true, true, `Auto, `Auto, false);
-        ("pool,plan,static", `Pool, true, true, `Force, `Static, true);
-        ("pool,plan,static,notape", `Pool, true, true, `Force, `Static, false);
-        ("pool,plan,dyn", `Pool, true, true, `Force, `Dynamic, true);
-        ("pool,noplan,static", `Pool, true, true, `Off, `Static, true);
-        ("pool,noplan,dyn", `Pool, true, true, `Off, `Dynamic, true);
-        ("spawn", `Spawn, true, true, `Off, `Auto, true);
+        ("pool", cpu ~plan:`Auto `Pool);
+        ("pool,notape", cpu ~plan:`Auto ~tape:false `Pool);
+        ("pool,plan,static", cpu ~plan:`Force ~sched:`Static `Pool);
+        ( "pool,plan,static,notape",
+          cpu ~plan:`Force ~sched:`Static ~tape:false `Pool );
+        ("pool,plan,dyn", cpu ~plan:`Force ~sched:`Dynamic `Pool);
+        ("pool,noplan,static", cpu ~sched:`Static `Pool);
+        ("pool,noplan,dyn", cpu ~sched:`Dynamic `Pool);
+        ("spawn", cpu `Spawn);
       ]
   else base
 
@@ -178,15 +194,11 @@ let run_case_unguarded (case : Case.t) : outcome =
       b1.Case.outputs;
     (* Compiled executor, every configuration, vs the scheduled interp. *)
     List.iter
-      (fun (tag, par, spec, narrow, plan, sched, tape) ->
+      (fun (tag, knobs) ->
         let bufs =
           try
             let bufs =
               make_buffers b1.Case.fn ~params:b1.Case.params ~fills:b1.Case.fills
-            in
-            let knobs =
-              { P.parallel = par; specialize = spec; narrow; plan; sched;
-                tape }
             in
             let tracer = P.make_tracer ~probe ~name:("exec:" ^ tag) () in
             let c =

@@ -52,7 +52,7 @@ val check :
 
 val build_native :
   ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
-  ?parallel:B.Exec.par_strategy ->
+  ?target:B.Target.t ->
   ?tape:bool ->
   fn:Ir.fn ->
   params:(string * int) list ->
@@ -62,12 +62,14 @@ val build_native :
 (** Lower, allocate and fill buffers, and compile through the pipeline's
     compile cache — without running.  The returned artifact says whether
     the compile was a cache hit and carries the structural hash of the
-    lowered statement.  [tape] (default [true]) gates the flat-tape
-    backend, the knob the benchmarks use for their tape-off control. *)
+    lowered statement.  [target] (default {!B.Target.default}, the pool
+    CPU) selects the execution backend; [tape] (default [true]) gates the
+    flat-tape backend, the knob the benchmarks use for their tape-off
+    control. *)
 
 val prepare_native :
   ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
-  ?parallel:B.Exec.par_strategy ->
+  ?target:B.Target.t ->
   ?tape:bool ->
   fn:Ir.fn ->
   params:(string * int) list ->
@@ -78,7 +80,7 @@ val prepare_native :
     compile once and time [B.Exec.run] repeatedly. *)
 
 val run_native :
-  ?parallel:B.Exec.par_strategy ->
+  ?target:B.Target.t ->
   ?tape:bool ->
   fn:Ir.fn ->
   params:(string * int) list ->

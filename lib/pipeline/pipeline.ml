@@ -86,6 +86,7 @@ type cache_status = Hit | Miss | Bypass
 type trace = {
   t_fn : string;
   t_cache : cache_status;
+  t_target : string;  (** resolved {!Tiramisu_backends.Target.to_key_string} *)
   t_total_ms : float;
   t_passes : pass_trace list;  (** in execution order *)
 }
@@ -103,6 +104,7 @@ type tracer = {
   tr_fn : string;
   tr_start : float;
   mutable tr_cache : cache_status;
+  mutable tr_target : string;  (* resolved target key, "" until known *)
   mutable tr_passes : pass_trace list;  (* reverse execution order *)
   tr_probe : probe option;
   tr_on_after : (string -> L.stmt -> unit) option;
@@ -110,10 +112,10 @@ type tracer = {
 
 let make_tracer ?probe ?on_after ?(name = "<stmt>") () =
   { tr_fn = name; tr_start = B.Clock.now_ms (); tr_cache = Bypass;
-    tr_passes = []; tr_probe = probe; tr_on_after = on_after }
+    tr_target = ""; tr_passes = []; tr_probe = probe; tr_on_after = on_after }
 
 let trace_of tr =
-  { t_fn = tr.tr_fn; t_cache = tr.tr_cache;
+  { t_fn = tr.tr_fn; t_cache = tr.tr_cache; t_target = tr.tr_target;
     t_total_ms = B.Clock.now_ms () -. tr.tr_start;
     t_passes = List.rev tr.tr_passes }
 
@@ -223,7 +225,14 @@ let front_pass ?tracer ~name ~context f x =
 (* ---------- the staged path ---------- *)
 
 type knobs = {
-  parallel : B.Exec.par_strategy;
+  target : B.Target.t;
+      (** which backend this compilation is for (see
+          {!Tiramisu_backends.Target}): the CPU strategy/pool schedule,
+          the GPU simulator's grid config, or the distributed rank count.
+          The target's capability flags gate the parallel planner
+          ([pool_schedulable]) and the tape ([tape_claimable]), and its
+          key string participates in the compile-cache and service-store
+          keys. *)
   specialize : bool;
   narrow : bool;
   plan : [ `Auto | `Off | `Force ];
@@ -231,20 +240,19 @@ type knobs = {
           parallelism and work threshold, [`Force] fuses the maximal
           rectangular prefix unconditionally (machine-independent, for
           differential testing), [`Off] skips the pass (the executor's own
-          demotion heuristic then applies). *)
-  sched : B.Exec.schedule;
-      (** pool schedule for parallel loops (static ranges vs dynamic
-          chunking vs per-loop automatic choice). *)
+          demotion heuristic then applies).  Only runs when the target is
+          pool-schedulable. *)
   tape : bool;
       (** flat-tape backend: rectangular nests compile to register-file
           bytecode (see {!Tiramisu_backends.Tape}), with the closure path
           as the checked fallback.  Also steers the parallel planner away
-          from coalescing nests the tape would claim. *)
+          from coalescing nests the tape would claim.  Effective only when
+          the target is tape-claimable. *)
 }
 
 let default_knobs =
-  { parallel = `Pool; specialize = true; narrow = true; plan = `Auto;
-    sched = `Auto; tape = true }
+  { target = B.Target.default; specialize = true; narrow = true;
+    plan = `Auto; tape = true }
 
 (** Layer IV → loop IR, as three traced passes: [lower] (scheduled-domain
     AST generation), [legalize] (vector/unroll legality rewrites, the one
@@ -282,7 +290,7 @@ let prepare ?tracer ?(knobs = default_knobs) ~params (s : L.stmt) =
     already narrowed to concrete integers, and only under the [`Pool]
     strategy.  Returns the rewritten statement and the planner's report. *)
 let plan_pass ?tracer ~knobs ~params (s : L.stmt) =
-  if knobs.parallel <> `Pool || knobs.plan = `Off then
+  if (not (B.Target.pool_schedulable knobs.target)) || knobs.plan = `Off then
     (s, Plan.empty_report)
   else begin
     let report = ref Plan.empty_report in
@@ -325,9 +333,10 @@ let compile_stage ?tracer ?(knobs = default_knobs) ~params ~buffers
   (* The tape claim itself happens inside [Exec.compile_prepared]; this
      named identity pass exists for observability — its note lists every
      nest the tape backend will claim ([--trace-passes]), and its dump
-     hook ([--dump-after=tape-compile]) is where the disassembler binds. *)
+     hook ([--dump-after=tape-compile]) is where the disassembler binds.
+     Targets the tape cannot claim on skip the pass entirely. *)
   let s =
-    if not knobs.tape then s
+    if not (knobs.tape && B.Target.tape_claimable knobs.target) then s
     else
       stmt_pass ?tracer ~name:"tape-compile" ~context:"statement"
         ~note:(fun () ->
@@ -339,12 +348,17 @@ let compile_stage ?tracer ?(knobs = default_knobs) ~params ~buffers
   (* When the planner ran it already made every serialize/keep decision, so
      the executor's own demotion heuristic is switched off — a loop is
      never profitability-tested twice. *)
-  let demote = knobs.parallel <> `Pool || knobs.plan = `Off in
-  let do_compile s =
-    B.Exec.compile_prepared ~parallel:knobs.parallel
-      ~specialize:knobs.specialize ~sched:knobs.sched ~demote
-      ~tape:knobs.tape ~params ~buffers s
+  let demote =
+    (not (B.Target.pool_schedulable knobs.target)) || knobs.plan = `Off
   in
+  let do_compile s =
+    B.Exec.compile_prepared ~target:knobs.target
+      ~specialize:knobs.specialize ~demote ~tape:knobs.tape ~params ~buffers
+      s
+  in
+  (match tracer with
+  | Some tr -> tr.tr_target <- B.Target.to_key_string knobs.target
+  | None -> ());
   match tracer with
   | None -> guard ~stage:"compile" ~context:"statement" do_compile s
   | Some tr ->
@@ -397,11 +411,13 @@ type artifact = {
 type ckey = {
   k_hash : int;
   k_params : (string * int) list;  (* sorted by name *)
-  k_parallel : B.Exec.par_strategy;
+  k_target : string;
+    (* {!B.Target.to_key_string}: artifacts for different execution
+       targets never alias — the same program compiled for [Cpu] and
+       [Gpu_sim] is two cache entries and two store artifacts *)
   k_specialize : bool;
   k_narrow : bool;
   k_plan : [ `Auto | `Off | `Force ];
-  k_sched : B.Exec.schedule;
   k_tape : bool;
   k_tapegen : int;
     (* {!Tape_gen.version}: a cached artifact compiled by an older tape
@@ -559,8 +575,9 @@ let structural_hash_memo s =
 let make_key ~knobs ~params ~extents hash =
   { k_hash = hash;
     k_params = List.sort (fun (a, _) (b, _) -> compare a b) params;
-    k_parallel = knobs.parallel; k_specialize = knobs.specialize;
-    k_narrow = knobs.narrow; k_plan = knobs.plan; k_sched = knobs.sched;
+    k_target = B.Target.to_key_string knobs.target;
+    k_specialize = knobs.specialize;
+    k_narrow = knobs.narrow; k_plan = knobs.plan;
     k_tape = knobs.tape; k_tapegen = Tape_gen.version;
     k_pool =
       ( B.Pool.num_workers (), B.Pool.min_work (),
@@ -639,6 +656,7 @@ let build_stmt ?tracer ?(knobs = default_knobs) ~params ~extents ~inputs
   let hash = structural_hash_memo s in
   (match tracer with
    | Some tr ->
+       tr.tr_target <- B.Target.to_key_string knobs.target;
        record tr
          { p_name = "hash"; p_ms = B.Clock.now_ms () -. t0;
            p_before = None; p_after = None; p_verify = Skipped;
@@ -765,7 +783,7 @@ let lower_for_build ?tracer ?(knobs = default_knobs) fn
     (k : Lower.t -> 'a) : 'a =
   let context = "function " ^ fn.Ir.fn_name in
   let widen () =
-    if knobs.parallel = `Pool && knobs.plan <> `Off then begin
+    if B.Target.pool_schedulable knobs.target && knobs.plan <> `Off then begin
       let t0 = B.Clock.now_ms () in
       let widened, undo =
         guard ~stage:"widen-parallel" ~context Deps.widen_parallel fn
@@ -825,10 +843,11 @@ let json_of_pass p =
 
 let json_of_trace t =
   Printf.sprintf
-    "  { \"fn\": %S, \"cache\": \"%s\", \"total_ms\": %.4f,\n    \"passes\": [\n%s\n    ] }"
+    "  { \"fn\": %S, \"cache\": \"%s\", \"target\": %S, \"total_ms\": \
+     %.4f,\n    \"passes\": [\n%s\n    ] }"
     t.t_fn
     (string_of_cache_status t.t_cache)
-    t.t_total_ms
+    t.t_target t.t_total_ms
     (String.concat ",\n" (List.map json_of_pass t.t_passes))
 
 let write_traces path traces =
@@ -839,7 +858,8 @@ let write_traces path traces =
   close_out oc
 
 let print_trace ppf t =
-  Fmt.pf ppf "%s: cache %s, %.3f ms total@." t.t_fn
+  Fmt.pf ppf "%s: target %s, cache %s, %.3f ms total@." t.t_fn
+    (if t.t_target = "" then "<unresolved>" else t.t_target)
     (string_of_cache_status t.t_cache)
     t.t_total_ms;
   List.iter

@@ -114,8 +114,9 @@ let mem_put_locked t key payload =
    passes.  Runs on a worker domain, outside the server mutex. *)
 let produce t (job : job) : (source * Store.payload) =
   let req = job.j_req in
+  let target = B.Target.to_key_string req.rq_knobs.P.target in
   Limits.check_deadline ();
-  match Store.get t.sv_store ~key:job.j_key ~src:req.rq_stmt with
+  match Store.get t.sv_store ~key:job.j_key ~src:req.rq_stmt ~target with
   | Store.Hit payload -> (`Disk, payload)
   | Store.Miss | Store.Quarantined _ ->
       (* a quarantined file is a miss that also moved the corpse aside;
@@ -128,7 +129,7 @@ let produce t (job : job) : (source * Store.payload) =
       let payload =
         { Store.p_src = req.rq_stmt; p_stmt = prepared; p_plan = plan }
       in
-      Store.put t.sv_store ~key:job.j_key payload;
+      Store.put t.sv_store ~key:job.j_key ~target payload;
       (`Compiled, payload)
 
 let process t (job : job) =

@@ -13,17 +13,25 @@ type verdict =
   | Miss
   | Quarantined of string
 
-let format_version = 1
+(* v2 added [f_target] (the execution target the artifact was prepared
+   for): one store now holds CPU, GPU-sim and distributed artifacts
+   without aliasing.  Pre-refactor (v1) artifacts read as clean misses —
+   the format check runs first, so the old record shape is never
+   interpreted further. *)
+let format_version = 2
 
 (* What one artifact file holds (after the leading whole-payload digest).
    Pure data — Marshal with no flags, so a closure sneaking in is a loud
-   error at [put] time, never a poisoned file. *)
+   error at [put] time, never a poisoned file.  New fields go LAST: the
+   format check only needs field 0 to be readable when an old file is
+   viewed through the new record type. *)
 type persisted = {
   f_format : int;
   f_tapegen : int;
   f_key : string;
   f_prep_hash : int;  (* structural hash of [f_stmt], recomputed on load *)
   f_payload : payload;
+  f_target : string;  (* {!Tiramisu_backends.Target.to_key_string} *)
 }
 
 type t = {
@@ -77,11 +85,12 @@ let with_shard t key f =
 
 let digest_len = 16
 
-let put ?(tapegen = Tape_gen.version) t ~key payload =
+let put ?(tapegen = Tape_gen.version) t ~key ~target payload =
   check_key key;
   let record =
     { f_format = format_version; f_tapegen = tapegen; f_key = key;
-      f_prep_hash = L.structural_hash payload.p_stmt; f_payload = payload }
+      f_prep_hash = L.structural_hash payload.p_stmt; f_payload = payload;
+      f_target = target }
   in
   let body = Marshal.to_string record [] in
   let digest = Digest.string body in
@@ -103,7 +112,7 @@ let quarantine t key path reason =
   Atomic.incr t.st_quarantined;
   Quarantined reason
 
-let get t ~key ~src =
+let get t ~key ~src ~target =
   check_key key;
   with_shard t key (fun () ->
       let path = path_of_key t key in
@@ -128,9 +137,14 @@ let get t ~key ~src =
               match (Marshal.from_string body 0 : persisted) with
               | exception _ -> quarantine t key path "unmarshal failed"
               | r ->
+                  (* The format check MUST stay first: a pre-v2 file viewed
+                     through the current record type only has its leading
+                     fields — touching [f_target] on one is undefined. *)
                   if r.f_format <> format_version then Miss  (* stale format *)
                   else if r.f_tapegen <> Tape_gen.version then
                     Miss  (* compiled by another tape generator: stale *)
+                  else if not (String.equal r.f_target target) then
+                    Miss  (* prepared for a different execution target *)
                   else if not (String.equal r.f_key key) then
                     quarantine t key path "stored under a foreign key"
                   else if

@@ -55,13 +55,23 @@ val open_store : string -> t
 
 val root : t -> string
 
-val put : ?tapegen:int -> t -> key:string -> payload -> unit
+val put : ?tapegen:int -> t -> key:string -> target:string -> payload -> unit
 (** Persist an artifact under [key] (lower-case hex, as produced by
-    {!Tiramisu_pipeline.Pipeline.key_digest}).  [tapegen] overrides the
+    {!Tiramisu_pipeline.Pipeline.key_digest}), recording the execution
+    target it was prepared for ([target] is
+    {!Tiramisu_backends.Target.to_key_string}).  [tapegen] overrides the
     recorded generator version — exposed so tests can fabricate stale
     entries; real callers never pass it. *)
 
-val get : t -> key:string -> src:Tiramisu_codegen.Loop_ir.stmt -> verdict
+val get :
+  t ->
+  key:string ->
+  src:Tiramisu_codegen.Loop_ir.stmt ->
+  target:string ->
+  verdict
+(** An artifact recorded for a different [target] is a clean {!Miss} —
+    one store holds CPU, GPU-sim and distributed artifacts without
+    aliasing. *)
 
 val quarantined : t -> int
 (** Number of files this store instance moved to quarantine. *)

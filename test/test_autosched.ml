@@ -153,7 +153,7 @@ let predicted fn params =
    additive, and a scheduler hiccup spanning most of one candidate's
    window would poison its median and scramble the rank comparison. *)
 let measured fn params inputs =
-  let knobs = { P.default_knobs with P.parallel = `Seq } in
+  let knobs = { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () } in
   let art = P.build ~knobs ~fn ~params ~inputs () in
   B.Exec.run art.P.exec;
   let samples =

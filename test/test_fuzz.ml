@@ -307,8 +307,9 @@ let differential_stmt ?(strategies = [ `Seq ]) ~shapes ~fills stmt outs =
       List.iter
         (fun (spec, narrow) ->
           let c =
-            B.Exec.compile ~parallel:strategy ~specialize:spec ~narrow
-              ~params:[] ~buffers:(mk ()) stmt
+            B.Exec.compile
+              ~target:(B.Target.cpu ~parallel:strategy ())
+              ~specialize:spec ~narrow ~params:[] ~buffers:(mk ()) stmt
           in
           B.Exec.run c;
           List.iter
@@ -460,7 +461,9 @@ let exec_parallel_exceptions () =
         (fun (name, strategy) ->
           let out = B.Buffers.create "out" [| 10 |] in
           let c =
-            B.Exec.compile ~parallel:strategy ~params:[] ~buffers:[ out ] stmt
+            B.Exec.compile
+              ~target:(B.Target.cpu ~parallel:strategy ())
+              ~params:[] ~buffers:[ out ] stmt
           in
           match B.Exec.run c with
           | () -> Alcotest.failf "%s: expected Invalid_argument" name
@@ -487,7 +490,9 @@ let counters_per_compile () =
     [ B.Buffers.create "a" [| 4; 64 |]; B.Buffers.create "out" [| 4; 64 |] ]
   in
   let compile strategy =
-    B.Exec.compile ~parallel:strategy ~params:[] ~buffers:(mk ()) stmt
+    B.Exec.compile
+      ~target:(B.Target.cpu ~parallel:strategy ())
+      ~params:[] ~buffers:(mk ()) stmt
   in
   let c1 = compile `Pool and c2 = compile `Pool in
   Alcotest.(check int) "spec_count identical across recompiles"
@@ -500,8 +505,9 @@ let counters_per_compile () =
   Alcotest.(check int) "no pool fallbacks under Spawn" 0
     (B.Exec.pool_fallbacks (compile `Spawn));
   let c_off =
-    B.Exec.compile ~parallel:`Seq ~specialize:false ~params:[]
-      ~buffers:(mk ()) stmt
+    B.Exec.compile
+      ~target:(B.Target.cpu ~parallel:`Seq ())
+      ~specialize:false ~params:[] ~buffers:(mk ()) stmt
   in
   Alcotest.(check int) "specializer off means zero specialized loops" 0
     (B.Exec.spec_count c_off)

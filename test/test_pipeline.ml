@@ -130,7 +130,7 @@ let blur_inputs = [ ("img", img3) ]
 let build ?knobs () =
   Tiramisu_kernels.Runner.build_native
     ?tracer:None ~fn:(blur_fn ()) ~params:blur_params ~inputs:blur_inputs
-    ?parallel:(Option.map (fun k -> k.P.parallel) knobs)
+    ?target:(Option.map (fun k -> k.P.target) knobs)
     ()
 
 let cache_hit_bit_identical () =
@@ -186,8 +186,10 @@ let knob_change_misses () =
     ((build { P.default_knobs with P.narrow = false }).P.cache = P.Miss);
   Alcotest.(check bool) "specialize knob misses" true
     ((build { P.default_knobs with P.specialize = false }).P.cache = P.Miss);
-  Alcotest.(check bool) "parallel knob misses" true
-    ((build { P.default_knobs with P.parallel = `Seq }).P.cache = P.Miss);
+  Alcotest.(check bool) "target change misses" true
+    ((build
+        { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () })
+       .P.cache = P.Miss);
   (* every variant is now cached independently *)
   Alcotest.(check bool) "variant hits after warmup" true
     ((build { P.default_knobs with P.narrow = false }).P.cache = P.Hit);
@@ -213,7 +215,8 @@ let storm_extents = [ ("out", [| 8 |], L.Host) ]
 
 let storm_build c =
   P.build_stmt
-    ~knobs:{ P.default_knobs with P.parallel = `Seq }
+    ~knobs:
+      { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () }
     ~params:[] ~extents:storm_extents ~inputs:[] (storm_stmt c)
 
 (* An insert storm past [cache_cap] must evict exactly one entry per
@@ -258,7 +261,9 @@ let concurrent_hits_do_not_alias () =
         body =
           L.Store ("out", [ L.Var "i" ], L.Bin (L.Mul, L.Var "i", L.Int 3)) }
   in
-  let knobs = { P.default_knobs with P.parallel = `Seq } in
+  let knobs =
+    { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () }
+  in
   let build () =
     P.build_stmt ~knobs ~params:[]
       ~extents:[ ("out", [| 64 |], L.Host) ]

@@ -119,7 +119,8 @@ let differential ?(params = [ ("N", n); ("M", m) ])
       in
       let exec_bufs parallel =
         run_with (fun f ->
-            let c = Runner.run_native ~parallel ~fn:f ~params ~inputs () in
+            let target = B.Target.cpu ~parallel () in
+            let c = Runner.run_native ~target ~fn:f ~params ~inputs () in
             List.map (fun o -> (o, B.Exec.buffer c o)) outputs)
       in
       let seq_bufs = exec_bufs `Seq in
@@ -216,7 +217,11 @@ let run_ir stmt ~dims ~out parallel =
       B.Interp.run it stmt;
       b
   | (`Pool | `Seq | `Spawn) as p ->
-      let c = B.Exec.compile ~parallel:p ~params:[] ~buffers:[ b ] stmt in
+      let c =
+        B.Exec.compile
+          ~target:(B.Target.cpu ~parallel:p ())
+          ~params:[] ~buffers:[ b ] stmt
+      in
       B.Exec.run c;
       b
 
@@ -275,7 +280,11 @@ let ir_tests =
                 Store ("out", [ Bin (Add, Var "i", Int 1) ], Var "i") }
         in
         let b = B.Buffers.create "out" [| 16 |] in
-        let c = B.Exec.compile ~parallel:`Seq ~params:[] ~buffers:[ b ] stmt in
+        let c =
+          B.Exec.compile
+            ~target:(B.Target.cpu ~parallel:`Seq ())
+            ~params:[] ~buffers:[ b ] stmt
+        in
         match B.Exec.run c with
         | () -> Alcotest.fail "expected Invalid_argument"
         | exception Invalid_argument _ -> ());

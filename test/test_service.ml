@@ -31,7 +31,7 @@ let test_stmt c =
 let test_req ?deadline_s c =
   { S.rq_name = Printf.sprintf "t%d" c;
     rq_stmt = test_stmt c;
-    rq_knobs = { P.default_knobs with P.parallel = `Seq };
+    rq_knobs = { P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () };
     rq_params = [];
     rq_extents = [ ("out", [| 16 |], L.Host) ];
     rq_deadline_s = deadline_s }
@@ -52,17 +52,19 @@ let interp_out stmt =
 let payload_of c =
   let prepared, plan =
     P.prepare_and_plan
-      ~knobs:{ P.default_knobs with P.parallel = `Seq }
+      ~knobs:{ P.default_knobs with P.target = B.Target.cpu ~parallel:`Seq () }
       ~params:[] (test_stmt c)
   in
   { Store.p_src = test_stmt c; p_stmt = prepared; p_plan = plan }
+
+let seq_target = B.Target.to_key_string (B.Target.cpu ~parallel:`Seq ())
 
 let store_roundtrip () =
   let st = Store.open_store (fresh_root ()) in
   let key = S.key_of (test_req 1) in
   let payload = payload_of 1 in
-  Store.put st ~key payload;
-  (match Store.get st ~key ~src:(test_stmt 1) with
+  Store.put st ~key ~target:seq_target payload;
+  (match Store.get st ~key ~src:(test_stmt 1) ~target:seq_target with
   | Store.Hit p ->
       Alcotest.(check bool) "prepared statement survives the disk" true
         (p.Store.p_stmt = payload.Store.p_stmt)
@@ -70,9 +72,17 @@ let store_roundtrip () =
   | Store.Quarantined r -> Alcotest.fail ("roundtrip quarantined: " ^ r));
   (* same key, different source statement: the digest-collision guard
      must report a miss, never hand back someone else's artifact *)
-  (match Store.get st ~key ~src:(test_stmt 2) with
+  (match Store.get st ~key ~src:(test_stmt 2) ~target:seq_target with
   | Store.Miss -> ()
   | _ -> Alcotest.fail "collision guard failed to miss");
+  (* same key and source, different target string: a clean miss — one
+     store holds artifacts for several targets without aliasing *)
+  (match
+     Store.get st ~key ~src:(test_stmt 1)
+       ~target:(B.Target.to_key_string (B.Target.gpu_sim ()))
+   with
+  | Store.Miss -> ()
+  | _ -> Alcotest.fail "target guard failed to miss");
   Alcotest.(check int) "nothing quarantined" 0 (Store.quarantined st)
 
 (* Corrupt the artifact file via [mutate path], then check that the load
@@ -80,10 +90,10 @@ let store_roundtrip () =
 let corruption_case mutate =
   let st = Store.open_store (fresh_root ()) in
   let key = S.key_of (test_req 3) in
-  Store.put st ~key (payload_of 3);
+  Store.put st ~key ~target:seq_target (payload_of 3);
   let path = Store.path_of_key st key in
   mutate path;
-  (match Store.get st ~key ~src:(test_stmt 3) with
+  (match Store.get st ~key ~src:(test_stmt 3) ~target:seq_target with
   | Store.Quarantined _ -> ()
   | Store.Hit _ -> Alcotest.fail "corrupt file loaded as a hit"
   | Store.Miss -> Alcotest.fail "corrupt file reported a clean miss");
@@ -95,12 +105,12 @@ let corruption_case mutate =
        (Filename.concat
           (Filename.concat (Store.root st) "quarantine")
           (key ^ ".art")));
-  (match Store.get st ~key ~src:(test_stmt 3) with
+  (match Store.get st ~key ~src:(test_stmt 3) ~target:seq_target with
   | Store.Miss -> ()
   | _ -> Alcotest.fail "quarantined key should now miss");
   (* recompile repairs the key *)
-  Store.put st ~key (payload_of 3);
-  match Store.get st ~key ~src:(test_stmt 3) with
+  Store.put st ~key ~target:seq_target (payload_of 3);
+  match Store.get st ~key ~src:(test_stmt 3) ~target:seq_target with
   | Store.Hit _ -> ()
   | _ -> Alcotest.fail "re-put after quarantine should hit"
 
@@ -130,8 +140,9 @@ let store_bitflip () =
 let store_stale_tapegen () =
   let st = Store.open_store (fresh_root ()) in
   let key = S.key_of (test_req 4) in
-  Store.put ~tapegen:(Tape_gen.version + 1) st ~key (payload_of 4);
-  (match Store.get st ~key ~src:(test_stmt 4) with
+  Store.put ~tapegen:(Tape_gen.version + 1) st ~key ~target:seq_target
+    (payload_of 4);
+  (match Store.get st ~key ~src:(test_stmt 4) ~target:seq_target with
   | Store.Miss -> ()
   | Store.Hit _ -> Alcotest.fail "stale tape-generator artifact hit"
   | Store.Quarantined r ->
@@ -141,6 +152,46 @@ let store_stale_tapegen () =
     (Store.quarantined st);
   Alcotest.(check bool) "stale file left for the next put" true
     (Sys.file_exists (Store.path_of_key st key))
+
+(* A pre-refactor (v1) artifact must read as a clean miss — never a
+   quarantine (the file is valid, just old), never a hit.  Write one by
+   hand with the old record shape: same leading fields, no [f_target].
+   The loader checks [f_format] before anything else, so the narrower
+   block is never interpreted further. *)
+let store_v1_format_miss () =
+  let module V1 = struct
+    type v1_persisted = {
+      f_format : int;
+      f_tapegen : int;
+      f_key : string;
+      f_prep_hash : int;
+      f_payload : Store.payload;
+    }
+  end in
+  let st = Store.open_store (fresh_root ()) in
+  let key = S.key_of (test_req 5) in
+  let payload = payload_of 5 in
+  (* a real put first, to create the shard; then overwrite with v1 bytes *)
+  Store.put st ~key ~target:seq_target payload;
+  let record =
+    { V1.f_format = 1; f_tapegen = Tape_gen.version; f_key = key;
+      f_prep_hash = Tiramisu_codegen.Loop_ir.structural_hash
+          payload.Store.p_stmt;
+      f_payload = payload }
+  in
+  let body = Marshal.to_string record [] in
+  write_file (Store.path_of_key st key) (Digest.string body ^ body);
+  (match Store.get st ~key ~src:(test_stmt 5) ~target:seq_target with
+  | Store.Miss -> ()
+  | Store.Hit _ -> Alcotest.fail "v1 artifact served as a hit"
+  | Store.Quarantined r -> Alcotest.fail ("v1 artifact quarantined: " ^ r));
+  Alcotest.(check int) "v1 artifacts are not quarantined" 0
+    (Store.quarantined st);
+  (* the next put overwrites the stale file and the key hits again *)
+  Store.put st ~key ~target:seq_target payload;
+  match Store.get st ~key ~src:(test_stmt 5) ~target:seq_target with
+  | Store.Hit _ -> ()
+  | _ -> Alcotest.fail "re-put after a v1 miss should hit"
 
 (* ---------- the service ---------- *)
 
@@ -256,6 +307,45 @@ let service_deadline () =
       Alcotest.(check bool) "next request compiles normally" true
         (rs.S.rs_source = `Compiled))
 
+(* The same program compiled for Cpu and for Gpu_sim must produce two
+   distinct artifacts in one store: distinct keys, two compiles, two
+   files — and both execute to the interpreter's bits. *)
+let service_target_distinct () =
+  with_service ~workers:1 (fun sv ->
+      let req_cpu = test_req 50 in
+      let req_gpu =
+        { req_cpu with
+          S.rq_knobs = { P.default_knobs with P.target = B.Target.gpu_sim () }
+        }
+      in
+      Alcotest.(check bool) "targets key differently" true
+        (S.key_of req_cpu <> S.key_of req_gpu);
+      let rs_cpu = expect_done (S.submit sv req_cpu) in
+      let rs_gpu = expect_done (S.submit sv req_gpu) in
+      Alcotest.(check bool) "both cold submits compiled" true
+        (rs_cpu.S.rs_source = `Compiled && rs_gpu.S.rs_source = `Compiled);
+      Alcotest.(check int) "two compiles for two targets" 2
+        (S.stats sv).S.compiles;
+      Alcotest.(check bool) "two artifact files on disk" true
+        (Sys.file_exists (Store.path_of_key (S.store sv) rs_cpu.S.rs_key)
+        && Sys.file_exists (Store.path_of_key (S.store sv) rs_gpu.S.rs_key));
+      let run req rs =
+        let exec = S.instantiate req rs ~inputs:[] in
+        B.Exec.run exec;
+        Array.copy (B.Exec.buffer exec "out").B.Buffers.data
+      in
+      let want = interp_out (test_stmt 50) in
+      let check_out tag got =
+        Alcotest.(check int) (tag ^ " length") (Array.length want)
+          (Array.length got);
+        Array.iteri
+          (fun i v ->
+            Alcotest.(check (float 0.0)) (tag ^ " element") want.(i) v)
+          got
+      in
+      check_out "cpu" (run req_cpu rs_cpu);
+      check_out "gpu-sim" (run req_gpu rs_gpu))
+
 (* ---------- the cooperative deadline guard ---------- *)
 
 let limits_deadline () =
@@ -304,6 +394,8 @@ let () =
           Alcotest.test_case "bit flip quarantined" `Quick store_bitflip;
           Alcotest.test_case "stale tape-generator version misses cleanly"
             `Quick store_stale_tapegen;
+          Alcotest.test_case "pre-target (v1) artifact misses cleanly" `Quick
+            store_v1_format_miss;
         ] );
       ( "service",
         [
@@ -315,6 +407,8 @@ let () =
             service_bounded_admission;
           Alcotest.test_case "cooperative deadline fails the request" `Quick
             service_deadline;
+          Alcotest.test_case "Cpu and Gpu_sim artifacts coexist in one store"
+            `Quick service_target_distinct;
         ] );
       ( "limits",
         [ Alcotest.test_case "cooperative deadline guard" `Quick

@@ -34,7 +34,9 @@ let differential ?(strategy = `Seq) ?(params = []) ~shapes ~fills stmt outs =
   in
   let t = B.Interp.create ~params ~buffers:(mk ()) () in
   B.Interp.run t stmt;
-  let c = B.Exec.compile ~parallel:strategy ~params ~buffers:(mk ()) stmt in
+  let c = B.Exec.compile
+      ~target:(B.Target.cpu ~parallel:strategy ())
+      ~params ~buffers:(mk ()) stmt in
   B.Exec.run c;
   List.iter
     (fun o ->
@@ -198,7 +200,9 @@ let pool_demotion_disabled () =
             body = L.Store ("out", [ L.Var "i" ], L.Float 1.0) }
       in
       let out = B.Buffers.create "out" [| 4 |] in
-      let c = B.Exec.compile ~parallel:`Pool ~params:[] ~buffers:[ out ] stmt in
+      let c = B.Exec.compile
+          ~target:(B.Target.cpu ~parallel:`Pool ())
+          ~params:[] ~buffers:[ out ] stmt in
       Alcotest.(check int) "no fallback when disabled" 0
         (B.Exec.pool_fallbacks c))
 

@@ -33,7 +33,9 @@ let differential ?(strategy = `Seq) ?(tape = true) ?(params = []) ~shapes
   let t = B.Interp.create ~params ~buffers:(mk ()) () in
   B.Interp.run t stmt;
   let c =
-    B.Exec.compile ~parallel:strategy ~tape ~params ~buffers:(mk ()) stmt
+    B.Exec.compile
+      ~target:(B.Target.cpu ~parallel:strategy ())
+      ~tape ~params ~buffers:(mk ()) stmt
   in
   B.Exec.run c;
   List.iter
@@ -176,7 +178,9 @@ let fallback_parity () =
       None
     with Invalid_argument m -> Some m
   in
-  let c = B.Exec.compile ~parallel:`Seq ~params:[] ~buffers:(bufs ()) stmt in
+  let c = B.Exec.compile
+      ~target:(B.Target.cpu ~parallel:`Seq ())
+      ~params:[] ~buffers:(bufs ()) stmt in
   Alcotest.(check bool) "tape claimed" true (B.Exec.tape_count c = 1);
   let exec_err =
     try
@@ -279,7 +283,9 @@ let run_affine_case ?(strategy = `Seq) ((ei, ej, a, b, c) as case) =
   in
   let t = B.Interp.create ~buffers:(mk ()) () in
   B.Interp.run t stmt;
-  let cc = B.Exec.compile ~parallel:strategy ~params:[] ~buffers:(mk ()) stmt in
+  let cc = B.Exec.compile
+      ~target:(B.Target.cpu ~parallel:strategy ())
+      ~params:[] ~buffers:(mk ()) stmt in
   B.Exec.run cc;
   bits_equal (B.Interp.buffer t "out") (B.Exec.buffer cc "out")
   && B.Exec.tape_count cc = 1
@@ -323,7 +329,9 @@ let qcheck_degenerate_extents =
       in
       let t = B.Interp.create ~buffers:(mk ()) () in
       B.Interp.run t stmt;
-      let cc = B.Exec.compile ~parallel:`Seq ~params:[] ~buffers:(mk ()) stmt in
+      let cc = B.Exec.compile
+          ~target:(B.Target.cpu ~parallel:`Seq ())
+          ~params:[] ~buffers:(mk ()) stmt in
       B.Exec.run cc;
       bits_equal (B.Interp.buffer t "out") (B.Exec.buffer cc "out"))
 
