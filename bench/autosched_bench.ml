@@ -62,6 +62,7 @@ let config ~smoke =
           split_factors = [ 8 ];
           vec_widths = [ 4 ];
           unroll_factors = [ 2 ];
+          lane_widths = [ 1; 4 ];
         };
     }
   else
@@ -122,6 +123,7 @@ let json_of_row r =
       Printf.sprintf "    \"cache_hit_rate\": %.3f," hit_rate;
       Printf.sprintf "    \"verified\": %b," res.S.r_verified;
       Printf.sprintf "    \"tape\": %b," res.S.r_best_tape;
+      Printf.sprintf "    \"lanes\": %d," res.S.r_best_lanes;
       Printf.sprintf "    \"elapsed_ms\": %.1f," res.S.r_elapsed_ms;
       Printf.sprintf "    \"schedule\": %S," (S.literal res.S.r_best);
       Printf.sprintf "    \"trajectory\": [%s]" traj;

@@ -143,11 +143,14 @@ type row = {
   r_serialized : int;     (* Parallel subtrees the planner serialized *)
   r_static : int;         (* pool loops given the static schedule *)
   r_tape : int;           (* nests claimed by the flat-tape backend *)
+  r_tape_vec : int;       (* claimed nests bound lane-batched (vector) *)
+  r_lanes : int;          (* lane width the vector bindings ran at *)
   r_tape_instr : int;     (* total tape instructions across those nests *)
   r_tape_fb : int;        (* runtime corner-check fallbacks over the reps *)
   r_interp_ms : float;
   r_seq : stats;
   r_seq_notape : stats;          (* tape=off control, sequential *)
+  r_seq_nolanes : stats;         (* lanes=1 scalar-tape control, sequential *)
   r_spawn : stats;
   r_pool : stats;
   r_sweep : (int * stats) list;  (* pool stats at 1/2/4 workers *)
@@ -230,13 +233,13 @@ let trace_case case =
    surfaces any bounds failure before we start timing).  Returns the whole
    pipeline artifact so callers can read the planner report alongside the
    executor counters. *)
-let time_exec ?(tape = true) ~reps case strategy =
+let time_exec ?(tape = true) ?lanes ~reps case strategy =
   let fn = case.c_build () in
   case.c_sched fn;
   let art =
     Runner.build_native
       ~target:(B.Target.cpu ~parallel:strategy ())
-      ~tape ~fn ~params:case.c_params
+      ~tape ?lanes ~fn ~params:case.c_params
       ~inputs:case.c_inputs ()
   in
   let c = art.P.exec in
@@ -309,6 +312,7 @@ let bench_case ~reps case =
   in
   let a, seq = time_exec ~reps case `Seq in
   let _, seq_notape = time_exec ~tape:false ~reps case `Seq in
+  let _, seq_nolanes = time_exec ~lanes:1 ~reps case `Seq in
   let _, spawn = time_exec ~reps case `Spawn in
   let ap, pool = time_exec ~reps case `Pool in
   let sweep = sweep_workers ~reps case in
@@ -325,12 +329,15 @@ let bench_case ~reps case =
     r_serialized = plan.Plan.r_serialized;
     r_static = B.Exec.static_count ap.P.exec;
     r_tape = B.Exec.tape_count a.P.exec;
+    r_tape_vec = B.Exec.tape_vec_count a.P.exec;
+    r_lanes = B.Exec.tape_lanes a.P.exec;
     r_tape_instr = B.Exec.tape_instrs a.P.exec;
     (* read after the timing reps: accumulates every entry that fell back *)
     r_tape_fb = B.Exec.tape_fallbacks a.P.exec;
     r_interp_ms = interp_ms;
     r_seq = seq;
     r_seq_notape = seq_notape;
+    r_seq_nolanes = seq_nolanes;
     r_spawn = spawn;
     r_pool = pool;
     r_sweep = sweep;
@@ -365,9 +372,11 @@ let json_of_row ~reps r =
       "specialized": %d, "pool_fallbacks": %d,
       "coalesced": %d, "fused_levels": %d, "plan_serialized": %d, "static_sched": %d,
       "tape_compiled": %d, "tape_instr_count": %d, "tape_fallbacks": %d,
+      "vector_claimed": %d, "lane_width": %d,
       "interp_ms": %.4f,
       "exec_seq_ms": %.4f, "exec_seq_median_ms": %.4f, "exec_seq_min_ms": %.4f,
       "exec_seq_notape_median_ms": %.4f,
+      "exec_seq_scalar_tape_median_ms": %.4f,
       "exec_spawn_ms": %.4f, "exec_spawn_median_ms": %.4f, "exec_spawn_min_ms": %.4f,
       "exec_pool_ms": %.4f, "exec_pool_median_ms": %.4f, "exec_pool_min_ms": %.4f,
       "workers_sweep": [ %s ],
@@ -375,13 +384,15 @@ let json_of_row ~reps r =
       "scaling_efficiency": %.3f,
       "compile_cold_ms": %.4f, "cache_hit_ms": %.4f, "cache_speedup": %.1f,
       "speedup_exec_vs_interp": %.2f, "speedup_pool_vs_spawn": %.2f, "speedup_pool_vs_seq": %.2f,
-      "speedup_tape_vs_closure_seq": %.2f }|}
+      "speedup_tape_vs_closure_seq": %.2f,
+      "speedup_vector_vs_scalar_tape": %.2f }|}
     r.r_case.c_name r.r_case.c_size reps m.L.n_loops m.L.n_parallel
     m.L.n_nested_parallel m.L.max_depth m.L.n_specializable r.r_spec
     r.r_fallback r.r_coalesced r.r_fused_levels r.r_serialized r.r_static
     r.r_tape r.r_tape_instr r.r_tape_fb
+    r.r_tape_vec r.r_lanes
     r.r_interp_ms r.r_seq.s_mean r.r_seq.s_median r.r_seq.s_min
-    r.r_seq_notape.s_median
+    r.r_seq_notape.s_median r.r_seq_nolanes.s_median
     r.r_spawn.s_mean r.r_spawn.s_median r.r_spawn.s_min r.r_pool.s_mean
     r.r_pool.s_median r.r_pool.s_min sweep_json sweep_notape_json scaling
     r.r_cold_ms r.r_hit_ms
@@ -390,6 +401,7 @@ let json_of_row ~reps r =
     (r.r_spawn.s_median /. r.r_pool.s_median)
     (r.r_seq.s_median /. r.r_pool.s_median)
     (r.r_seq_notape.s_median /. r.r_seq.s_median)
+    (r.r_seq_nolanes.s_median /. r.r_seq.s_median)
 
 let run ?(smoke = false) () =
   let reps = if smoke then 1 else 15 in
@@ -401,18 +413,18 @@ let run ?(smoke = false) () =
      pool_min_work=%d%s)\n"
     w assumed reps min_work
     (if smoke then ", smoke" else "");
-  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %5s %5s %5s %12s %10s\n"
+  Common.pf "%-22s %-16s %10s %10s %10s %10s %5s %5s %5s %5s %5s %12s %10s\n"
     "kernel" "size" "interp ms" "seq ms" "spawn ms" "pool ms" "spec" "coal"
-    "stat" "tape" "pool/spawn" "hit ms";
+    "stat" "tape" "vec" "pool/spawn" "hit ms";
   let rows = List.map (bench_case ~reps) (cases ~smoke) in
   List.iter
     (fun r ->
       Common.pf
-        "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %5d %5d %5d %11.2fx \
-         %10.4f\n"
+        "%-22s %-16s %10.3f %10.3f %10.3f %10.3f %5d %5d %5d %5d %5d \
+         %11.2fx %10.4f\n"
         r.r_case.c_name r.r_case.c_size r.r_interp_ms r.r_seq.s_median
         r.r_spawn.s_median r.r_pool.s_median r.r_spec r.r_coalesced r.r_static
-        r.r_tape
+        r.r_tape r.r_tape_vec
         (r.r_spawn.s_median /. r.r_pool.s_median)
         r.r_hit_ms;
       Common.pf "%-22s   workers sweep:%s\n" ""
@@ -514,4 +526,38 @@ let smoke_gate () =
         Common.pf "bench-smoke FAILED: pool slower than 1.1x seq on: %s\n"
           (String.concat ", " (List.map (fun (n, _, _) -> n) fs));
         exit 1
+  end;
+  (* The vector sub-gate compares the lane-batched tape against the
+     forced-scalar tape on purely sequential timings, so it is honest on
+     a single-CPU box — no regime split.  The accumulator kernel (sgemm)
+     stays scalar by design, hence >= 2 of 3, not 3 of 3. *)
+  let vec_rows =
+    List.map
+      (fun case ->
+        let a, vec = time_exec ~reps case `Seq in
+        let _, scalar = time_exec ~lanes:1 ~reps case `Seq in
+        Common.pf
+          "bench-smoke %-22s scalar-tape %8.3f ms   vector %8.3f ms   \
+           (%.2fx, %d nests @ %d lanes)\n"
+          case.c_name scalar.s_min vec.s_min
+          (scalar.s_min /. vec.s_min)
+          (B.Exec.tape_vec_count a.P.exec)
+          (B.Exec.tape_lanes a.P.exec);
+        (case.c_name, scalar, vec))
+      (cases ~smoke:true)
+  in
+  let vec_winners =
+    List.filter
+      (fun (_, scalar, vec) -> scalar.s_min >= 1.2 *. vec.s_min)
+      vec_rows
+  in
+  if List.length vec_winners >= 2 then
+    Common.pf "bench-smoke: vector tape >= 1.2x scalar tape on %d/%d kernels\n"
+      (List.length vec_winners) (List.length vec_rows)
+  else begin
+    Common.pf
+      "bench-smoke FAILED: vector tape >= 1.2x scalar tape on only %d/%d \
+       kernels (need >= 2)\n"
+      (List.length vec_winners) (List.length vec_rows);
+    exit 1
   end

@@ -278,7 +278,8 @@ let cli_tracer ?(target = B.Target.default) ~trace ~dump_after ~name () =
                     (fun p ->
                       Printf.printf "=== after %s: %s ===\n%s" pass
                         (Tiramisu_codegen.Tape_gen.summary p)
-                        (Tiramisu_codegen.Tape_gen.disassemble p))
+                        (Tiramisu_codegen.Tape_gen.disassemble
+                           ~lanes:P.default_knobs.P.lanes p))
                     progs
             else
               Printf.printf "=== after %s ===\n%s\n" pass

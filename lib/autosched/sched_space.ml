@@ -203,6 +203,10 @@ type menu = {
   split_factors : int list;
   vec_widths : int list;
   unroll_factors : int list;
+  lane_widths : int list;
+      (* tape lane widths the search probes the incumbent with — a
+         backend knob, not a schedule action, so [enumerate] never
+         consumes it *)
 }
 
 let default_menu =
@@ -211,6 +215,7 @@ let default_menu =
     split_factors = [ 4; 8; 16 ];
     vec_widths = [ 4; 8 ];
     unroll_factors = [ 2; 4 ];
+    lane_widths = [ 1; 4; 16 ];
   }
 
 (* All single actions applicable to the tracked state, in a deterministic

@@ -52,6 +52,10 @@ type menu = {
   split_factors : int list;
   vec_widths : int list;
   unroll_factors : int list;
+  lane_widths : int list;
+      (** tape lane widths the beam search probes the incumbent with
+          (against the default width).  A backend knob rather than a
+          schedule action: {!enumerate} never consumes it. *)
 }
 
 val default_menu : menu

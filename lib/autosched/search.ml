@@ -56,6 +56,10 @@ type config = {
           compile cache (their artifacts never alias the CPU ones: the
           target is part of the cache key). *)
   try_notape : bool;  (** also measure the incumbent with the tape off *)
+  try_lanes : bool;
+      (** also measure the incumbent at every [menu.lane_widths] width —
+          the vector tape's payoff is shape-dependent (lane-safe stores,
+          epilogue cost), so the knob is searched, not assumed *)
   timeout_s : int;
       (** per-candidate alarm on vetting and measuring: deeply stacked
           schedules can blow up the Omega-test elimination (exponential
@@ -77,6 +81,7 @@ let default_config =
     templates = true;
     target = B.Target.cpu ~parallel:`Seq ();
     try_notape = true;
+    try_lanes = true;
     timeout_s = 5;
     verbose = false;
   }
@@ -87,6 +92,8 @@ type result = {
   r_best : S.action list;
   r_best_ms : float;
   r_best_tape : bool;
+  r_best_lanes : int;  (** tape lane width of the winner (the default, or
+                           a [menu.lane_widths] probe that beat it) *)
   r_default_ms : float;
   r_enumerated : int;
   r_vetted : int;  (** survived the oracle and lowering *)
@@ -250,16 +257,17 @@ let templates menu entries =
 
 (* ---------- measurement ---------- *)
 
-let knobs_of cfg ~tape =
-  { P.default_knobs with P.target = cfg.target; P.tape = tape }
+let knobs_of cfg ~tape ~lanes =
+  { P.default_knobs with P.target = cfg.target; P.tape = tape;
+    P.lanes = lanes }
 
 (* Median wall-clock of [reps] runs with early cutoff against the
    incumbent: once the best rep so far cannot beat [cutoff], stop — the
    candidate has lost, and its partial minimum is score enough. *)
-let measure cfg problem ~tape ~cutoff actions =
+let measure cfg problem ~tape ~lanes ~cutoff actions =
   let fn = scheduled problem actions in
   let art =
-    P.build ~knobs:(knobs_of cfg ~tape) ~fn ~params:problem.params
+    P.build ~knobs:(knobs_of cfg ~tape ~lanes) ~fn ~params:problem.params
       ~inputs:problem.inputs ()
   in
   let c = art.P.exec in
@@ -293,11 +301,11 @@ let measure cfg problem ~tape ~cutoff actions =
    the cache (restoring buffers to their freshly-filled snapshot), run the
    executor once, and compare every output buffer with an interpreter run
    of the same scheduled IR. *)
-let verify cfg problem ~tape actions =
+let verify cfg problem ~tape ~lanes actions =
   match
     let fn = scheduled problem actions in
     let art =
-      P.build ~knobs:(knobs_of cfg ~tape) ~fn ~params:problem.params
+      P.build ~knobs:(knobs_of cfg ~tape ~lanes) ~fn ~params:problem.params
         ~inputs:problem.inputs ()
     in
     B.Exec.run art.P.exec;
@@ -371,7 +379,8 @@ let run ?(config = default_config) (problem : problem) : result =
   let default_ms, _ =
     match
       Tiramisu_support.Limits.with_time_limit (8 * cfg.timeout_s) (fun () ->
-          measure cfg problem ~tape:true ~cutoff:infinity [])
+          measure cfg problem ~tape:true ~lanes:P.default_knobs.P.lanes
+            ~cutoff:infinity [])
     with
     | Some r -> r
     | None ->
@@ -382,12 +391,15 @@ let run ?(config = default_config) (problem : problem) : result =
   incr measured;
   Hashtbl.replace seen (literal []) ();
   let best = ref [] and best_ms = ref default_ms and best_tape = ref true in
+  let best_lanes = ref P.default_knobs.P.lanes in
   trajectory := { tp_candidates = !measured; tp_best_ms = !best_ms } :: [];
   say "autosched %s: default %.3f ms" problem.name default_ms;
-  let consider ~tape actions =
+  let consider ~tape ?(lanes = P.default_knobs.P.lanes) actions =
     if not (over_budget ()) then begin
       let cutoff = cfg.cutoff_ratio *. !best_ms in
-      match limited (fun () -> measure cfg problem ~tape ~cutoff actions) with
+      match
+        limited (fun () -> measure cfg problem ~tape ~lanes ~cutoff actions)
+      with
       | exception _ -> ()
       | None -> ()
       | Some (ms, cut) ->
@@ -397,8 +409,10 @@ let run ?(config = default_config) (problem : problem) : result =
             best := actions;
             best_ms := ms;
             best_tape := tape;
-            say "autosched %s: new best %.3f ms (%d actions, tape=%b)"
-              problem.name ms (List.length actions) tape
+            best_lanes := lanes;
+            say "autosched %s: new best %.3f ms (%d actions, tape=%b, \
+                 lanes=%d)"
+              problem.name ms (List.length actions) tape lanes
           end;
           trajectory :=
             { tp_candidates = !measured; tp_best_ms = !best_ms } :: !trajectory
@@ -476,16 +490,27 @@ let run ?(config = default_config) (problem : problem) : result =
          top
      done
    with Exit -> ());
-  (* the tape knob: challenge the incumbent with the tape off *)
+  (* the backend knobs: challenge the incumbent at the menu's other lane
+     widths, then with the tape off entirely — same pattern for both, the
+     schedule stays the winner's and only the knob moves *)
+  if cfg.try_lanes then
+    List.iter
+      (fun w ->
+        if w <> !best_lanes && not (over_budget ()) then
+          consider ~tape:true ~lanes:w !best)
+      cfg.menu.S.lane_widths;
   if cfg.try_notape && not (over_budget ()) then consider ~tape:false !best;
   (* the verify rebuild goes through the cache too — a hit, since the
      winner was measured moments ago — so snapshot the stats after it *)
-  let verified = verify cfg problem ~tape:!best_tape !best in
+  let verified =
+    verify cfg problem ~tape:!best_tape ~lanes:!best_lanes !best
+  in
   let stats1 = P.cache_stats () in
   {
     r_best = !best;
     r_best_ms = !best_ms;
     r_best_tape = !best_tape;
+    r_best_lanes = !best_lanes;
     r_default_ms = default_ms;
     r_enumerated = !enumerated;
     r_vetted = !vetted;
@@ -507,10 +532,10 @@ let pp_result ppf (r : result) =
      candidates: %d enumerated, %d vetted, %d illegal, %d errored, %d \
      dropped@\n\
      measured: %d (%d cutoffs), cache %d hits / %d misses@\n\
-     verified: %b, tape: %b@\n\
+     verified: %b, tape: %b, lanes: %d@\n\
      schedule:@\n%s@\n"
     r.r_best_ms r.r_default_ms
     (r.r_default_ms /. r.r_best_ms)
     r.r_elapsed_ms r.r_enumerated r.r_vetted r.r_illegal r.r_errored
     r.r_dropped r.r_measured r.r_cutoffs r.r_cache_hits r.r_cache_misses
-    r.r_verified r.r_best_tape (literal r.r_best)
+    r.r_verified r.r_best_tape r.r_best_lanes (literal r.r_best)

@@ -32,6 +32,9 @@ type config = {
           and distributed candidates share the compile cache without
           aliasing CPU artifacts *)
   try_notape : bool;  (** also challenge the incumbent with the tape off *)
+  try_lanes : bool;
+      (** also challenge the incumbent at every [menu.lane_widths] tape
+          lane width (the vector tape's payoff is shape-dependent) *)
   timeout_s : int;
       (** per-candidate alarm on vetting and measuring (Omega-test
           blowup guard, as in the fuzz campaign); timed-out candidates
@@ -47,6 +50,9 @@ type result = {
   r_best : Sched_space.action list;
   r_best_ms : float;
   r_best_tape : bool;
+  r_best_lanes : int;
+      (** tape lane width of the winner: the default, or the
+          [menu.lane_widths] probe that beat it *)
   r_default_ms : float;  (** the measured empty schedule (the incumbent's
                              floor: searched <= default by construction) *)
   r_enumerated : int;

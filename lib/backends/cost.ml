@@ -67,9 +67,14 @@ type state = {
       (* buffers stored within the current innermost loop body: loads of
          them hit the cache (producer-consumer fusion locality) *)
   tape : bool;     (* model the flat-tape backend (DESIGN.md §11) *)
+  lanes : int;     (* vector-tape lane width (<= 1: scalar tape) *)
   mutable in_tape : bool;
       (* inside a nest Tape_gen would claim: loop control runs as
          strength-reduced bytecode cursors, not closure dispatch *)
+  mutable tape_vec : string option;
+      (* innermost variable of the claimed nest when the generator marked
+         it lane-safe: that loop runs width-[lanes] batches, amortizing
+         the per-instruction dispatch *)
 }
 
 let rec eval st (e : L.expr) : int =
@@ -403,11 +408,19 @@ let rec walk st (s : L.stmt) : cost =
       if extent = 0 then zero
       else begin
         let saved_tape = st.in_tape in
-        if
-          st.tape && not st.in_tape
-          && Tiramisu_codegen.Tape_gen.claimable
+        let saved_vec = st.tape_vec in
+        (if st.tape && not st.in_tape then
+           match
+             Tiramisu_codegen.Tape_gen.compile_nest
                (L.For { var; lo; hi; tag; body })
-        then st.in_tape <- true;
+           with
+           | Some p ->
+               st.in_tape <- true;
+               if st.lanes > 1 && p.Tiramisu_codegen.Tape_gen.p_vec_ok then
+                 st.tape_vec <-
+                   (let lvls = p.Tiramisu_codegen.Tape_gen.p_levels in
+                    Some lvls.(Array.length lvls - 1).Tiramisu_codegen.Tape_gen.lv_var)
+           | None -> ());
         let mid = lo_v + ((extent - 1) / 2) in
         let saved = Hashtbl.find_opt st.vars var in
         Hashtbl.replace st.vars var mid;
@@ -437,7 +450,13 @@ let rec walk st (s : L.stmt) : cost =
         | _ -> ());
         let c = walk st body in
         let in_tape = st.in_tape in
+        let batched =
+          in_tape
+          && (match st.tape_vec with Some v -> v = var | None -> false)
+          && (match tag with L.Vectorized _ -> false | _ -> true)
+        in
         st.in_tape <- saved_tape;
+        st.tape_vec <- saved_vec;
         st.stack <- List.tl st.stack;
         st.in_gpu <- saved_gpu;
         st.block_threads <- saved_bt;
@@ -446,6 +465,21 @@ let rec walk st (s : L.stmt) : cost =
         | Some x -> Hashtbl.replace st.vars var x
         | None -> Hashtbl.remove st.vars var);
         let e = float_of_int extent in
+        (* Lane batching of the claimed nest's innermost loop: one
+           bytecode dispatch covers [lanes] elements and unit-stride
+           loads/stores become blits, so the per-element compute/dispatch
+           cost amortizes the same way a [Vectorized] driver's does. *)
+        let c =
+          if not batched then c
+          else begin
+            let f = float_of_int (min st.lanes st.m.M.vec_width) in
+            {
+              c with
+              c_compute = c.c_compute /. f;
+              c_memory = c.c_memory *. (0.25 +. (0.75 /. f));
+            }
+          end
+        in
         match tag with
         | L.Seq ->
             (* Specializable innermost loops (straight-line affine stores)
@@ -502,7 +536,8 @@ let rec walk st (s : L.stmt) : cost =
             scale e c ++ { zero with c_overhead = launch }
       end
 
-let estimate ?(machine = M.default) ?(tape = false) ~params ~buffers stmt =
+let estimate ?(machine = M.default) ?(tape = false) ?(lanes = 8) ~params
+    ~buffers stmt =
   let st =
     {
       m = machine;
@@ -514,7 +549,9 @@ let estimate ?(machine = M.default) ?(tape = false) ~params ~buffers stmt =
       block_threads = 0;
       local_stores = [];
       tape;
+      lanes;
       in_tape = false;
+      tape_vec = None;
     }
   in
   List.iter (fun (k, v) -> Hashtbl.replace st.vars k v) params;

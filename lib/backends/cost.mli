@@ -26,6 +26,7 @@ type report = {
 val estimate :
   ?machine:Machine.t ->
   ?tape:bool ->
+  ?lanes:int ->
   params:(string * int) list ->
   buffers:(string * int array * Tiramisu_codegen.Loop_ir.mem_space) list ->
   Tiramisu_codegen.Loop_ir.stmt ->
@@ -36,6 +37,11 @@ val estimate :
     instruction-tape backend: loop control inside a nest [Tape_gen] would
     claim is charged at bytecode-cursor cost, which is what lets the
     autoscheduler's prior rank tape-friendly schedules above
-    structurally-equal ones the tape cannot claim. *)
+    structurally-equal ones the tape cannot claim.  [lanes] (default [8],
+    matching {!Exec.compile}) is the lane width the tape binds claimed
+    nests with: when the generator marks a claimed nest lane-safe, its
+    innermost loop is discounted like a [Vectorized] loop (compute
+    divided by the effective width, memory partially amortized) so the
+    prior tracks the vector tier's measured speedups. *)
 
 val pp_report : Format.formatter -> report -> unit

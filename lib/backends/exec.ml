@@ -50,6 +50,8 @@ type compiled = {
   c_fallback : int;              (* Parallel loops demoted by the work bound *)
   c_static : int;                (* pool loops given the static schedule *)
   c_tape : int;                  (* nests claimed by the tape backend *)
+  c_tape_vec : int;              (* claimed nests bound with lane batching *)
+  c_tape_lanes : int;            (* requested lane width (0 = scalar tape) *)
   c_tape_instr : int;            (* total tape instructions across nests *)
   c_tape_fb : int Atomic.t;      (* runtime corner-check fallbacks (shared) *)
   c_msgs : int Atomic.t;         (* messages sent at run time (shared) *)
@@ -84,8 +86,10 @@ type ctx = {
   n_static : int Atomic.t;           (* pool loops compiled static *)
   (* the flat-tape backend (see {!Tape}) *)
   tape_enabled : bool;
+  tape_lanes : int;                  (* vector lane width (<= 1: scalar) *)
   mutable in_tape : int;             (* compiling inside a claimed nest *)
   n_tape : int Atomic.t;             (* nests claimed by the tape *)
+  n_tape_vec : int Atomic.t;         (* claimed nests bound with lanes *)
   n_tape_instr : int Atomic.t;       (* total tape instructions *)
   n_tape_fb : int Atomic.t;          (* runtime corner-check fallbacks *)
   n_msgs : int Atomic.t;             (* runtime: messages sent *)
@@ -884,7 +888,7 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
           | None -> None
           | Some prog -> (
               match
-                Tape.bind
+                Tape.bind ~lanes:ctx.tape_lanes
                   ~buf:(Hashtbl.find_opt ctx.cbufs)
                   ~slot:(slot ctx) prog
               with
@@ -892,8 +896,9 @@ let rec compile_stmt ctx (s : L.stmt) : int array -> unit =
               | Some bt -> Some (prog, bt))
       in
       (match tape_rt with
-      | Some (prog, _) ->
+      | Some (prog, bt) ->
           Atomic.incr ctx.n_tape;
+          if Tape.vectorized bt then Atomic.incr ctx.n_tape_vec;
           ignore
             (Atomic.fetch_and_add ctx.n_tape_instr (Tape_gen.instr_count prog))
       | None -> ());
@@ -1316,7 +1321,7 @@ let prepare ?(narrow = true) ~params stmt =
    may claim nests ([Target.tape_claimable]), and — for [Gpu_sim] — the
    static thread-block validation. *)
 let compile_prepared ?(target = Target.default) ?(specialize = true)
-    ?(demote = true) ?(tape = true) ~params ~buffers stmt =
+    ?(demote = true) ?(tape = true) ?(lanes = 8) ~params ~buffers stmt =
   let parallel = Target.par_strategy target in
   let sched = Target.sched target in
   let tape = tape && Target.tape_claimable target in
@@ -1346,8 +1351,10 @@ let compile_prepared ?(target = Target.default) ?(specialize = true)
       n_fallback = Atomic.make 0;
       n_static = Atomic.make 0;
       tape_enabled = tape;
+      tape_lanes = lanes;
       in_tape = 0;
       n_tape = Atomic.make 0;
+      n_tape_vec = Atomic.make 0;
       n_tape_instr = Atomic.make 0;
       n_tape_fb = Atomic.make 0;
       n_msgs = Atomic.make 0;
@@ -1409,6 +1416,8 @@ let compile_prepared ?(target = Target.default) ?(specialize = true)
     c_spec = Atomic.get ctx.n_spec; c_fallback = Atomic.get ctx.n_fallback;
     c_static = Atomic.get ctx.n_static;
     c_tape = Atomic.get ctx.n_tape;
+    c_tape_vec = Atomic.get ctx.n_tape_vec;
+    c_tape_lanes = (if tape && lanes > 1 then lanes else 0);
     c_tape_instr = Atomic.get ctx.n_tape_instr;
     (* runtime counters (tape fallbacks, comm traffic) keep accumulating
        as the compiled object runs, so the compiled value shares the
@@ -1416,8 +1425,8 @@ let compile_prepared ?(target = Target.default) ?(specialize = true)
     c_tape_fb = ctx.n_tape_fb; c_msgs = ctx.n_msgs; c_bytes = ctx.n_bytes }
 
 let compile ?(target = Target.default) ?(specialize = true) ?(narrow = true)
-    ?(demote = true) ?(tape = true) ~params ~buffers stmt =
-  compile_prepared ~target ~specialize ~demote ~tape ~params ~buffers
+    ?(demote = true) ?(tape = true) ?(lanes = 8) ~params ~buffers stmt =
+  compile_prepared ~target ~specialize ~demote ~tape ~lanes ~params ~buffers
     (prepare ~narrow ~params stmt)
 
 let run c = c.body (Array.copy c.regs0)
@@ -1425,6 +1434,8 @@ let spec_count c = c.c_spec
 let pool_fallbacks c = c.c_fallback
 let static_count c = c.c_static
 let tape_count c = c.c_tape
+let tape_vec_count c = c.c_tape_vec
+let tape_lanes c = c.c_tape_lanes
 let tape_instrs c = c.c_tape_instr
 let tape_fallbacks c = Atomic.get c.c_tape_fb
 let comm_msgs c = Atomic.get c.c_msgs

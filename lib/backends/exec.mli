@@ -79,6 +79,7 @@ val compile_prepared :
   ?specialize:bool ->
   ?demote:bool ->
   ?tape:bool ->
+  ?lanes:int ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
@@ -88,11 +89,14 @@ val compile_prepared :
     {!Target.default}, the pool CPU).  The target's projections replace
     the old [?parallel]/[?sched] knobs; [tape] is additionally gated by
     {!Target.tape_claimable}, and a [Gpu_sim] target statically validates
-    thread-block sizes against its [max_threads].  [compile] is
-    [compile_prepared] after [prepare].  [demote] (default [true]) gates
-    the executor's own profitability demotion of pool loops — the pipeline
-    passes [~demote:false] when the parallel-planning pass has already made
-    the serialize/keep decisions, so a loop is never tested twice. *)
+    thread-block sizes against its [max_threads].  [lanes] (default [8])
+    is the vector lane width claimed nests are bound with — [<= 1] forces
+    the scalar tape; lane-unsafe nests stay scalar either way (see
+    {!Tape.bind}).  [compile] is [compile_prepared] after [prepare].
+    [demote] (default [true]) gates the executor's own profitability
+    demotion of pool loops — the pipeline passes [~demote:false] when the
+    parallel-planning pass has already made the serialize/keep decisions,
+    so a loop is never tested twice. *)
 
 val compile :
   ?target:Target.t ->
@@ -100,6 +104,7 @@ val compile :
   ?narrow:bool ->
   ?demote:bool ->
   ?tape:bool ->
+  ?lanes:int ->
   params:(string * int) list ->
   buffers:Buffers.t list ->
   Tiramisu_codegen.Loop_ir.stmt ->
@@ -151,6 +156,16 @@ val tape_count : compiled -> int
     to register-file bytecode with strength-reduced cursor addressing (see
     {!Tape}).  The whole closure path stays compiled as the checked
     fallback.  Per-[compiled] value, like {!spec_count}. *)
+
+val tape_vec_count : compiled -> int
+(** Number of claimed nests bound with lane batching (the vector tier):
+    the generator marked them lane-safe and the backend found a usable
+    batched level at the requested width.  Per-[compiled], like
+    {!tape_count}. *)
+
+val tape_lanes : compiled -> int
+(** The lane width this program was compiled with ([0] when the tape was
+    disabled or [lanes <= 1] forced the scalar tape). *)
 
 val tape_instrs : compiled -> int
 (** Total tape instructions across all claimed nests.  Per-[compiled]. *)

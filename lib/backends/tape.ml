@@ -11,6 +11,28 @@
    indices, then runs the instruction tape once per iteration with
    constant cursor bumps.
 
+   Binding also builds an "execution view" of the nest: trailing levels
+   whose fold is a pure linearization — constant 0-based inner bounds,
+   every access stepping through the pair as one flat run, no body use of
+   either variable — are merged, so a [lane][channel] tail becomes one
+   long unit-stride segment.  The merge preserves iteration order
+   exactly, so it is semantically invisible; entry corner checks keep the
+   original per-level view.
+
+   On top of the exec view sits the vector tier: when the generator
+   marked the program lane-batchable ([p_vec_ok]) and the caller asked
+   for [lanes] > 1, binding derives a vector tape from the scalar code —
+   loads and stores specialized by their now-known innermost step into
+   unit (blit), strided and broadcast forms, ALU opcodes re-read with
+   lane-wise semantics over a vector register file.  A segment then runs
+   [len / lanes] batches through the vector tape and the remainder
+   through the scalar tape; each lane applies the same float operations
+   in the same order as the scalar interpreter, so results stay
+   bit-identical.  Programs with an accumulator or inexact store/load
+   aliasing never vectorize (the generator's analysis), and a
+   read-modify-write access with innermost step 0 falls back to scalar
+   at bind time (lanes must touch distinct addresses).
+
    The iteration space of the [Parallel] tag prefix (levels [0..p_par-1])
    is linearized into a single fused range the caller may split across
    workers: ranges of the fused space never cut a sequential subnest, so
@@ -43,28 +65,46 @@ type dimchk = {
 }
 
 type t = {
-  t_d : int;                   (* nest depth *)
+  t_d : int;                   (* nest depth (original view) *)
   t_split : int;               (* fused split depth: max 1 p_par *)
   t_nregs : int;
   t_lits : (int * float) array;
   t_hoists : (int * int) array;     (* (reg, env slot) *)
-  t_ivregs : int array;
-  t_promos : (int * int) array;
   t_accum : (int * int * bool) option;
   t_code : int array;
   t_accs : baccess array;
   t_datas : float array array;      (* per access, aliases t_accs *)
-  t_inner_steps : int array;        (* per access, step of the last level *)
   t_checks : dimchk array;
-  t_lo : (int array -> int) array;  (* per level *)
+  t_lo : (int array -> int) array;  (* per original level (entry checks) *)
   t_hi : (int array -> int) array;
+  t_promos : (int * int) array;
+  (* --- execution view: trailing levels merged where linearizable --- *)
+  t_xd : int;                       (* exec depth, <= t_d *)
+  t_xlo : (int array -> int) array; (* per exec level *)
+  t_xhi : (int array -> int) array;
+  t_xivregs : int array;            (* per exec level *)
+  t_xsteps : int array array;       (* per access, per exec level *)
+  t_inner_steps : int array;        (* per access, step of the exec-inner level *)
+  t_pieces : ((int array -> int) * (int array -> int)) array array;
+    (* guarded-piece bounds, piece-major then level-major; [||] when the
+       program's leaf was unguarded (no per-entry coverage check) *)
+  (* --- vector tier --- *)
+  t_lanes : int;                    (* 0 = scalar execution *)
+  t_vcode : int array;              (* derived vector tape ([||] if scalar) *)
+  t_vlivein : int array;
+    (* registers the vector tape reads before writing (minus the batched
+       iteration variable): the only ones whose scalar value must be
+       broadcast into lanes at segment entry *)
+  t_winc : int array;               (* per access, lanes * inner step *)
+  t_iv_vec : bool;                  (* body reads the batched level's var *)
 }
 
 type state = {
   regs : float array;
+  vregs : float array array;  (* lane registers, [|..|] when scalar *)
   cur : int array;     (* flat cursor per access *)
   abase : int array;   (* per-range base per access *)
-  ivs : int array;     (* integer odometer per level *)
+  ivs : int array;     (* integer odometer per exec level *)
   los : int array;
   exts : int array;
   fstr : int array;    (* fused-space stride per split level *)
@@ -83,10 +123,45 @@ let affine_fn ~slot ((ts, c) : T.affine) : int array -> int =
         Array.iter (fun (s, a) -> x := !x + (a * env.(s))) pairs;
         !x
 
+(* Bound-expression compiler: euclidean floordiv/mod, matching the
+   interpreter and the closure path exactly. *)
+let rec bexpr_fn ~slot (e : T.bexpr) : int array -> int =
+  match e with
+  | T.Baff a -> affine_fn ~slot a
+  | T.Badd (x, y) ->
+      let f = bexpr_fn ~slot x and g = bexpr_fn ~slot y in
+      fun env -> f env + g env
+  | T.Bsub (x, y) ->
+      let f = bexpr_fn ~slot x and g = bexpr_fn ~slot y in
+      fun env -> f env - g env
+  | T.Bscale (x, k) ->
+      let f = bexpr_fn ~slot x in
+      fun env -> k * f env
+  | T.Bmin (x, y) ->
+      let f = bexpr_fn ~slot x and g = bexpr_fn ~slot y in
+      fun env -> min (f env) (g env)
+  | T.Bmax (x, y) ->
+      let f = bexpr_fn ~slot x and g = bexpr_fn ~slot y in
+      fun env -> max (f env) (g env)
+  | T.Bfdiv (x, k) ->
+      let f = bexpr_fn ~slot x in
+      fun env -> Tiramisu_support.Ints.fdiv (f env) k
+  | T.Bmod (x, k) ->
+      let f = bexpr_fn ~slot x in
+      fun env -> Tiramisu_support.Ints.emod (f env) k
+
+(* Constant bounds of a level, when statically known. *)
+let const_bounds (lv : T.level) =
+  match (lv.T.lv_lo, lv.T.lv_hi) with
+  | T.Baff ([], lo), T.Baff ([], hi) -> Some (lo, hi)
+  | _ -> None
+
 (* [bind p ~buf ~slot] resolves buffer names and free names; [None] when
-   a buffer is unknown or its rank does not match the access. *)
-let bind ~(buf : string -> Buffers.t option) ~(slot : string -> int)
-    (p : T.program) : t option =
+   a buffer is unknown or its rank does not match the access.  [lanes]
+   asks for vector execution; it takes effect only when the program is
+   lane-batchable (see the header comment). *)
+let bind ?(lanes = 0) ~(buf : string -> Buffers.t option)
+    ~(slot : string -> int) (p : T.program) : t option =
   let d = Array.length p.T.p_levels in
   let nest_vars =
     Array.to_list (Array.map (fun l -> l.T.lv_var) p.T.p_levels)
@@ -144,27 +219,185 @@ let bind ~(buf : string -> Buffers.t option) ~(slot : string -> int)
             b_steps = steps })
         p.T.p_accesses
     in
+    let nacc = Array.length accs in
+    let split = max 1 p.T.p_par in
+    let lo = Array.map (fun l -> bexpr_fn ~slot l.T.lv_lo) p.T.p_levels in
+    let hi = Array.map (fun l -> bexpr_fn ~slot l.T.lv_hi) p.T.p_levels in
+    (* execution view: greedily fold the innermost level into its parent
+       while the fold is a pure linearization.  Conditions: the inner
+       level has constant bounds [0..e-1]; the pair is outside the fused
+       split space; no accumulator; the body reads neither variable's
+       register; every access steps through the pair as one flat run
+       (outer step = e * inner step, which also keeps promoted loads
+       segment-invariant). *)
+    let xd = ref d in
+    let xlo = Array.copy lo and xhi = Array.copy hi in
+    let xiv = Array.copy p.T.p_ivregs in
+    let xsteps = Array.map (fun a -> Array.copy a.b_steps) accs in
+    let inner_c = ref (const_bounds p.T.p_levels.(d - 1)) in
+    let stop = ref (p.T.p_accum <> None || p.T.p_ivuse.(d - 1)) in
+    while (not !stop) && !xd >= 2 do
+      let li = !xd - 2 in
+      match !inner_c with
+      | Some (0, hi_i)
+        when hi_i >= 0 && li >= split && not p.T.p_ivuse.(li) ->
+          let e = hi_i + 1 in
+          let ok = ref true in
+          for a = 0 to nacc - 1 do
+            if xsteps.(a).(li) <> e * xsteps.(a).(li + 1) then ok := false
+          done;
+          if !ok then begin
+            let lo_o = xlo.(li) and hi_o = xhi.(li) in
+            xlo.(li) <- (fun env -> lo_o env * e);
+            xhi.(li) <- (fun env -> (hi_o env * e) + e - 1);
+            for a = 0 to nacc - 1 do
+              xsteps.(a).(li) <- xsteps.(a).(li + 1)
+            done;
+            xiv.(li) <- xiv.(li + 1);
+            inner_c :=
+              (match const_bounds p.T.p_levels.(li) with
+              | Some (clo, chi) -> Some (clo * e, (chi * e) + e - 1)
+              | None -> None);
+            decr xd
+          end
+          else stop := true
+      | _ -> stop := true
+    done;
+    let xd = !xd in
+    let inner_steps = Array.init nacc (fun a -> xsteps.(a).(xd - 1)) in
+    (* vector tier: effective only when the program is lane-batchable and
+       every read-modify-write access has lanes on distinct addresses *)
+    let lanes_eff =
+      if
+        lanes > 1 && p.T.p_vec_ok
+        && Array.for_all (fun i -> inner_steps.(i) <> 0) p.T.p_rmw
+      then lanes
+      else 0
+    in
+    let vcode =
+      if lanes_eff = 0 then [||]
+      else begin
+        let c = Array.copy p.T.p_code in
+        let n = Array.length c / 4 in
+        for k = 0 to n - 1 do
+          let op = c.(4 * k) and a = c.((4 * k) + 2) in
+          if op = T.op_load then begin
+            let s = inner_steps.(a) in
+            if s = 0 then c.(4 * k) <- T.op_vload_bcast
+            else if s = 1 then c.(4 * k) <- T.op_vload_unit
+            else begin
+              c.(4 * k) <- T.op_vload_strided;
+              c.((4 * k) + 3) <- s
+            end
+          end
+          else if op = T.op_store then begin
+            let s = inner_steps.(a) in
+            if s = 1 then c.(4 * k) <- T.op_vstore_unit
+            else begin
+              c.(4 * k) <- T.op_vstore_strided;
+              c.((4 * k) + 1) <- s
+            end
+          end
+        done;
+        c
+      end
+    in
+    let vlivein =
+      if lanes_eff = 0 then [||]
+      else begin
+        (* live-in scan over the derived vector tape: a register read
+           before any write needs its scalar value broadcast at segment
+           entry; one written first (vector loads, ALU results) does not.
+           The batched level's variable is excluded — when the body reads
+           it, the batch loop fills its lanes itself. *)
+        let ivd = xiv.(xd - 1) in
+        let nregs = p.T.p_nregs in
+        let written = Array.make nregs false in
+        let livein = Array.make nregs false in
+        let read r =
+          if r <> ivd && not written.(r) then livein.(r) <- true
+        in
+        let n = Array.length vcode / 4 in
+        for k = 0 to n - 1 do
+          let op = vcode.(4 * k) in
+          let dst = vcode.((4 * k) + 1)
+          and a = vcode.((4 * k) + 2)
+          and b = vcode.((4 * k) + 3) in
+          if
+            op = T.op_vload_unit || op = T.op_vload_strided
+            || op = T.op_vload_bcast
+          then written.(dst) <- true
+          else if op = T.op_vstore_unit || op = T.op_vstore_strided then
+            read b
+          else if op = T.op_fma then begin
+            read dst;
+            read a;
+            read b;
+            written.(dst) <- true
+          end
+          else if
+            op = T.op_mov
+            || (op >= T.op_neg && op <= T.op_floor)
+            || op = T.op_trunc
+          then begin
+            read a;
+            written.(dst) <- true
+          end
+          else begin
+            read a;
+            read b;
+            written.(dst) <- true
+          end
+        done;
+        let out = ref [] in
+        for r = nregs - 1 downto 0 do
+          if livein.(r) then out := r :: !out
+        done;
+        Array.of_list !out
+      end
+    in
     Some
       { t_d = d;
-        t_split = max 1 p.T.p_par;
+        t_split = split;
         t_nregs = p.T.p_nregs;
         t_lits = p.T.p_lits;
         t_hoists = Array.map (fun (r, v) -> (r, slot v)) p.T.p_hoists;
-        t_ivregs = p.T.p_ivregs;
-        t_promos = p.T.p_promos;
         t_accum = p.T.p_accum;
         t_code = p.T.p_code;
         t_accs = accs;
         t_datas = Array.map (fun a -> a.b_data) accs;
-        t_inner_steps = Array.map (fun a -> a.b_steps.(d - 1)) accs;
         t_checks = Array.of_list (List.rev !checks);
-        t_lo = Array.map (fun l -> affine_fn ~slot l.T.lv_lo) p.T.p_levels;
-        t_hi = Array.map (fun l -> affine_fn ~slot l.T.lv_hi) p.T.p_levels }
+        t_lo = lo;
+        t_hi = hi;
+        t_promos = p.T.p_promos;
+        t_xd = xd;
+        t_xlo = Array.sub xlo 0 xd;
+        t_xhi = Array.sub xhi 0 xd;
+        t_xivregs = Array.sub xiv 0 xd;
+        t_xsteps = Array.map (fun s -> Array.sub s 0 xd) xsteps;
+        t_inner_steps = inner_steps;
+        t_pieces =
+          Array.map
+            (Array.map (fun (plo, phi) ->
+                 (bexpr_fn ~slot plo, bexpr_fn ~slot phi)))
+            p.T.p_pieces;
+        t_lanes = lanes_eff;
+        t_vcode = vcode;
+        t_vlivein = vlivein;
+        t_winc = Array.map (fun s -> lanes_eff * s) inner_steps;
+        t_iv_vec = xd = d && p.T.p_ivuse.(d - 1) }
   with Unbound -> None
+
+let vectorized t = t.t_lanes > 1
+let lanes t = t.t_lanes
 
 let new_state t =
   let st =
     { regs = Array.make t.t_nregs 0.0;
+      vregs =
+        (if t.t_lanes > 1 then
+           Array.init t.t_nregs (fun _ -> Array.make t.t_lanes 0.0)
+         else [||]);
       cur = Array.make (Array.length t.t_accs) 0;
       abase = Array.make (Array.length t.t_accs) 0;
       ivs = Array.make t.t_d 0;
@@ -175,10 +408,76 @@ let new_state t =
   Array.iter (fun (r, v) -> st.regs.(r) <- v) t.t_lits;
   st
 
+(* A program merged from guarded pieces iterates the union box of the
+   piece bounds; that equals the union of the pieces only when, at this
+   env, the non-empty pieces agree on every level but at most one and
+   their intervals on that level tile the box contiguously (overlap is
+   fine — the generator required identical, idempotent piece bodies).
+   Any other shape reports [false] and the caller takes the closure
+   fallback, which replays the original guarded IR exactly. *)
+let pieces_cover t env (lo : int array) (hi : int array) =
+  let np = Array.length t.t_pieces in
+  if np = 0 then true
+  else begin
+    let d = t.t_d in
+    let boxes = ref [] in
+    for k = np - 1 downto 0 do
+      let pb = t.t_pieces.(k) in
+      let plo = Array.init d (fun l -> fst pb.(l) env) in
+      let phi = Array.init d (fun l -> snd pb.(l) env) in
+      let empty = ref false in
+      for l = 0 to d - 1 do
+        if phi.(l) < plo.(l) then empty := true
+      done;
+      if not !empty then boxes := (plo, phi) :: !boxes
+    done;
+    match !boxes with
+    | [] -> false (* program box is non-empty but no piece covers it *)
+    | (l0, h0) :: rest ->
+        let varying = ref (-1) and ok = ref true in
+        List.iter
+          (fun (l1, h1) ->
+            for l = 0 to d - 1 do
+              if l1.(l) <> l0.(l) || h1.(l) <> h0.(l) then
+                if !varying = -1 || !varying = l then varying := l
+                else ok := false
+            done)
+          rest;
+        (* levels the pieces agree on must coincide with the program box
+           (an empty piece may have widened the min/max fold) *)
+        for l = 0 to d - 1 do
+          if l <> !varying && (l0.(l) <> lo.(l) || h0.(l) <> hi.(l)) then
+            ok := false
+        done;
+        if not !ok then false
+        else if !varying = -1 then true
+        else begin
+          let lv = !varying in
+          let iv =
+            List.sort compare
+              (List.map (fun (l1, h1) -> (l1.(lv), h1.(lv))) !boxes)
+          in
+          match iv with
+          | [] -> false
+          | (a0, b0) :: rest ->
+              a0 = lo.(lv)
+              &&
+              let cover = ref b0 and good = ref true in
+              List.iter
+                (fun (a, b) ->
+                  if a > !cover + 1 then good := false
+                  else if b > !cover then cover := b)
+                rest;
+              !good && !cover = hi.(lv)
+        end
+  end
+
 (* [enter t env] evaluates bounds and runs the whole-box corner checks:
    [-1] when a check fails (caller takes the closure fallback), otherwise
    the size of the fused split space (0 when any level is empty: nothing
-   to run, vacuously in bounds). *)
+   to run, vacuously in bounds).  Checks run against the original
+   per-level view — the exec view merge is order-preserving, so a passing
+   check covers it too. *)
 let enter t env =
   let d = t.t_d in
   let lo = Array.init d (fun l -> t.t_lo.(l) env) in
@@ -211,6 +510,7 @@ let enter t env =
       incr i
     done;
     if not !ok then -1
+    else if not (pieces_cover t env lo hi) then -1
     else begin
       let total = ref 1 in
       for l = 0 to t.t_split - 1 do
@@ -222,7 +522,15 @@ let enter t env =
 
 (* The instruction interpreter.  Opcode numbering mirrors
    {!Tiramisu_codegen.Tape_gen}; [fma] deliberately rounds twice so
-   results stay bit-identical to the reference interpreter. *)
+   results stay bit-identical to the reference interpreter.
+
+   Both interpreters run unchecked array accesses: [enter]'s whole-box
+   corner checks prove every data cursor the segment will touch is in
+   bounds before a single instruction runs, register/cursor indices are
+   validated against the register-file and access counts at bind time,
+   and the tape length is a multiple of 4 by construction.  Re-checking
+   each access in the hot loop would only re-prove what [enter] already
+   established. *)
 let[@inline] exec_code (code : int array) (st : state)
     (datas : float array array) =
   let regs = st.regs and cur = st.cur in
@@ -230,62 +538,233 @@ let[@inline] exec_code (code : int array) (st : state)
   let pc = ref 0 in
   while !pc < n do
     let i = !pc in
-    let dst = code.(i + 1) and a = code.(i + 2) and b = code.(i + 3) in
-    (match code.(i) with
-    | 0 (* load *) -> regs.(dst) <- datas.(a).(cur.(a))
-    | 1 (* store *) -> datas.(a).(cur.(a)) <- regs.(b)
-    | 2 (* mov *) -> regs.(dst) <- regs.(a)
-    | 3 (* add *) -> regs.(dst) <- regs.(a) +. regs.(b)
-    | 4 (* sub *) -> regs.(dst) <- regs.(a) -. regs.(b)
-    | 5 (* mul *) -> regs.(dst) <- regs.(a) *. regs.(b)
-    | 6 (* div *) -> regs.(dst) <- regs.(a) /. regs.(b)
-    | 7 (* min *) -> regs.(dst) <- Float.min regs.(a) regs.(b)
-    | 8 (* max *) -> regs.(dst) <- Float.max regs.(a) regs.(b)
-    | 9 (* fma *) -> regs.(dst) <- regs.(dst) +. (regs.(a) *. regs.(b))
-    | 10 (* neg *) -> regs.(dst) <- -.regs.(a)
-    | 11 (* abs *) -> regs.(dst) <- Float.abs regs.(a)
-    | 12 (* sqrt *) -> regs.(dst) <- sqrt regs.(a)
-    | 13 (* exp *) -> regs.(dst) <- exp regs.(a)
-    | 14 (* log *) -> regs.(dst) <- log regs.(a)
-    | 15 (* sin *) -> regs.(dst) <- sin regs.(a)
-    | 16 (* cos *) -> regs.(dst) <- cos regs.(a)
-    | 17 (* floor *) -> regs.(dst) <- Float.floor regs.(a)
-    | 18 (* pow *) -> regs.(dst) <- Float.pow regs.(a) regs.(b)
+    let dst = Array.unsafe_get code (i + 1)
+    and a = Array.unsafe_get code (i + 2)
+    and b = Array.unsafe_get code (i + 3) in
+    (match Array.unsafe_get code i with
+    | 0 (* load *) ->
+        let src = Array.unsafe_get datas a in
+        Array.unsafe_set regs dst
+          (Array.unsafe_get src (Array.unsafe_get cur a))
+    | 1 (* store *) ->
+        let d_ = Array.unsafe_get datas a in
+        Array.unsafe_set d_ (Array.unsafe_get cur a) (Array.unsafe_get regs b)
+    | 2 (* mov *) -> Array.unsafe_set regs dst (Array.unsafe_get regs a)
+    | 3 (* add *) ->
+        Array.unsafe_set regs dst
+          (Array.unsafe_get regs a +. Array.unsafe_get regs b)
+    | 4 (* sub *) ->
+        Array.unsafe_set regs dst
+          (Array.unsafe_get regs a -. Array.unsafe_get regs b)
+    | 5 (* mul *) ->
+        Array.unsafe_set regs dst
+          (Array.unsafe_get regs a *. Array.unsafe_get regs b)
+    | 6 (* div *) ->
+        Array.unsafe_set regs dst
+          (Array.unsafe_get regs a /. Array.unsafe_get regs b)
+    | 7 (* min *) ->
+        Array.unsafe_set regs dst
+          (Float.min (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | 8 (* max *) ->
+        Array.unsafe_set regs dst
+          (Float.max (Array.unsafe_get regs a) (Array.unsafe_get regs b))
+    | 9 (* fma *) ->
+        Array.unsafe_set regs dst
+          (Array.unsafe_get regs dst
+          +. (Array.unsafe_get regs a *. Array.unsafe_get regs b))
+    | 10 (* neg *) -> Array.unsafe_set regs dst (-.Array.unsafe_get regs a)
+    | 11 (* abs *) ->
+        Array.unsafe_set regs dst (Float.abs (Array.unsafe_get regs a))
+    | 12 (* sqrt *) ->
+        Array.unsafe_set regs dst (sqrt (Array.unsafe_get regs a))
+    | 13 (* exp *) -> Array.unsafe_set regs dst (exp (Array.unsafe_get regs a))
+    | 14 (* log *) -> Array.unsafe_set regs dst (log (Array.unsafe_get regs a))
+    | 15 (* sin *) -> Array.unsafe_set regs dst (sin (Array.unsafe_get regs a))
+    | 16 (* cos *) -> Array.unsafe_set regs dst (cos (Array.unsafe_get regs a))
+    | 17 (* floor *) ->
+        Array.unsafe_set regs dst (Float.floor (Array.unsafe_get regs a))
+    | 18 (* pow *) ->
+        Array.unsafe_set regs dst
+          (Float.pow (Array.unsafe_get regs a) (Array.unsafe_get regs b))
     | 19 (* fdivi *) ->
-        regs.(dst) <-
-          Float.of_int
-            (Tiramisu_support.Ints.fdiv
-               (int_of_float regs.(a))
-               (int_of_float regs.(b)))
+        Array.unsafe_set regs dst
+          (Float.of_int
+             (Tiramisu_support.Ints.fdiv
+                (int_of_float (Array.unsafe_get regs a))
+                (int_of_float (Array.unsafe_get regs b))))
     | 20 (* modi *) ->
-        regs.(dst) <-
-          Float.of_int
-            (Tiramisu_support.Ints.emod
-               (int_of_float regs.(a))
-               (int_of_float regs.(b)))
-    | 21 (* trunc *) -> regs.(dst) <- Float.of_int (int_of_float regs.(a))
+        Array.unsafe_set regs dst
+          (Float.of_int
+             (Tiramisu_support.Ints.emod
+                (int_of_float (Array.unsafe_get regs a))
+                (int_of_float (Array.unsafe_get regs b))))
+    | 21 (* trunc *) ->
+        Array.unsafe_set regs dst
+          (Float.of_int (int_of_float (Array.unsafe_get regs a)))
+    | _ -> assert false);
+    pc := i + 4
+  done
+
+(* The vector interpreter: one dispatch covers [w] lanes.  ALU opcodes
+   keep their scalar numbering (lane-wise semantics); loads and stores
+   were specialized at bind time into unit (blit), strided and broadcast
+   forms.  Each lane performs the same float operations in the same
+   order as {!exec_code}, so results are bit-identical. *)
+let[@inline] exec_code_vec (code : int array) (st : state)
+    (datas : float array array) (w : int) =
+  let vr = st.vregs and cur = st.cur in
+  let n = Array.length code in
+  let pc = ref 0 in
+  while !pc < n do
+    let i = !pc in
+    let dst = code.(i + 1) and a = code.(i + 2) and b = code.(i + 3) in
+    (match Array.unsafe_get code i with
+    | 22 (* vload.u *) -> Array.blit datas.(a) cur.(a) vr.(dst) 0 w
+    | 23 (* vload.s *) ->
+        let d_ = vr.(dst) and src = datas.(a) in
+        let c = cur.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Array.unsafe_get src (c + (j * b)))
+        done
+    | 24 (* vbcast *) -> Array.fill vr.(dst) 0 w datas.(a).(cur.(a))
+    | 25 (* vstore.u *) -> Array.blit vr.(b) 0 datas.(a) cur.(a) w
+    | 26 (* vstore.s *) ->
+        let s = vr.(b) and d_ = datas.(a) in
+        let c = cur.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ (c + (j * dst)) (Array.unsafe_get s j)
+        done
+    | 2 (* vmov *) -> Array.blit vr.(a) 0 vr.(dst) 0 w
+    | 3 (* vadd *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Array.unsafe_get x j +. Array.unsafe_get y j)
+        done
+    | 4 (* vsub *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Array.unsafe_get x j -. Array.unsafe_get y j)
+        done
+    | 5 (* vmul *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Array.unsafe_get x j *. Array.unsafe_get y j)
+        done
+    | 6 (* vdiv *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Array.unsafe_get x j /. Array.unsafe_get y j)
+        done
+    | 7 (* vmin *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j
+            (Float.min (Array.unsafe_get x j) (Array.unsafe_get y j))
+        done
+    | 8 (* vmax *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j
+            (Float.max (Array.unsafe_get x j) (Array.unsafe_get y j))
+        done
+    | 9 (* vfma *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j
+            (Array.unsafe_get d_ j
+            +. (Array.unsafe_get x j *. Array.unsafe_get y j))
+        done
+    | 10 (* vneg *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (-.Array.unsafe_get x j)
+        done
+    | 11 (* vabs *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Float.abs (Array.unsafe_get x j))
+        done
+    | 12 (* vsqrt *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (sqrt (Array.unsafe_get x j))
+        done
+    | 13 (* vexp *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (exp (Array.unsafe_get x j))
+        done
+    | 14 (* vlog *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (log (Array.unsafe_get x j))
+        done
+    | 15 (* vsin *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (sin (Array.unsafe_get x j))
+        done
+    | 16 (* vcos *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (cos (Array.unsafe_get x j))
+        done
+    | 17 (* vfloor *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Float.floor (Array.unsafe_get x j))
+        done
+    | 18 (* vpow *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j
+            (Float.pow (Array.unsafe_get x j) (Array.unsafe_get y j))
+        done
+    | 19 (* vfdivi *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j
+            (Float.of_int
+               (Tiramisu_support.Ints.fdiv
+                  (int_of_float (Array.unsafe_get x j))
+                  (int_of_float (Array.unsafe_get y j))))
+        done
+    | 20 (* vmodi *) ->
+        let d_ = vr.(dst) and x = vr.(a) and y = vr.(b) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j
+            (Float.of_int
+               (Tiramisu_support.Ints.emod
+                  (int_of_float (Array.unsafe_get x j))
+                  (int_of_float (Array.unsafe_get y j))))
+        done
+    | 21 (* vtrunc *) ->
+        let d_ = vr.(dst) and x = vr.(a) in
+        for j = 0 to w - 1 do
+          Array.unsafe_set d_ j (Float.of_int (int_of_float (Array.unsafe_get x j)))
+        done
     | _ -> assert false);
     pc := i + 4
   done
 
 (* One segment: the outer odometer [st.ivs] is in position, run [len]
-   iterations of the innermost level starting at its current value. *)
+   iterations of the exec-inner level starting at its current value. *)
 let run_segment t st len =
-  let d = t.t_d in
+  let xd = t.t_xd in
   let nacc = Array.length t.t_accs in
   let datas = t.t_datas in
   (* cursors from the per-range base and the odometer *)
   for a = 0 to nacc - 1 do
-    let steps = t.t_accs.(a).b_steps in
+    let steps = t.t_xsteps.(a) in
     let c = ref st.abase.(a) in
-    for l = 0 to d - 1 do
+    for l = 0 to xd - 1 do
       c := !c + (steps.(l) * st.ivs.(l))
     done;
     st.cur.(a) <- !c
   done;
   (* float iteration-variable registers *)
-  for l = 0 to d - 1 do
-    st.regs.(t.t_ivregs.(l)) <- float_of_int st.ivs.(l)
+  for l = 0 to xd - 1 do
+    st.regs.(t.t_xivregs.(l)) <- float_of_int st.ivs.(l)
   done;
   (* segment prologue: promoted loads, accumulator init *)
   Array.iter
@@ -294,12 +773,44 @@ let run_segment t st len =
   (match t.t_accum with
   | Some (r, a, true) -> st.regs.(r) <- datas.(a).(st.cur.(a))
   | Some (_, _, false) | None -> ());
-  (* the hot loop *)
   let code = t.t_code in
   let inner = t.t_inner_steps in
-  let ivd = t.t_ivregs.(d - 1) in
+  let ivd = t.t_xivregs.(xd - 1) in
   let cur = st.cur and regs = st.regs in
-  for _ = 1 to len do
+  let w = t.t_lanes in
+  let rest =
+    if w > 1 && len >= w then begin
+      (* lane batches through the vector tape; the scalar register file
+         stays authoritative for the remainder loop below.  Only live-in
+         registers broadcast — the rest are written before read. *)
+      let vr = st.vregs in
+      let lv = t.t_vlivein in
+      for q = 0 to Array.length lv - 1 do
+        let r = lv.(q) in
+        Array.fill vr.(r) 0 w regs.(r)
+      done;
+      let vcode = t.t_vcode and winc = t.t_winc in
+      let ivv = if t.t_iv_vec then vr.(ivd) else [||] in
+      let nb = len / w in
+      for _ = 1 to nb do
+        if t.t_iv_vec then begin
+          let b0 = regs.(ivd) in
+          for j = 0 to w - 1 do
+            ivv.(j) <- b0 +. float_of_int j
+          done
+        end;
+        exec_code_vec vcode st datas w;
+        for a = 0 to nacc - 1 do
+          cur.(a) <- cur.(a) + winc.(a)
+        done;
+        regs.(ivd) <- regs.(ivd) +. float_of_int w
+      done;
+      len - (nb * w)
+    end
+    else len
+  in
+  (* the scalar hot loop (whole segment, or the masked-out remainder) *)
+  for _ = 1 to rest do
     exec_code code st datas;
     for a = 0 to nacc - 1 do
       cur.(a) <- cur.(a) + inner.(a)
@@ -313,13 +824,14 @@ let run_segment t st len =
 
 (* [run_range t st env f_lo f_hi] executes the fused-range slice
    [f_lo..f_hi] (inclusive) of the split space on [st].  The caller
-   guarantees [enter] returned a total > f_hi. *)
+   guarantees [enter] returned a total > f_hi.  Iteration runs over the
+   exec view; its split prefix coincides with the original one. *)
 let run_range t st env f_lo f_hi =
   if f_hi >= f_lo then begin
-    let d = t.t_d and p = t.t_split in
+    let d = t.t_xd and p = t.t_split in
     for l = 0 to d - 1 do
-      st.los.(l) <- t.t_lo.(l) env;
-      st.exts.(l) <- t.t_hi.(l) env - st.los.(l) + 1
+      st.los.(l) <- t.t_xlo.(l) env;
+      st.exts.(l) <- t.t_xhi.(l) env - st.los.(l) + 1
     done;
     (* fused-space strides over the split levels *)
     st.fstr.(p - 1) <- 1;

@@ -20,12 +20,27 @@ type t
 type state
 
 (** [bind ~buf ~slot p] resolves buffer names and free names; [None]
-    when a buffer is unknown or its rank does not match an access. *)
+    when a buffer is unknown or its rank does not match an access.
+
+    [~lanes] > 1 requests lane-batched (vector) execution: segments run
+    [len / lanes] batches through a vector tape derived from the scalar
+    code (unit-stride loads/stores as blits) and the remainder through
+    the scalar tape, bit-identically to scalar execution.  The request
+    takes effect only when the generator marked the program lane-safe
+    ([p_vec_ok]) and every read-modify-write access has a nonzero
+    innermost step; otherwise the binding silently stays scalar. *)
 val bind :
+  ?lanes:int ->
   buf:(string -> Buffers.t option) ->
   slot:(string -> int) ->
   Tiramisu_codegen.Tape_gen.program ->
   t option
+
+(** Whether this binding executes lane batches (vector tier engaged). *)
+val vectorized : t -> bool
+
+(** The effective lane width (0 when scalar). *)
+val lanes : t -> int
 
 val new_state : t -> state
 

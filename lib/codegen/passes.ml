@@ -50,11 +50,19 @@ let rec subst_var v rep (s : L.stmt) : L.stmt =
      full  = (hi - lo + 1) / w         (number of full vectors)
      for vb in 0..full-1: for lane in 0..w-1 (vector): body[v := lo + w*vb + lane]
      for v in lo + w*full .. hi: body  (scalar epilogue)
-   When the extent is statically w the wrapper loop folds away. *)
-let rec vector_legalize (s : L.stmt) : L.stmt =
+   When the extent is statically w the wrapper loop folds away.
+
+   With [keep_claimable] (CPU compiles with the tape enabled), a
+   dynamic-extent vector loop the tape classifier would claim stays
+   unsplit: the tape lane-batches it with its own scalar remainder, and
+   splitting here would only break the surrounding perfect nest into
+   per-block and epilogue claims — each a separate bind/enter per entry.
+   The closure fallback drives an unsplit [Vectorized] tag with its own
+   lane-blocked loop + epilogue, so the shape is legal either way. *)
+let rec vector_legalize ?(keep_claimable = false) (s : L.stmt) : L.stmt =
   match s with
   | L.For ({ tag = L.Vectorized w; _ } as f) ->
-      let body = vector_legalize f.body in
+      let body = vector_legalize ~keep_claimable f.body in
       let extent = L.(f.hi -! f.lo +! int 1) in
       let extent = L.simplify_expr extent in
       (match extent with
@@ -64,6 +72,9 @@ let rec vector_legalize (s : L.stmt) : L.stmt =
       | L.Int n when n < w ->
           (* Statically partial: scalar loop. *)
           L.For { f with tag = L.Seq; body }
+      | _ when keep_claimable && Tape_gen.claimable (L.For { f with body })
+        ->
+          L.For { f with body }
       | _ ->
           let full = L.Bin (L.FloorDiv, extent, L.Int w) in
           let vb = f.var ^ "_vb" in
@@ -101,11 +112,15 @@ let rec vector_legalize (s : L.stmt) : L.stmt =
                     tag = L.Seq; body }
               in
               L.Block [ main; epilogue ])
-  | L.Block l -> L.Block (List.map vector_legalize l)
-  | L.For f -> L.For { f with body = vector_legalize f.body }
+  | L.Block l -> L.Block (List.map (vector_legalize ~keep_claimable) l)
+  | L.For f -> L.For { f with body = vector_legalize ~keep_claimable f.body }
   | L.If (c, t, e) ->
-      L.If (c, vector_legalize t, Option.map vector_legalize e)
-  | L.Alloc a -> L.Alloc { a with body = vector_legalize a.body }
+      L.If
+        ( c,
+          vector_legalize ~keep_claimable t,
+          Option.map (vector_legalize ~keep_claimable) e )
+  | L.Alloc a ->
+      L.Alloc { a with body = vector_legalize ~keep_claimable a.body }
   | _ -> s
 
 let rec stmt_size (s : L.stmt) : int =
@@ -136,7 +151,8 @@ let rec unroll_expand ?(max_body = 64) (s : L.stmt) : L.stmt =
   | L.Alloc a -> L.Alloc { a with body = unroll_expand ~max_body a.body }
   | _ -> s
 
-let legalize s = L.simplify_stmt (unroll_expand (vector_legalize s))
+let legalize ?keep_claimable s =
+  L.simplify_stmt (unroll_expand (vector_legalize ?keep_claimable s))
 
 (* ---------- interval-based bound narrowing ---------- *)
 

@@ -7,9 +7,16 @@
     - {b Unroll expansion} replicates the body of constant-extent
       [Unrolled] loops. *)
 
-val vector_legalize : Loop_ir.stmt -> Loop_ir.stmt
+val vector_legalize : ?keep_claimable:bool -> Loop_ir.stmt -> Loop_ir.stmt
+(** Split dynamic-extent [Vectorized] loops into a full-block nest plus a
+    scalar epilogue.  [~keep_claimable:true] (CPU compiles with the tape
+    enabled) leaves a loop the tape classifier would claim unsplit — the
+    tape lane-batches it with its own scalar remainder, and the closure
+    fallback has a lane-blocked driver for the unsplit tag. *)
+
 val unroll_expand : ?max_body:int -> Loop_ir.stmt -> Loop_ir.stmt
-val legalize : Loop_ir.stmt -> Loop_ir.stmt
+
+val legalize : ?keep_claimable:bool -> Loop_ir.stmt -> Loop_ir.stmt
 (** [vector_legalize] followed by [unroll_expand]. *)
 
 val subst_var : string -> Loop_ir.expr -> Loop_ir.stmt -> Loop_ir.stmt

@@ -41,7 +41,7 @@ module L = Loop_ir
 (* Bump when instruction semantics or the program layout change: the
    pipeline compile cache mixes this into its key, so a cached artifact
    built by an older tape generator can never be served to a newer one. *)
-let version = 1
+let version = 2
 
 (* ---------- instruction set ---------- *)
 
@@ -73,13 +73,34 @@ let op_fdivi = 19 (* euclidean floordiv on int_of_float operands *)
 let op_modi = 20  (* euclidean mod on int_of_float operands *)
 let op_trunc = 21 (* Cast to I32 and back: float_of_int (int_of_float a) *)
 
+(* Vector-tier memory opcodes.  The generator never emits these — the
+   backend derives a vector tape from [p_code] at bind time, once access
+   strides are known, rewriting [op_load]/[op_store] to the forms below
+   and reusing codes 2..21 with lane-wise semantics.  For the unit forms
+   the step is implicitly 1; for the strided forms it rides in the
+   otherwise-unused field ([b] for loads, [dst] for stores). *)
+let op_vload_unit = 22    (* vregs[dst][0..w) <- data[a][cur[a] ..] (blit) *)
+let op_vload_strided = 23 (* vregs[dst][j] <- data[a][cur[a] + j*b] *)
+let op_vload_bcast = 24   (* vregs[dst][0..w) <- data[a][cur[a]] *)
+let op_vstore_unit = 25   (* data[a][cur[a] ..] <- vregs[b][0..w) (blit) *)
+let op_vstore_strided = 26 (* data[a][cur[a] + j*dst] <- vregs[b][j] *)
+
 let op_name = function
   | 0 -> "load" | 1 -> "store" | 2 -> "mov" | 3 -> "add" | 4 -> "sub"
   | 5 -> "mul" | 6 -> "div" | 7 -> "min" | 8 -> "max" | 9 -> "fma"
   | 10 -> "neg" | 11 -> "abs" | 12 -> "sqrt" | 13 -> "exp" | 14 -> "log"
   | 15 -> "sin" | 16 -> "cos" | 17 -> "floor" | 18 -> "pow"
   | 19 -> "fdivi" | 20 -> "modi" | 21 -> "trunc"
+  | 22 -> "vload.u" | 23 -> "vload.s" | 24 -> "vbcast"
+  | 25 -> "vstore.u" | 26 -> "vstore.s"
   | _ -> "?"
+
+(* Mnemonic of an opcode as the vector tier executes it: memory opcodes
+   keep their specialized names, ALU codes gain a [v] prefix (lane-wise
+   semantics over the vector register file). *)
+let vop_name op =
+  if op >= op_vload_unit && op <= op_vstore_strided then op_name op
+  else "v" ^ op_name op
 
 (* ---------- the abstract program ---------- *)
 
@@ -89,6 +110,21 @@ let op_name = function
    resolved to env slots at bind time). *)
 type affine = (string * int) list * int
 
+(* Loop bounds: affine in outside names at the core, with the min/max and
+   constant floordiv/mod layers that tiling with partial tiles and vector
+   legalization wrap around them.  Still pure data — the backend compiles
+   a bound to an [env -> int] closure at bind time.  Access indices stay
+   strictly affine: only bounds grow this richer grammar. *)
+type bexpr =
+  | Baff of affine
+  | Badd of bexpr * bexpr
+  | Bsub of bexpr * bexpr
+  | Bscale of bexpr * int
+  | Bmin of bexpr * bexpr
+  | Bmax of bexpr * bexpr
+  | Bfdiv of bexpr * int  (* euclidean, positive constant divisor *)
+  | Bmod of bexpr * int   (* euclidean, positive constant divisor *)
+
 type access = {
   ac_buf : string;
   ac_idx : affine array;  (* one entry per dimension *)
@@ -97,8 +133,8 @@ type access = {
 
 type level = {
   lv_var : string;
-  lv_lo : affine;         (* over names outside the nest only *)
-  lv_hi : affine;
+  lv_lo : bexpr;          (* over names outside the nest only *)
+  lv_hi : bexpr;
   lv_tag : L.loop_tag;
 }
 
@@ -114,6 +150,22 @@ type program = {
   p_accum : (int * int * bool) option;
     (* (reg, store access, init-from-memory): register accumulator *)
   p_code : int array;            (* packed body instructions *)
+  p_ivuse : bool array;          (* per level: body reads the var's register *)
+  p_vec_ok : bool;
+    (* lane batching preserves scalar semantics: no accumulator, every
+       load from a stored buffer exactly aliases the store, and no two
+       stores target the same buffer *)
+  p_rmw : int array;
+    (* accesses both loaded and stored (exact read-modify-write alias);
+       vector execution additionally needs their innermost step nonzero
+       so lanes touch distinct addresses *)
+  p_pieces : (bexpr * bexpr) array array;
+    (* guarded leaf pieces, piece-major then level-major (lo, hi): the
+       program's level bounds are the union box (min of lows, max of
+       highs); the executor verifies per entry that the non-empty
+       pieces tile that box contiguously and otherwise falls back.
+       [[||]] when the leaf was unguarded (or a single piece, whose
+       bounds are the level bounds themselves) *)
 }
 
 let instr_count p = Array.length p.p_code / 4
@@ -124,6 +176,83 @@ exception Reject
 
 let norm_affine ((ts, c) : affine) : affine =
   (List.sort (fun (a, _) (b, _) -> compare a b) ts, c)
+
+(* ---------- bound simplification ----------
+
+   Guarded-piece claiming intersects and unions bounds mechanically, which
+   leaves [min]/[max] trees full of duplicated and dominated arms (e.g.
+   [min (min (8j0+7, 61), 8j0+7)]).  Bounds are built once per claimed
+   nest but re-evaluated by the executor on every nest entry — [enter]'s
+   corner checks, the piece-cover check and the range prologue each walk
+   them — so pruning the trees here is a direct cut to per-entry cost. *)
+
+(* [ble a b]: true only when [a <= b] holds for every assignment of the
+   free names (conservative — false means "unknown").  Affine leaves with
+   identical term lists compare by constant; [min]/[max] recurse by the
+   lattice rules; a floordiv by the same divisor is monotone. *)
+let rec ble a b =
+  match (a, b) with
+  | Baff (ts1, c1), Baff (ts2, c2) -> ts1 = ts2 && c1 <= c2
+  | Bmin (x, y), _ -> ble x b || ble y b
+  | _, Bmax (x, y) -> ble a x || ble a y
+  | Bmax (x, y), _ -> ble x b && ble y b
+  | _, Bmin (x, y) -> ble a x && ble a y
+  | Bfdiv (x, k1), Bfdiv (y, k2) -> k1 = k2 && ble x y
+  | _ -> a = b
+
+let aff_combine f (ts1, c1) (ts2, c2) =
+  let ts =
+    List.fold_left
+      (fun acc (v, k) ->
+        match List.assoc_opt v acc with
+        | Some k0 ->
+            let acc = List.remove_assoc v acc in
+            let k' = f k0 k in
+            if k' = 0 then acc else (v, k') :: acc
+        | None ->
+            let k' = f 0 k in
+            if k' = 0 then acc else (v, k') :: acc)
+      ts1 ts2
+  in
+  norm_affine (ts, f c1 c2)
+
+(* Smart constructors: fold affine arithmetic, drop dominated arms. *)
+let badd a b =
+  match (a, b) with
+  | Baff x, Baff y -> Baff (aff_combine ( + ) x y)
+  | _ -> Badd (a, b)
+
+let bsub a b =
+  match (a, b) with
+  | Baff x, Baff y -> Baff (aff_combine ( - ) x y)
+  | _ -> Bsub (a, b)
+
+let bscale a k =
+  if k = 0 then Baff ([], 0)
+  else
+    match a with
+    | Baff (ts, c) -> Baff (List.map (fun (v, q) -> (v, q * k)) ts, c * k)
+    | _ -> Bscale (a, k)
+
+let bmin a b = if ble a b then a else if ble b a then b else Bmin (a, b)
+let bmax a b = if ble a b then b else if ble b a then a else Bmax (a, b)
+
+let rec bsimp e =
+  match e with
+  | Baff _ -> e
+  | Badd (a, b) -> badd (bsimp a) (bsimp b)
+  | Bsub (a, b) -> bsub (bsimp a) (bsimp b)
+  | Bscale (a, k) -> bscale (bsimp a) k
+  | Bmin (a, b) -> bmin (bsimp a) (bsimp b)
+  | Bmax (a, b) -> bmax (bsimp a) (bsimp b)
+  | Bfdiv (a, k) -> (
+      match bsimp a with
+      | Baff ([], c) -> Baff ([], Tiramisu_support.Ints.fdiv c k)
+      | a' -> Bfdiv (a', k))
+  | Bmod (a, k) -> (
+      match bsimp a with
+      | Baff ([], c) -> Baff ([], Tiramisu_support.Ints.emod c k)
+      | a' -> Bmod (a', k))
 
 (* The body of a perfect-nest level: exactly one [For], comments allowed
    around it (same shape the parallel planner walks). *)
@@ -140,6 +269,28 @@ let single_for (s : L.stmt) : L.stmt option =
       | _ -> None)
   | _ -> None
 
+(* A guarded leaf: one else-less [If], or a block of them — the shape
+   [compute_at]'s shifted producer copies lower to (blur's coalesced
+   producer nest stores the same stencil under three overlapping
+   interval guards).  Comments are dropped; anything else is not a
+   guarded leaf. *)
+let guard_pieces (s : L.stmt) : (L.cond * L.stmt) list option =
+  match s with
+  | L.If (c, t, None) -> Some [ (c, t) ]
+  | L.Block l -> (
+      let l =
+        List.filter
+          (fun s -> match s with L.Comment _ -> false | _ -> true)
+          l
+      in
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | L.If (c, t, None) :: rest -> go ((c, t) :: acc) rest
+        | _ -> None
+      in
+      match l with [] -> None | l -> go [] l)
+  | _ -> None
+
 (* Collect the maximal perfect [For] chain at [s]; raises [Reject] on
    non-CPU tags, shadowed variables, or bounds referencing a nest
    variable (non-rectangular).  Returns the levels outermost-first and
@@ -153,16 +304,34 @@ let collect_chain (s : L.stmt) : level list * string list * L.stmt =
         | L.Gpu_block _ | L.Gpu_thread _ | L.Distributed -> raise Reject);
         if List.mem var vars then raise Reject;
         let vars = var :: vars in
-        let aff e =
+        (* Bound classifier: affine where possible, otherwise peel the
+           min/max/floordiv/mod/scale layers tiling and vector
+           legalization produce (partial tiles bound inner loops by
+           [min(t-1, n-1-t*outer)]; legalized vector blocks by
+           [floord(...)]).  Nest variables stay rejected, so the
+           planner's coalesced binder loops — whose bounds divide the
+           fused variable — are still not claimable. *)
+        let rec bnd e =
           match L.affine_terms e with
-          | None -> raise Reject
           | Some (ts, c) ->
               if List.exists (fun (v, _) -> List.mem v vars) ts then
                 raise Reject;
-              norm_affine (ts, c)
+              Baff (norm_affine (ts, c))
+          | None -> (
+              match e with
+              | L.Bin (L.MinOp, a, b) -> Bmin (bnd a, bnd b)
+              | L.Bin (L.MaxOp, a, b) -> Bmax (bnd a, bnd b)
+              | L.Bin (L.FloorDiv, a, L.Int k) when k > 0 -> Bfdiv (bnd a, k)
+              | L.Bin (L.Mod, a, L.Int k) when k > 0 -> Bmod (bnd a, k)
+              | L.Bin (L.Add, a, b) -> Badd (bnd a, bnd b)
+              | L.Bin (L.Sub, a, b) -> Bsub (bnd a, bnd b)
+              | L.Bin (L.Mul, a, L.Int k) | L.Bin (L.Mul, L.Int k, a) ->
+                  Bscale (bnd a, k)
+              | L.Cast (_, a) -> bnd a
+              | _ -> raise Reject)
         in
         let lvl =
-          { lv_var = var; lv_lo = aff lo; lv_hi = aff hi; lv_tag = tag }
+          { lv_var = var; lv_lo = bnd lo; lv_hi = bnd hi; lv_tag = tag }
         in
         (match single_for body with
         | Some inner -> go (lvl :: acc) vars inner
@@ -188,6 +357,140 @@ let compile_nest (s : L.stmt) : program option =
         for l = q to d - 1 do
           if levels.(l).lv_tag = L.Parallel then raise Reject
         done;
+        (* Guarded leaves lower to bound intersections.  Each piece's
+           guard must be a conjunction of affine comparisons over at most
+           one nest variable each: a single-variable atom tightens that
+           level's bounds (ceil/floor division against the coefficient),
+           an environment-only atom empties the piece when violated
+           (encoded by pushing the level-0 lower bound past any real
+           extent — bounds are evaluated, never iterated, so the
+           magnitude is safe).  The program iterates the union box
+           (min of lows / max of highs across pieces) and, for >= 2
+           pieces, records the per-piece bounds in [p_pieces] so the
+           executor can verify per entry that the non-empty pieces tile
+           the box contiguously — any other shape takes the counted
+           closure fallback. *)
+        let level_of_var v =
+          let rec go l =
+            if l >= d then raise Reject
+            else if levels.(l).lv_var = v then l
+            else go (l + 1)
+          in
+          go 0
+        in
+        let piece_bounds (cond : L.cond) : (bexpr * bexpr) array =
+          let lo = Array.map (fun lv -> lv.lv_lo) levels in
+          let hi = Array.map (fun lv -> lv.lv_hi) levels in
+          let rec conjuncts c =
+            match c with
+            | L.And (a, b) -> conjuncts a @ conjuncts b
+            | c -> [ c ]
+          in
+          let neg ts = List.map (fun (v, k) -> (v, -k)) ts in
+          let merge t1 t2 =
+            List.fold_left
+              (fun acc (v, k) ->
+                match List.assoc_opt v acc with
+                | Some k0 ->
+                    let acc = List.remove_assoc v acc in
+                    if k0 + k = 0 then acc else (v, k0 + k) :: acc
+                | None -> if k = 0 then acc else (v, k) :: acc)
+              t1 t2
+          in
+          (* ts·vars + c >= 0 *)
+          let constrain ((ts, c) : affine) =
+            let nest, rest =
+              List.partition (fun (v, _) -> List.mem v nest_vars) ts
+            in
+            match nest with
+            | [] ->
+                (* environment-only atom: 0 when satisfied, <= -1 when
+                   violated; violation empties the piece *)
+                let g = Bmin (Baff (norm_affine (rest, c)), Baff ([], 0)) in
+                lo.(0) <-
+                  Bmax (lo.(0), Badd (lo.(0), Bscale (g, -(1 lsl 40))))
+            | [ (v, k) ] when k > 0 ->
+                (* v >= ceil(-(rest + c) / k) *)
+                let l = level_of_var v in
+                let b =
+                  if k = 1 then Baff (norm_affine (neg rest, -c))
+                  else Bfdiv (Baff (norm_affine (neg rest, -c + k - 1)), k)
+                in
+                lo.(l) <- Bmax (lo.(l), b)
+            | [ (v, k) ] ->
+                (* v <= floor((rest + c) / -k) *)
+                let l = level_of_var v in
+                let k = -k in
+                let b =
+                  if k = 1 then Baff (norm_affine (rest, c))
+                  else Bfdiv (Baff (norm_affine (rest, c)), k)
+                in
+                hi.(l) <- Bmin (hi.(l), b)
+            | _ -> raise Reject
+          in
+          let atom a b =
+            match (L.affine_terms a, L.affine_terms b) with
+            | Some (ta, ca), Some (tb, cb) -> (merge ta (neg tb), ca - cb)
+            | _ -> raise Reject
+          in
+          List.iter
+            (fun (c : L.cond) ->
+              match c with
+              | L.True -> ()
+              | L.Cmp (op, a, b) -> (
+                  match op with
+                  | L.GeOp -> constrain (atom a b)
+                  | L.GtOp ->
+                      let ts, c = atom a b in
+                      constrain (ts, c - 1)
+                  | L.LeOp -> constrain (atom b a)
+                  | L.LtOp ->
+                      let ts, c = atom b a in
+                      constrain (ts, c - 1)
+                  | L.EqOp ->
+                      constrain (atom a b);
+                      constrain (atom b a)
+                  | L.NeOp -> raise Reject)
+              | _ -> raise Reject)
+            (conjuncts cond);
+          Array.init d (fun l -> (lo.(l), hi.(l)))
+        in
+        let leaf, piece_bnds =
+          match guard_pieces leaf with
+          | None -> (leaf, [])
+          | Some [] -> raise Reject
+          | Some (((_, b0) :: rest) as ps) ->
+              (* overlap soundness rests on the bodies being the same
+                 program: structural equality, checked here *)
+              List.iter (fun (_, b) -> if b <> b0 then raise Reject) rest;
+              (b0, List.map (fun (c, _) -> piece_bounds c) ps)
+        in
+        let npieces = List.length piece_bnds in
+        let piece_bnds =
+          List.map
+            (Array.map (fun (plo, phi) -> (bsimp plo, bsimp phi)))
+            piece_bnds
+        in
+        let levels =
+          if npieces = 0 then
+            Array.map
+              (fun lv ->
+                { lv with lv_lo = bsimp lv.lv_lo; lv_hi = bsimp lv.lv_hi })
+              levels
+          else
+            Array.mapi
+              (fun l lv ->
+                let fold1 f = function
+                  | [] -> assert false
+                  | x :: rest -> List.fold_left f x rest
+                in
+                { lv with
+                  lv_lo =
+                    fold1 bmin (List.map (fun pb -> fst pb.(l)) piece_bnds);
+                  lv_hi =
+                    fold1 bmax (List.map (fun pb -> snd pb.(l)) piece_bnds) })
+              levels
+        in
         let stores =
           match L.spec_stores leaf with
           | None | Some [] -> raise Reject
@@ -286,9 +589,16 @@ let compile_nest (s : L.stmt) : program option =
         let all_loads =
           List.concat_map (fun (_, _, v) -> value_loads v []) stores
         in
+        (* overlapping guarded pieces re-execute points; that is only
+           sound when re-running the body stores the same bits, i.e. no
+           stored value reads a buffer the nest writes *)
+        if
+          npieces >= 2
+          && List.exists (fun (b, _) -> List.mem b stored_bufs) all_loads
+        then raise Reject;
         let accum =
           match stores with
-          | [ (sb, sidx, _) ] when q = 0 || q < d ->
+          | [ (sb, sidx, _) ] when npieces <= 1 && (q = 0 || q < d) ->
               let i = acc_index sb sidx in
               if
                 invariant_in_inner i
@@ -486,17 +796,77 @@ let compile_nest (s : L.stmt) : program option =
             packed.((4 * k) + 3) <- remap b
           end
         done;
+        let accesses = Array.of_list (List.rev !acc_list) in
+        (* vector-tier analysis: which iteration variables the body reads
+           (operand scan, since unused fields are literal 0 and register 0
+           is a real register), and whether lane batching is semantically
+           transparent *)
+        let ivuse = Array.make d false in
+        let mark r =
+          for l = 0 to d - 1 do
+            if ivregs.(l) = r then ivuse.(l) <- true
+          done
+        in
+        let load_set = Hashtbl.create 8 in
+        let store_set = Hashtbl.create 8 in
+        for k = 0 to n - 1 do
+          let op = packed.(4 * k) in
+          let dst = packed.((4 * k) + 1)
+          and a = packed.((4 * k) + 2)
+          and b = packed.((4 * k) + 3) in
+          if op = op_load then Hashtbl.replace load_set a ()
+          else if op = op_store then begin
+            Hashtbl.replace store_set a ();
+            mark b
+          end
+          else if op = op_fma then begin
+            mark dst;
+            mark a;
+            mark b
+          end
+          else if
+            op = op_mov || (op >= op_neg && op <= op_floor) || op = op_trunc
+          then mark a
+          else begin
+            mark a;
+            mark b
+          end
+        done;
+        let rmw =
+          List.sort compare
+            (Hashtbl.fold
+               (fun i () l -> if Hashtbl.mem load_set i then i :: l else l)
+               store_set [])
+        in
+        let alias_bad =
+          Hashtbl.fold
+            (fun i () bad ->
+              bad
+              || (accesses.(i).ac_stored && not (Hashtbl.mem store_set i)))
+            load_set false
+        in
+        let dup_store =
+          let bufs =
+            Hashtbl.fold (fun i () l -> accesses.(i).ac_buf :: l) store_set []
+          in
+          List.length bufs <> List.length (List.sort_uniq compare bufs)
+        in
         Some
           { p_levels = levels;
             p_par = q;
-            p_accesses = Array.of_list (List.rev !acc_list);
+            p_accesses = accesses;
             p_nregs = max 1 (npersist + !max_tmp);
             p_lits = Array.of_list (List.rev !lits);
             p_hoists = Array.of_list (List.rev !hoists);
             p_ivregs = ivregs;
             p_promos = Array.of_list (List.rev !promos);
             p_accum = accum;
-            p_code = packed }
+            p_code = packed;
+            p_ivuse = ivuse;
+            p_vec_ok = accum = None && (not alias_bad) && not dup_store;
+            p_rmw = Array.of_list rmw;
+            p_pieces =
+              (if npieces >= 2 then Array.of_list piece_bnds else [||]) }
       with Reject -> None)
   | _ -> None
 
@@ -531,11 +901,17 @@ let nest_name p =
     (Array.to_list (Array.map (fun l -> l.lv_var) p.p_levels))
 
 let summary p =
-  Printf.sprintf "tape %s: depth=%d par=%d instrs=%d regs=%d accesses=%d"
+  Printf.sprintf
+    "tape %s: depth=%d par=%d instrs=%d regs=%d accesses=%d vec=%s%s"
     (nest_name p)
     (Array.length p.p_levels)
     p.p_par (instr_count p) p.p_nregs
     (Array.length p.p_accesses)
+    (if p.p_vec_ok then "ok"
+     else if p.p_accum <> None then "accum"
+     else "alias")
+    (if Array.length p.p_pieces = 0 then ""
+     else Printf.sprintf " pieces=%d" (Array.length p.p_pieces))
 
 let affine_str ((ts, c) : affine) =
   let terms =
@@ -547,20 +923,47 @@ let affine_str ((ts, c) : affine) =
   let parts = terms @ (if c <> 0 || terms = [] then [ string_of_int c ] else []) in
   String.concat "+" parts
 
-let disassemble p =
+let rec bexpr_str = function
+  | Baff a -> affine_str a
+  | Badd (a, b) -> Printf.sprintf "(%s+%s)" (bexpr_str a) (bexpr_str b)
+  | Bsub (a, b) -> Printf.sprintf "(%s-%s)" (bexpr_str a) (bexpr_str b)
+  | Bscale (a, k) -> Printf.sprintf "%d*%s" k (bexpr_str a)
+  | Bmin (a, b) -> Printf.sprintf "min(%s,%s)" (bexpr_str a) (bexpr_str b)
+  | Bmax (a, b) -> Printf.sprintf "max(%s,%s)" (bexpr_str a) (bexpr_str b)
+  | Bfdiv (a, k) -> Printf.sprintf "floord(%s,%d)" (bexpr_str a) k
+  | Bmod (a, k) -> Printf.sprintf "emod(%s,%d)" (bexpr_str a) k
+
+let disassemble ?(lanes = 0) p =
+  let vec = lanes > 1 && p.p_vec_ok in
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "tape nest %s (depth %d, parallel prefix %d)\n"
+    (Printf.sprintf "tape nest %s (depth %d, parallel prefix %d%s)\n"
        (nest_name p)
        (Array.length p.p_levels)
-       p.p_par);
+       p.p_par
+       (if vec then Printf.sprintf ", lanes %d" lanes
+        else if lanes > 1 then Printf.sprintf ", scalar (lanes %d off)" lanes
+        else ""));
   Array.iteri
     (fun l (lv : level) ->
       Buffer.add_string b
         (Printf.sprintf "  level %d: %s in %s..%s [%s]\n" l lv.lv_var
-           (affine_str lv.lv_lo) (affine_str lv.lv_hi)
+           (bexpr_str lv.lv_lo) (bexpr_str lv.lv_hi)
            (L.tag_name lv.lv_tag)))
     p.p_levels;
+  Array.iteri
+    (fun k pb ->
+      let parts =
+        Array.to_list
+          (Array.mapi
+             (fun l (plo, phi) ->
+               Printf.sprintf "%s in %s..%s" p.p_levels.(l).lv_var
+                 (bexpr_str plo) (bexpr_str phi))
+             pb)
+      in
+      Buffer.add_string b
+        (Printf.sprintf "  piece %d: %s\n" k (String.concat ", " parts)))
+    p.p_pieces;
   Array.iteri
     (fun i (a : access) ->
       Buffer.add_string b
@@ -593,6 +996,12 @@ let disassemble p =
       then Printf.sprintf "r%d <- r%d" dst a
       else Printf.sprintf "r%d <- r%d, r%d" dst a bb
     in
-    Buffer.add_string b (Printf.sprintf "    %2d: %-6s %s\n" k (op_name op) txt)
+    let name =
+      if not vec then op_name op
+      else if op = op_load then "vload"   (* unit/strided/bcast at bind *)
+      else if op = op_store then "vstore" (* unit/strided at bind *)
+      else vop_name op
+    in
+    Buffer.add_string b (Printf.sprintf "    %2d: %-7s %s\n" k name txt)
   done;
   Buffer.contents b

@@ -46,12 +46,46 @@ val op_fdivi : int
 val op_modi : int
 val op_trunc : int
 
+(** {2 Vector-tier opcodes}
+
+    The generator never emits these: the backend derives a vector tape
+    from [p_code] at bind time (when access strides are known), rewriting
+    [op_load]/[op_store] into the forms below and reusing codes 2..21
+    with lane-wise semantics over the vector register file.  Unit forms
+    imply step 1; strided forms carry the step in the otherwise-unused
+    field ([b] for loads, [dst] for stores). *)
+
+val op_vload_unit : int
+val op_vload_strided : int
+val op_vload_bcast : int
+val op_vstore_unit : int
+val op_vstore_strided : int
+
 val op_name : int -> string
+
+(** Mnemonic as executed by the vector tier: memory opcodes keep their
+    specialized names, ALU codes gain a [v] prefix. *)
+val vop_name : int -> string
 
 (** {1 Programs} *)
 
 (** Sorted affine terms plus constant, the per-dimension index view. *)
 type affine = (string * int) list * int
+
+(** Loop bounds: affine at the core plus the [min]/[max] and
+    constant-divisor [floord]/[emod] layers produced by tiling with
+    partial tiles and by vector legalization.  Compiled to an
+    [env -> int] closure at bind time; access indices stay strictly
+    affine. *)
+type bexpr =
+  | Baff of affine
+  | Badd of bexpr * bexpr
+  | Bsub of bexpr * bexpr
+  | Bscale of bexpr * int
+  | Bmin of bexpr * bexpr
+  | Bmax of bexpr * bexpr
+  | Bfdiv of bexpr * int  (** euclidean, positive constant divisor *)
+  | Bmod of bexpr * int   (** euclidean, positive constant divisor *)
 
 type access = {
   ac_buf : string;
@@ -61,8 +95,8 @@ type access = {
 
 type level = {
   lv_var : string;
-  lv_lo : affine;  (** over names outside the nest only *)
-  lv_hi : affine;
+  lv_lo : bexpr;  (** over names outside the nest only *)
+  lv_hi : bexpr;
   lv_tag : Loop_ir.loop_tag;
 }
 
@@ -78,6 +112,24 @@ type program = {
   p_accum : (int * int * bool) option;
       (** (reg, store access, init-from-memory) accumulator *)
   p_code : int array;              (** packed body instructions *)
+  p_ivuse : bool array;
+      (** per level: the body reads the variable's register *)
+  p_vec_ok : bool;
+      (** lane batching preserves scalar semantics: no accumulator, every
+          load from a stored buffer exactly aliases the store, no two
+          stores share a buffer *)
+  p_rmw : int array;
+      (** accesses both loaded and stored (exact read-modify-write);
+          vector execution additionally requires their innermost step be
+          nonzero so lanes touch distinct addresses *)
+  p_pieces : (bexpr * bexpr) array array;
+      (** guarded leaf pieces, piece-major then level-major (lo, hi).
+          The program's level bounds are the union box (min of lows,
+          max of highs across pieces); the executor verifies per entry
+          that the non-empty pieces tile that box contiguously and
+          otherwise takes the counted closure fallback.  [[||]] for an
+          unguarded leaf, or a single piece folded straight into the
+          level bounds *)
 }
 
 val instr_count : program -> int
@@ -86,7 +138,15 @@ val instr_count : program -> int
     (which must be a [For]) to a tape program, or [None] when the nest
     does not qualify: non-CPU tags, a [Parallel] tag below a sequential
     level, non-affine bounds or indices, bounds referencing a nest
-    variable, or a leaf that is not a straight-line store sequence. *)
+    variable, or a leaf that is not a straight-line store sequence.
+
+    A leaf made of else-less [If]s over structurally identical bodies
+    (the shape [compute_at]'s shifted producer copies lower to) also
+    qualifies: each guard must be a conjunction of affine comparisons
+    over at most one nest variable, peeled into per-piece bound
+    intersections; >= 2 pieces additionally require that no stored
+    value reads a written buffer, so overlapped points re-store the
+    same bits. *)
 val compile_nest : Loop_ir.stmt -> program option
 
 (** [claimable s] = [compile_nest s <> None]; used by the parallel
@@ -100,5 +160,8 @@ val scan : Loop_ir.stmt -> program list
 (** One-line shape summary (for [--trace-passes]). *)
 val summary : program -> string
 
-(** Full listing: levels, accesses, register layout, instructions. *)
-val disassemble : program -> string
+(** Full listing: levels, accesses, register layout, instructions.
+    With [~lanes] > 1 and a vector-eligible program, instructions are
+    printed with their vector-tier mnemonics and the header records the
+    lane width. *)
+val disassemble : ?lanes:int -> program -> string

@@ -97,7 +97,10 @@ let interp_run ~params ~fills fn ast =
    auto/auto row and the spawn baseline.  The tape axis runs the
    flat-tape backend (default, on) against tape-off rows of the same
    configuration: bit-exact interp-vs-tape diffing for sequential,
-   planned-static and default pool rows.
+   planned-static and default pool rows.  The lanes axis crosses the
+   tape's vector tier (default width) against a forced-scalar tape
+   ([lanes = 1]) — lane batching must be bit-identical to the scalar
+   tape, which itself must match the closure path and interpreter.
 
    Every case additionally runs on the GPU-sim and distributed targets:
    their compiled executors (grid simulation / rank-by-rank channels)
@@ -105,14 +108,16 @@ let interp_run ~params ~fills fn ast =
    the target-keyed compile cache end to end. *)
 let exec_configs case =
   let cpu ?(spec = true) ?(narrow = true) ?(plan = `Off) ?(sched = `Auto)
-      ?(tape = true) par =
+      ?(tape = true) ?(lanes = P.default_knobs.P.lanes) par =
     { P.target = B.Target.cpu ~parallel:par ~sched ();
-      P.specialize = spec; P.narrow = narrow; P.plan = plan; P.tape = tape }
+      P.specialize = spec; P.narrow = narrow; P.plan = plan; P.tape = tape;
+      P.lanes = lanes }
   in
   let base =
     [
       ("seq", cpu `Seq);
       ("seq,notape", cpu ~tape:false `Seq);
+      ("seq,nolanes", cpu ~lanes:1 `Seq);
       ("seq,nospec", cpu ~spec:false `Seq);
       ("seq,nonarrow", cpu ~narrow:false `Seq);
       ("seq,nospec,nonarrow", cpu ~spec:false ~narrow:false `Seq);
@@ -127,6 +132,7 @@ let exec_configs case =
     @ [
         ("pool", cpu ~plan:`Auto `Pool);
         ("pool,notape", cpu ~plan:`Auto ~tape:false `Pool);
+        ("pool,nolanes", cpu ~plan:`Auto ~lanes:1 `Pool);
         ("pool,plan,static", cpu ~plan:`Force ~sched:`Static `Pool);
         ( "pool,plan,static,notape",
           cpu ~plan:`Force ~sched:`Static ~tape:false `Pool );

@@ -62,21 +62,23 @@ let check ~fn ~params ~inputs ~output ~expect ?(eps = 1e-3) () =
    with Exit -> ());
   match !bad with None -> Ok () | Some m -> Error m
 
-let build_native ?tracer ?(target = B.Target.default) ?(tape = true) ~fn
-    ~params ~inputs () =
+let build_native ?tracer ?(target = B.Target.default) ?(tape = true)
+    ?(lanes = P.default_knobs.P.lanes) ~fn ~params ~inputs () =
   (* Lower and compile through the pipeline's compile cache — identical
      (fn, params, knobs) configurations reuse the compiled executor with
      buffers restored to their freshly-filled state. *)
-  let knobs = { P.default_knobs with P.target; P.tape } in
+  let knobs = { P.default_knobs with P.target; P.tape; P.lanes = lanes } in
   P.build ?tracer ~knobs ~fn ~params ~inputs ()
 
-let prepare_native ?tracer ?target ?tape ~fn ~params ~inputs () =
-  (build_native ?tracer ?target ?tape ~fn ~params ~inputs ()).P.exec
+let prepare_native ?tracer ?target ?tape ?lanes ~fn ~params ~inputs () =
+  (build_native ?tracer ?target ?tape ?lanes ~fn ~params ~inputs ()).P.exec
 
-let run_native ?target ?tape ~fn ~params ~inputs () =
+let run_native ?target ?tape ?lanes ~fn ~params ~inputs () =
   (* Closure-compiled execution (the fast backend); same contract as
      {!run}. *)
-  let compiled = prepare_native ?target ?tape ~fn ~params ~inputs () in
+  let compiled =
+    prepare_native ?target ?tape ?lanes ~fn ~params ~inputs ()
+  in
   B.Exec.run compiled;
   compiled
 

@@ -54,6 +54,7 @@ val build_native :
   ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
   ?target:B.Target.t ->
   ?tape:bool ->
+  ?lanes:int ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->
@@ -65,12 +66,15 @@ val build_native :
     lowered statement.  [target] (default {!B.Target.default}, the pool
     CPU) selects the execution backend; [tape] (default [true]) gates the
     flat-tape backend, the knob the benchmarks use for their tape-off
-    control. *)
+    control; [lanes] (default the pipeline's, 8) is the vector lane width
+    claimed nests are bound with ([<= 1] forces the scalar tape, the
+    benchmarks' vector-off control). *)
 
 val prepare_native :
   ?tracer:Tiramisu_pipeline.Pipeline.tracer ->
   ?target:B.Target.t ->
   ?tape:bool ->
+  ?lanes:int ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->
@@ -82,6 +86,7 @@ val prepare_native :
 val run_native :
   ?target:B.Target.t ->
   ?tape:bool ->
+  ?lanes:int ->
   fn:Ir.fn ->
   params:(string * int) list ->
   inputs:(string * (int array -> float)) list ->

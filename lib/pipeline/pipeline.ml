@@ -248,22 +248,27 @@ type knobs = {
           as the checked fallback.  Also steers the parallel planner away
           from coalescing nests the tape would claim.  Effective only when
           the target is tape-claimable. *)
+  lanes : int;
+      (** vector lane width the tape binds claimed nests with (see
+          {!Tiramisu_backends.Tape.bind}); [<= 1] forces the scalar tape.
+          Participates in the compile-cache key: the vector and scalar
+          tapes are different generated code. *)
 }
 
 let default_knobs =
   { target = B.Target.default; specialize = true; narrow = true;
-    plan = `Auto; tape = true }
+    plan = `Auto; tape = true; lanes = 8 }
 
 (** Layer IV → loop IR, as three traced passes: [lower] (scheduled-domain
     AST generation), [legalize] (vector/unroll legality rewrites, the one
     front-end pass that is semantics-preserving on its own and therefore
     verifiable), and [alloc-scope] ([allocate_at] placement). *)
-let lower ?tracer (fn : Ir.fn) : Lower.t =
+let lower ?tracer ?(keep_claimable = false) (fn : Ir.fn) : Lower.t =
   let context = "function " ^ fn.Ir.fn_name in
   let ast = front_pass ?tracer ~name:"lower" ~context Lower.generate_ast fn in
   let ast =
     stmt_pass ?tracer ~name:"legalize" ~context ~verifiable:true
-      Passes.legalize ast
+      (Passes.legalize ~keep_claimable) ast
   in
   let ast =
     stmt_pass ?tracer ~name:"alloc-scope" ~context (Lower.scope_allocs fn) ast
@@ -353,8 +358,8 @@ let compile_stage ?tracer ?(knobs = default_knobs) ~params ~buffers
   in
   let do_compile s =
     B.Exec.compile_prepared ~target:knobs.target
-      ~specialize:knobs.specialize ~demote ~tape:knobs.tape ~params ~buffers
-      s
+      ~specialize:knobs.specialize ~demote ~tape:knobs.tape
+      ~lanes:knobs.lanes ~params ~buffers s
   in
   (match tracer with
   | Some tr -> tr.tr_target <- B.Target.to_key_string knobs.target
@@ -419,6 +424,10 @@ type ckey = {
   k_narrow : bool;
   k_plan : [ `Auto | `Off | `Force ];
   k_tape : bool;
+  k_lanes : int;
+    (* vector lane width claimed nests are bound with: the vector and
+       scalar tapes are different generated code, so artifacts built at
+       different widths never alias *)
   k_tapegen : int;
     (* {!Tape_gen.version}: a cached artifact compiled by an older tape
        generator must miss, never be served — the same determinism class
@@ -578,7 +587,8 @@ let make_key ~knobs ~params ~extents hash =
     k_target = B.Target.to_key_string knobs.target;
     k_specialize = knobs.specialize;
     k_narrow = knobs.narrow; k_plan = knobs.plan;
-    k_tape = knobs.tape; k_tapegen = Tape_gen.version;
+    k_tape = knobs.tape; k_lanes = knobs.lanes;
+    k_tapegen = Tape_gen.version;
     k_pool =
       ( B.Pool.num_workers (), B.Pool.min_work (),
         B.Pool.effective_parallelism () );
@@ -805,7 +815,13 @@ let lower_for_build ?tracer ?(knobs = default_knobs) fn
     else fun () -> ()
   in
   let undo = widen () in
-  Fun.protect ~finally:undo (fun () -> k (lower ?tracer fn))
+  (* Vector loops the tape would claim stay unsplit when this compile can
+     actually claim them (CPU target, tape on): the tape lane-batches the
+     unsplit loop with its own scalar remainder, and splitting would only
+     fragment the nest into many small per-invocation tape entries.  See
+     {!Passes.vector_legalize}. *)
+  let keep_claimable = knobs.tape && B.Target.tape_claimable knobs.target in
+  Fun.protect ~finally:undo (fun () -> k (lower ?tracer ~keep_claimable fn))
 
 let build ?tracer ?(knobs = default_knobs) ~fn ~params ~inputs () : artifact =
   lower_for_build ?tracer ~knobs fn (fun lowered ->

@@ -290,7 +290,7 @@ let search_smoke_test () =
       max_frontier = 30;
       menu =
         { Sp.tile_sizes = [ 8 ]; split_factors = [ 8 ]; vec_widths = [ 4 ];
-          unroll_factors = [ 2 ] };
+          unroll_factors = [ 2 ]; lane_widths = [ 1; 4 ] };
     }
   in
   let problem =

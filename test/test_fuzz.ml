@@ -148,6 +148,34 @@ let corpus_tape_reduction =
         { rc_name = "c1"; rc_rank = 2; rc_red = None; rc_expr = Prod "c0" } ];
     steps = [ Parallelize ("c0_upd", "i") ] }
 
+(* The vector tape's masked epilogue: a lane-safe stencil whose inner
+   extent (37) is not a multiple of the default lane width (8), so every
+   row runs 4 full batches plus a 5-element scalar epilogue.  The config
+   matrix diffs it against the forced-scalar tape and the interpreter
+   bit-exactly; shrunk by hand from the width-boundary family. *)
+let corpus_vector_tape_epilogue =
+  { extents = [ Lit 5; Lit 37 ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = None;
+          rc_expr =
+            Bin (Add, In ("a0", [ (0, 0); (1, -1) ]),
+                 Bin (Mul, In ("a0", [ (0, 1); (1, 1) ]), Const 3)) } ];
+    steps = [ Parallelize ("c0", "i") ] }
+
+(* Inner extents below the lane width (0, 1 and 3 against lanes=8): the
+   whole segment is epilogue, and the zero-extent row must not touch
+   memory at all. *)
+let corpus_vector_tape_short j =
+  { extents = [ Lit 3; Lit j ];
+    n_value = 0;
+    inputs = [ ("a0", 2) ];
+    comps =
+      [ { rc_name = "c0"; rc_rank = 2; rc_red = None;
+          rc_expr = Bin (Sub, In ("a0", [ (0, 0); (1, 0) ]), Const 2) } ];
+    steps = [] }
+
 (* Symbolic extent N: tiling a parametric loop exercises Passes.narrow's
    symbolic min/max bounds, at N = 5 and at the N = 0 boundary. *)
 let corpus_nparam n =
@@ -170,6 +198,10 @@ let replay_corpus () =
   check_pass "coalesced parallel nest" corpus_coalesce;
   check_pass "tape stencil" corpus_tape_stencil;
   check_pass "tape reduction" corpus_tape_reduction;
+  check_pass "vector tape epilogue" corpus_vector_tape_epilogue;
+  check_pass "vector tape zero extent" (corpus_vector_tape_short 0);
+  check_pass "vector tape one-trip" (corpus_vector_tape_short 1);
+  check_pass "vector tape sub-lane extent" (corpus_vector_tape_short 3);
   check_pass "symbolic N = 5" (corpus_nparam 5);
   check_pass "symbolic N = 0" (corpus_nparam 0)
 
@@ -198,6 +230,30 @@ let tape_corpus_reaches_tape () =
         (name ^ ": tape-off control compiles zero tapes")
         0 (B.Exec.tape_count off))
     [ ("stencil", corpus_tape_stencil); ("reduction", corpus_tape_reduction) ]
+
+(* And the lane seeds must actually reach the vector tier (the scalar
+   control at lanes=1 must not), or the epilogue corpus is testing
+   nothing. *)
+let vector_corpus_reaches_vector () =
+  List.iter
+    (fun (name, case) ->
+      let b = Case.build case in
+      let exec_of lanes =
+        (Tiramisu_kernels.Runner.build_native ~lanes ~fn:b.Case.fn
+           ~params:b.Case.params ~inputs:b.Case.fills ())
+          .Tiramisu_pipeline.Pipeline.exec
+      in
+      let vec = exec_of 8 and scalar = exec_of 1 in
+      Alcotest.(check bool)
+        (name ^ ": vector tier binds at least one nest")
+        true
+        (B.Exec.tape_vec_count vec >= 1);
+      Alcotest.(check int)
+        (name ^ ": lanes=1 control binds none")
+        0
+        (B.Exec.tape_vec_count scalar))
+    [ ("epilogue", corpus_vector_tape_epilogue);
+      ("sub-lane", corpus_vector_tape_short 3) ]
 
 (* ---------- legality oracle ---------- *)
 
@@ -546,6 +602,8 @@ let tests =
     Alcotest.test_case "counters are per-compile" `Quick counters_per_compile;
     Alcotest.test_case "tape corpus reaches the tape" `Quick
       tape_corpus_reaches_tape;
+    Alcotest.test_case "vector corpus reaches the vector tier" `Quick
+      vector_corpus_reaches_vector;
     QCheck_alcotest.to_alcotest prop_random_seeds;
   ]
 

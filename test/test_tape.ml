@@ -18,8 +18,8 @@ let bits_equal (a : B.Buffers.t) (b : B.Buffers.t) =
 
 (* Interp vs exec on identical fresh buffer sets; returns the compiled
    program so callers can assert on the tape counters. *)
-let differential ?(strategy = `Seq) ?(tape = true) ?(params = []) ~shapes
-    ~fills stmt outs =
+let differential ?(strategy = `Seq) ?(tape = true) ?lanes ?(params = [])
+    ~shapes ~fills stmt outs =
   let mk () =
     List.map
       (fun (name, dims) ->
@@ -35,7 +35,7 @@ let differential ?(strategy = `Seq) ?(tape = true) ?(params = []) ~shapes
   let c =
     B.Exec.compile
       ~target:(B.Target.cpu ~parallel:strategy ())
-      ~tape ~params ~buffers:(mk ()) stmt
+      ~tape ?lanes ~params ~buffers:(mk ()) stmt
   in
   B.Exec.run c;
   List.iter
@@ -228,6 +228,154 @@ let parallel_accumulator () =
     "tape claimed the parallel reduction nest" true
     (B.Exec.tape_count c >= 1)
 
+(* ---------- lane-batched (vector) execution ---------- *)
+
+(* The stencil's inner extent (30) is not a lane multiple, so the vector
+   path must run 3 full batches of 8 plus a 6-element scalar epilogue —
+   and still match the interpreter bitwise. *)
+let vector_claimed_bit_exact () =
+  let c =
+    differential ~shapes:(blur_shapes ()) ~fills:[ ("a", fill_a) ]
+      (blur_nest ()) [ "out" ]
+  in
+  Alcotest.(check bool) "vector tier engaged" true
+    (B.Exec.tape_vec_count c >= 1);
+  Alcotest.(check int) "compiled at the default width" 8
+    (B.Exec.tape_lanes c);
+  Alcotest.(check int) "no runtime fallback" 0 (B.Exec.tape_fallbacks c)
+
+(* Same nest at lanes=1: the scalar tape, still claimed, zero vector
+   bindings — the benchmarks' vector-off control. *)
+let lanes_off_control () =
+  let c =
+    differential ~lanes:1 ~shapes:(blur_shapes ()) ~fills:[ ("a", fill_a) ]
+      (blur_nest ()) [ "out" ]
+  in
+  Alcotest.(check bool) "still claimed" true (B.Exec.tape_count c >= 1);
+  Alcotest.(check int) "no vector bindings" 0 (B.Exec.tape_vec_count c);
+  Alcotest.(check int) "reports scalar" 0 (B.Exec.tape_lanes c)
+
+(* Extents around and below the lane width: 37 (4 batches + 5-wide
+   epilogue), 8 (exactly one batch), and 0/1/3 (shorter than a batch, the
+   whole segment is epilogue). *)
+let vector_epilogue_extents () =
+  List.iter
+    (fun hi_j ->
+      let shapes = blur_shapes ~hi_j () in
+      let c =
+        differential ~shapes ~fills:[ ("a", fill_a) ]
+          (blur_nest ~hi_j ()) [ "out" ]
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "hi_j=%d: no fallback" hi_j)
+        0 (B.Exec.tape_fallbacks c))
+    [ 36; 7; 0; 2 ]
+
+(* An accumulator nest must stay scalar: lanes would race on the running
+   sum.  The claim itself survives. *)
+let accumulator_stays_scalar () =
+  let c =
+    differential ~shapes:(gemm_shapes 9)
+      ~fills:[ ("a", fill_a); ("b", fill_b) ]
+      (gemm_nest ~n:9 ()) [ "out" ]
+  in
+  Alcotest.(check bool) "claimed" true (B.Exec.tape_count c >= 1);
+  Alcotest.(check int) "not vector-bound" 0 (B.Exec.tape_vec_count c)
+
+(* Vector and scalar tapes must produce bit-identical buffers — the
+   differential the fuzzer's lanes axis runs, pinned here directly. *)
+let vector_vs_scalar_identical () =
+  let run lanes =
+    let bufs =
+      List.map
+        (fun (name, dims) ->
+          let b = B.Buffers.create name (Array.of_list dims) in
+          if name = "a" then B.Buffers.fill b fill_a;
+          b)
+        (blur_shapes ())
+    in
+    let c =
+      B.Exec.compile
+        ~target:(B.Target.cpu ~parallel:`Seq ())
+        ~lanes ~params:[] ~buffers:bufs (blur_nest ())
+    in
+    B.Exec.run c;
+    c
+  in
+  let v = run 8 and s = run 1 in
+  Alcotest.(check bool) "vector run is vector" true
+    (B.Exec.tape_vec_count v >= 1 && B.Exec.tape_vec_count s = 0);
+  Alcotest.(check bool) "bit-identical" true
+    (bits_equal (B.Exec.buffer v "out") (B.Exec.buffer s "out"))
+
+(* The real blur kernel under its bench schedule (tile + parallelize +
+   compute_at + vectorize) lowers with min/floord partial-tile bounds;
+   the generator's bound grammar must still claim the work-carrying
+   vector nests, and a full run must never take the closure fallback.
+   Regression for the one bench kernel that used to fall off the tape. *)
+let blur_kernel_claims_vector () =
+  let open Tiramisu_core.Tiramisu in
+  let f, _, _ = Tiramisu_kernels.Image.blur () in
+  let bx = find_comp f "bx" and by = find_comp f "by" in
+  tile by "i" "j" 8 8 "i0" "j0" "i1" "j1";
+  parallelize by "j0";
+  compute_at bx by "j0";
+  vectorize by "j1" 8;
+  let params = [ ("N", 40); ("M", 28) ] in
+  let img i =
+    float_of_int (((i.(0) * 13) + (i.(1) * 7) + (i.(2) * 3)) mod 31) /. 7.0
+  in
+  let c =
+    Tiramisu_kernels.Runner.run_native ~fn:f ~params
+      ~inputs:[ ("img", img) ] ()
+  in
+  Alcotest.(check bool) "blur nests tape-claimed" true
+    (B.Exec.tape_count c >= 1);
+  Alcotest.(check bool) "vector tier engaged" true
+    (B.Exec.tape_vec_count c >= 1);
+  Alcotest.(check int) "zero runtime fallbacks" 0 (B.Exec.tape_fallbacks c)
+
+(* Guarded leaves (the coalesced-nest shape compute_at produces): a block
+   of else-less [If]s with identical bodies claims as one piece-bounded
+   nest.  [split] chooses where piece 0 ends and piece 1 starts. *)
+let pieces_nest ~lo2 =
+  let guard op k body = L.If (L.Cmp (op, L.Var "i", L.Int k), body, None) in
+  let body =
+    store "out"
+      [ L.Var "i"; L.Var "j" ]
+      L.(Bin (Mul, Load ("inp", [ Var "i"; Var "j" ]), Float 2.0))
+  in
+  L.For
+    { var = "i"; lo = L.Int 0; hi = L.Int 9; tag = L.Seq;
+      body =
+        L.For
+          { var = "j"; lo = L.Int 0; hi = L.Int 5; tag = L.Seq;
+            body = L.Block [ guard L.LeOp 4 body; guard L.GeOp lo2 body ] } }
+
+let guarded_pieces_claimed () =
+  (* pieces [0..4] and [5..9] tile the union box contiguously: the nest
+     runs on the tape with no runtime fallback *)
+  let shapes = [ ("inp", [ 10; 6 ]); ("out", [ 10; 6 ]) ] in
+  let c =
+    differential ~shapes ~fills:[ ("inp", fill_a) ] (pieces_nest ~lo2:5)
+      [ "out" ]
+  in
+  Alcotest.(check int) "nest claimed" 1 (B.Exec.tape_count c);
+  Alcotest.(check int) "no fallbacks" 0 (B.Exec.tape_fallbacks c)
+
+let guarded_pieces_gap_falls_back () =
+  (* pieces [0..4] and [7..9] leave rows 5..6 unstored: the union box
+     over-covers, the per-entry cover check must reject, and the counted
+     closure fallback must reproduce the guards bit-exactly *)
+  let shapes = [ ("inp", [ 10; 6 ]); ("out", [ 10; 6 ]) ] in
+  let c =
+    differential ~shapes ~fills:[ ("inp", fill_a) ] (pieces_nest ~lo2:7)
+      [ "out" ]
+  in
+  Alcotest.(check int) "claimed at compile time" 1 (B.Exec.tape_count c);
+  Alcotest.(check bool) "cover check took the fallback" true
+    (B.Exec.tape_fallbacks c >= 1)
+
 (* ---------- qcheck properties ---------- *)
 
 (* Random rectangular 2-deep nests with random affine cursor addressing:
@@ -372,6 +520,35 @@ let cache_key_includes_tape () =
   in
   Alcotest.(check bool) "same knobs hit" true (again.P.cache = P.Hit)
 
+(* Same determinism class for the lane width: vector and scalar tapes are
+   different generated code, so flipping only [lanes] must miss — a
+   scalar-tape artifact must never be served for a vector request. *)
+let cache_key_includes_lanes () =
+  P.clear_cache ();
+  let stmt = blur_nest () in
+  let extents =
+    List.map
+      (fun (n, dims) -> (n, Array.of_list dims, L.Host))
+      (blur_shapes ())
+  in
+  let inputs = [ ("a", fill_a) ] in
+  let build lanes =
+    P.build_stmt ~knobs:{ P.default_knobs with P.lanes } ~params:[] ~extents
+      ~inputs stmt
+  in
+  let vec = build 8 in
+  let scalar = build 1 in
+  Alcotest.(check bool) "first build misses" true (vec.P.cache = P.Miss);
+  Alcotest.(check bool)
+    "lanes=1 build misses too (width is in the key)" true
+    (scalar.P.cache = P.Miss);
+  Alcotest.(check bool) "vector artifact is vector-bound" true
+    (B.Exec.tape_vec_count vec.P.exec >= 1);
+  Alcotest.(check int) "scalar artifact is not" 0
+    (B.Exec.tape_vec_count scalar.P.exec);
+  let again = build 8 in
+  Alcotest.(check bool) "same width hits" true (again.P.cache = P.Hit)
+
 (* The planner must keep a tape-claimable fusible nest intact (the tape
    linearizes the prefix itself) instead of emitting div/mod binder loops
    that would destroy eligibility. *)
@@ -415,10 +592,27 @@ let tests =
       parallel_fused;
     Alcotest.test_case "parallel reduction nest on the pool" `Quick
       parallel_accumulator;
+    Alcotest.test_case "vector tier claimed and bit-exact" `Quick
+      vector_claimed_bit_exact;
+    Alcotest.test_case "lanes=1 scalar-tape control" `Quick lanes_off_control;
+    Alcotest.test_case "vector epilogue and short extents" `Quick
+      vector_epilogue_extents;
+    Alcotest.test_case "accumulator nest stays scalar" `Quick
+      accumulator_stays_scalar;
+    Alcotest.test_case "vector = scalar tape bitwise" `Quick
+      vector_vs_scalar_identical;
+    Alcotest.test_case "blur kernel vector-claimed, no fallbacks" `Quick
+      blur_kernel_claims_vector;
+    Alcotest.test_case "guarded pieces claimed and bit-exact" `Quick
+      guarded_pieces_claimed;
+    Alcotest.test_case "non-contiguous pieces take the counted fallback"
+      `Quick guarded_pieces_gap_falls_back;
     QCheck_alcotest.to_alcotest qcheck_cursor_addressing;
     QCheck_alcotest.to_alcotest qcheck_degenerate_extents;
     Alcotest.test_case "compile-cache key includes the tape knob" `Quick
       cache_key_includes_tape;
+    Alcotest.test_case "compile-cache key includes the lane width" `Quick
+      cache_key_includes_lanes;
     Alcotest.test_case "planner keeps tape-claimable nests" `Quick
       planner_keeps_tape_nests;
   ]
